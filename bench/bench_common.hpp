@@ -1,0 +1,96 @@
+// Shared helpers for the paper-table benchmark binaries.
+//
+// Every bench prints (1) our measured table on the synthetic stand-in
+// instances (DESIGN.md §2 documents the substitution) and (2) the values the
+// paper reports for the original Berkeley instances, so the *shape* of the
+// comparison can be eyeballed row by row. Absolute values are not expected to
+// match — the instances differ and the paper's machine was an UltraSparc30.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "espresso/espresso.hpp"
+#include "gen/suites.hpp"
+#include "solver/two_level.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ucp::bench {
+
+/// Peak resident set size in MB (Linux VmHWM — monotone over the process
+/// lifetime, which is how the paper's M column behaves across a run too).
+inline double peak_rss_mb() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            std::istringstream is(line.substr(6));
+            double kb = 0;
+            is >> kb;
+            return kb / 1024.0;
+        }
+    }
+    return 0.0;
+}
+
+struct PipelineRow {
+    std::string name;
+    solver::TwoLevelResult scg;
+    std::size_t espresso_sol = 0;
+    double espresso_seconds = 0.0;
+    std::size_t strong_sol = 0;
+    double strong_seconds = 0.0;
+    double rss_mb = 0.0;
+    bool espresso_verified = true;
+};
+
+/// Runs ZDD_SCG + Espresso (normal and strong) on one instance.
+inline PipelineRow run_pipeline(const gen::SuiteEntry& entry,
+                                bool run_espresso = true) {
+    PipelineRow row;
+    row.name = entry.name;
+    row.scg = solver::minimize_two_level(entry.pla);
+    if (run_espresso) {
+        {
+            Timer t;
+            const auto r = esp::espresso(entry.pla);
+            row.espresso_seconds = t.seconds();
+            row.espresso_sol = r.cover.size();
+            row.espresso_verified =
+                solver::verify_equivalence(entry.pla, r.cover);
+        }
+        {
+            Timer t;
+            esp::EspressoOptions opt;
+            opt.strong = true;
+            const auto r = esp::espresso(entry.pla, opt);
+            row.strong_seconds = t.seconds();
+            row.strong_sol = r.cover.size();
+        }
+    }
+    row.rss_mb = peak_rss_mb();
+    return row;
+}
+
+/// "123*" when the solver proved optimality (paper's star convention).
+inline std::string starred(cov::Cost sol, bool proved) {
+    return std::to_string(sol) + (proved ? "*" : "");
+}
+
+/// "123(120)" — heuristic value with its lower bound (Tables 3–4).
+inline std::string with_bound(cov::Cost sol, cov::Cost lb, bool proved) {
+    if (proved) return std::to_string(sol) + "*";
+    return std::to_string(sol) + "(" + std::to_string(lb) + ")";
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+    std::cout << "=== " << title << " ===\n"
+              << paper_ref << "\n"
+              << "(instances are synthetic stand-ins named after the paper's "
+                 "rows; see DESIGN.md §2)\n\n";
+}
+
+}  // namespace ucp::bench

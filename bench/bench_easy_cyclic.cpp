@@ -1,0 +1,56 @@
+// Reproduces the paper's first experiment (§5): the 49 *easy cyclic*
+// problems. The paper reports total ZDD_SCG cost 5225 vs total Lagrangian
+// lower bound 5213 — a 0.22% gap — with every instance solved to optimality,
+// against Espresso 5330 and Espresso-strong 5281.
+//
+// Expected shape here: every (or nearly every) instance proved optimal, a
+// sub-percent total LB gap, and Espresso totals above the ZDD_SCG total.
+#include "bench_common.hpp"
+
+int main() {
+    using ucp::TextTable;
+    ucp::bench::print_header(
+        "Experiment 1 — easy cyclic problems (49 instances)",
+        "Paper totals: ZDD_SCG 5225, Lagrangian LB 5213 (0.22% gap),\n"
+        "Espresso 5330, Espresso-strong 5281.");
+
+    long total_cost = 0, total_lb = 0, total_esp = 0, total_strong = 0;
+    int proved = 0, verified = 0;
+    double total_time = 0;
+    TextTable table({"Name", "Sol", "LB", "Espr", "Strong", "T(s)"});
+    for (const auto& entry : ucp::gen::easy_cyclic_suite()) {
+        const auto row = ucp::bench::run_pipeline(entry);
+        total_cost += row.scg.cost;
+        total_lb += row.scg.lower_bound;
+        total_esp += static_cast<long>(row.espresso_sol);
+        total_strong += static_cast<long>(row.strong_sol);
+        total_time += row.scg.total_seconds;
+        proved += row.scg.proved_optimal ? 1 : 0;
+        verified += row.scg.verified ? 1 : 0;
+        table.add_row({row.name,
+                       ucp::bench::starred(row.scg.cost, row.scg.proved_optimal),
+                       std::to_string(row.scg.lower_bound),
+                       std::to_string(row.espresso_sol),
+                       std::to_string(row.strong_sol),
+                       TextTable::num(row.scg.total_seconds)});
+    }
+    table.print(std::cout);
+
+    const double gap =
+        total_cost == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(total_cost - total_lb) /
+                  static_cast<double>(total_cost);
+    std::cout << "\nTotals over 49 instances (paper values in parentheses):\n"
+              << "  ZDD_SCG total cost : " << total_cost << "   (5225)\n"
+              << "  Lagrangian LB total: " << total_lb << "   (5213)\n"
+              << "  gap                : " << TextTable::num(gap, 2)
+              << "%  (0.22%)\n"
+              << "  Espresso total     : " << total_esp << "   (5330)\n"
+              << "  Espresso strong    : " << total_strong << "   (5281)\n"
+              << "  proved optimal     : " << proved << "/49  (49/49)\n"
+              << "  equivalence checks : " << verified << "/49 passed\n"
+              << "  total ZDD_SCG time : " << TextTable::num(total_time, 2)
+              << "s\n";
+    return 0;
+}

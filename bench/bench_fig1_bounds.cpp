@@ -1,0 +1,125 @@
+// Reproduces Figure 1 / §3.4 (Proposition 1): the relative strength of the
+// four lower bounds — maximal independent set (MIS), dual ascent (DA), the
+// Lagrangian bound, and the LP relaxation (LR).
+//
+// The paper's Figure 1 gives an example with LB_MIS = 1 < LB_DA = 2 <
+// LB_LR = 2.5 → raised to 3 by integrality (= the integer optimum). The
+// figure's drawing is not part of the provided text, so two hand-built
+// matrices demonstrate the same strict separations (DESIGN.md §2), followed
+// by a randomized sweep of the full Proposition-1 dominance chain.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "gen/scp_gen.hpp"
+#include "lagrangian/dual_ascent.hpp"
+#include "lagrangian/subgradient.hpp"
+#include "lp/simplex.hpp"
+#include "solver/bnb.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ucp::TextTable;
+using ucp::cov::Cost;
+using ucp::cov::CoverMatrix;
+
+struct Bounds {
+    double mis, da, lagr, lp;
+    Cost ip;
+};
+
+Bounds all_bounds(const CoverMatrix& m) {
+    Bounds b{};
+    b.mis = static_cast<double>(ucp::lagr::mis_lower_bound(m).bound);
+    b.da = ucp::lagr::dual_ascent(m).value;
+    b.lagr = ucp::lagr::subgradient_ascent(m).lb_fractional;
+    const auto lp = ucp::lp::solve_covering_lp(m);
+    b.lp = lp.objective;
+    b.ip = ucp::solver::solve_exact(m).cost;
+    return b;
+}
+
+void print_example(const std::string& name, const CoverMatrix& m) {
+    const Bounds b = all_bounds(m);
+    std::cout << name << " (" << m.num_rows() << "x" << m.num_cols() << "):\n"
+              << "  LB_MIS = " << TextTable::num(b.mis, 2)
+              << "   LB_DA = " << TextTable::num(b.da, 2)
+              << "   LB_Lagr = " << TextTable::num(b.lagr, 2)
+              << "   LB_LR = " << TextTable::num(b.lp, 2) << " -> ceil "
+              << static_cast<Cost>(std::ceil(b.lp - 1e-6))
+              << "   optimum = " << b.ip << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "=== Figure 1 / Proposition 1 — lower-bound separations ===\n"
+              << "Paper's example: LB_MIS = 1 < LB_DA = 2 < LB_LR = 2.5 -> 3 "
+                 "(= optimum)\n\n";
+
+    print_example("Example A (MIS < DA): private columns + one glue column",
+                  ucp::gen::mis_vs_dual_example());
+    print_example("Example B (DA < LR, fractional LP): odd 3-cycle, costs (1,2,2)",
+                  ucp::gen::dual_vs_lp_example());
+
+    // Randomized Proposition-1 sweep: count orderings and strict separations.
+    std::cout << "Proposition 1 sweep (random covering matrices):\n";
+    TextTable table({"density", "costs", "runs", "MIS<=DA'", "DA<=Lagr",
+                     "Lagr<=LR", "LR<=IP", "strict MIS<DA'", "strict Lagr<LR",
+                     "frac LP"});
+    ucp::Rng seeds(20260705);
+    for (const auto& [density, max_cost] :
+         std::vector<std::pair<double, Cost>>{
+             {0.15, 1}, {0.25, 1}, {0.40, 1}, {0.15, 5}, {0.25, 5}, {0.40, 5}}) {
+        const int runs = 40;
+        int ok_mis = 0, ok_lagr_da = 0, ok_lp = 0, ok_ip = 0;
+        int strict_mis = 0, strict_lp = 0, fractional = 0;
+        for (int r = 0; r < runs; ++r) {
+            ucp::gen::RandomScpOptions g;
+            g.rows = 12;
+            g.cols = 16;
+            g.density = density;
+            g.min_cost = 1;
+            g.max_cost = max_cost;
+            g.seed = seeds();
+            const CoverMatrix m = ucp::gen::random_scp(g);
+            const auto mis = ucp::lagr::mis_lower_bound(m);
+            // DA' = dual ascent warm-started from the MIS dual solution — the
+            // "properly initialised" ascent of Proposition 1.
+            std::vector<double> warm(m.num_rows(), 0.0);
+            for (const auto i : mis.rows) {
+                Cost cheapest = m.cost(m.row(i)[0]);
+                for (const auto j : m.row(i))
+                    cheapest = std::min(cheapest, m.cost(j));
+                warm[i] = static_cast<double>(cheapest);
+            }
+            const double da = ucp::lagr::dual_ascent(m, warm).value;
+            const double da_plain = ucp::lagr::dual_ascent(m).value;
+            const double lagr = ucp::lagr::subgradient_ascent(m).lb_fractional;
+            const auto lp = ucp::lp::solve_covering_lp(m);
+            const Cost ip = ucp::solver::solve_exact(m).cost;
+
+            ok_mis += static_cast<double>(mis.bound) <= da + 1e-9;
+            ok_lagr_da += da_plain <= lagr + 1e-9;
+            ok_lp += lagr <= lp.objective + 1e-6;
+            ok_ip += lp.objective <= static_cast<double>(ip) + 1e-6;
+            strict_mis += static_cast<double>(mis.bound) + 0.5 < da;
+            strict_lp += lagr + 0.05 < lp.objective;
+            fractional +=
+                std::abs(lp.objective - std::round(lp.objective)) > 1e-6;
+        }
+        table.add_row({TextTable::num(density, 2),
+                       max_cost == 1 ? "uniform" : "1..5",
+                       std::to_string(runs), std::to_string(ok_mis),
+                       std::to_string(ok_lagr_da), std::to_string(ok_lp),
+                       std::to_string(ok_ip), std::to_string(strict_mis),
+                       std::to_string(strict_lp), std::to_string(fractional)});
+    }
+    table.print(std::cout);
+    std::cout << "\nAll dominance columns should equal the run count "
+                 "(Proposition 1); strict separations appear mainly with "
+                 "non-uniform costs, as §3.4 predicts.\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) of the substrate operations that
+// dominate the CC(s) column of the paper's tables: ZDD set algebra, the
+// implicit prime recursion, signature-class refinement, explicit reductions
+// and one subgradient iteration.
+#include <benchmark/benchmark.h>
+
+#include "cover/table_builder.hpp"
+#include "gen/pla_gen.hpp"
+#include "gen/scp_gen.hpp"
+#include "lagrangian/subgradient.hpp"
+#include "matrix/reductions.hpp"
+#include "primes/implicit_primes.hpp"
+#include "util/rng.hpp"
+#include "zdd/zdd.hpp"
+
+namespace {
+
+using ucp::Rng;
+using ucp::zdd::Var;
+using ucp::zdd::Zdd;
+using ucp::zdd::ZddManager;
+
+Zdd random_family(ZddManager& mgr, Rng& rng, Var vars, std::size_t sets) {
+    Zdd out = mgr.empty();
+    for (std::size_t i = 0; i < sets; ++i) {
+        std::vector<Var> s;
+        for (Var v = 0; v < vars; ++v)
+            if (rng.chance(0.3)) s.push_back(v);
+        out = mgr.union_(out, mgr.set_of(s));
+    }
+    return out;
+}
+
+void BM_ZddUnion(benchmark::State& state) {
+    ZddManager mgr(24);
+    Rng rng(1);
+    const Zdd a = random_family(mgr, rng, 24, 200);
+    const Zdd b = random_family(mgr, rng, 24, 200);
+    for (auto _ : state) benchmark::DoNotOptimize(mgr.union_(a, b).id());
+}
+BENCHMARK(BM_ZddUnion);  // cached-op latency (computed table hit)
+
+void BM_ZddUnionCold(benchmark::State& state) {
+    // Fresh manager per iteration: measures table construction + the real
+    // recursion, not the computed-table hit.
+    Rng rng(1);
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng local(rng());
+        const Zdd a = random_family(mgr, local, 24, 120);
+        const Zdd b = random_family(mgr, local, 24, 120);
+        benchmark::DoNotOptimize(mgr.union_(a, b).id());
+    }
+}
+BENCHMARK(BM_ZddUnionCold);
+
+void BM_ZddProduct(benchmark::State& state) {
+    ZddManager mgr(24);
+    Rng rng(2);
+    const Zdd a = random_family(mgr, rng, 24, 40);
+    const Zdd b = random_family(mgr, rng, 24, 40);
+    for (auto _ : state) benchmark::DoNotOptimize(mgr.product(a, b).id());
+}
+BENCHMARK(BM_ZddProduct);
+
+void BM_ZddSupSet(benchmark::State& state) {
+    ZddManager mgr(24);
+    Rng rng(3);
+    const Zdd a = random_family(mgr, rng, 24, 200);
+    const Zdd b = random_family(mgr, rng, 24, 50);
+    for (auto _ : state) benchmark::DoNotOptimize(mgr.sup_set(a, b).id());
+}
+BENCHMARK(BM_ZddSupSet);
+
+void BM_ZddMaximal(benchmark::State& state) {
+    ZddManager mgr(24);
+    Rng rng(4);
+    const Zdd a = random_family(mgr, rng, 24, 300);
+    for (auto _ : state) benchmark::DoNotOptimize(mgr.maximal(a).id());
+}
+BENCHMARK(BM_ZddMaximal);
+
+void BM_ImplicitPrimes(benchmark::State& state) {
+    ucp::gen::RandomPlaOptions opt;
+    opt.num_inputs = static_cast<std::uint32_t>(state.range(0));
+    opt.num_outputs = 1;
+    opt.num_cubes = opt.num_inputs * 6;
+    opt.literal_prob = 0.55;
+    opt.seed = 11;
+    const auto pla = ucp::gen::random_pla(opt);
+    const auto care = pla.on.restricted_to_output(0);
+    for (auto _ : state) {
+        ZddManager zmgr(2 * opt.num_inputs);
+        benchmark::DoNotOptimize(
+            ucp::primes::implicit_primes(zmgr, care).prime_count);
+    }
+}
+BENCHMARK(BM_ImplicitPrimes)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_CoveringTableBuild(benchmark::State& state) {
+    ucp::gen::RandomPlaOptions opt;
+    opt.num_inputs = static_cast<std::uint32_t>(state.range(0));
+    opt.num_outputs = 1;
+    opt.num_cubes = opt.num_inputs * 6;
+    opt.literal_prob = 0.55;
+    opt.seed = 13;
+    const auto pla = ucp::gen::random_pla(opt);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ucp::cover::build_covering_table(pla).matrix.num_rows());
+}
+BENCHMARK(BM_CoveringTableBuild)->Arg(8)->Arg(10);
+
+void BM_ExplicitReductions(benchmark::State& state) {
+    ucp::gen::RandomScpOptions g;
+    g.rows = static_cast<ucp::cov::Index>(state.range(0));
+    g.cols = g.rows * 2;
+    g.density = 0.05;
+    g.seed = 17;
+    const auto m = ucp::gen::random_scp(g);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ucp::cov::reduce(m).core.num_rows());
+}
+BENCHMARK(BM_ExplicitReductions)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_SubgradientAscent(benchmark::State& state) {
+    const auto m = ucp::gen::cyclic_matrix(
+        static_cast<ucp::cov::Index>(state.range(0)), 5);
+    ucp::lagr::SubgradientOptions opt;
+    opt.max_iterations = 100;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ucp::lagr::subgradient_ascent(m, opt).lb_fractional);
+}
+BENCHMARK(BM_SubgradientAscent)->Arg(30)->Arg(100)->Arg(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

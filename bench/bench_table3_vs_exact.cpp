@@ -1,0 +1,64 @@
+// Reproduces Table 3: ZDD_SCG vs the exact solver (our Scherzo stand-in) on
+// the *difficult cyclic* problems — heuristic solution with its lower bound
+// in parentheses (star = proved optimal), times, and the restart (MaxIter)
+// that found the best solution.
+//
+// Expected shape (paper): the heuristic hits the exact optimum on all or all
+// but one instance, in a small fraction of the exact solver's time on the
+// hard rows.
+#include "bench_common.hpp"
+
+#include "cover/table_builder.hpp"
+#include "solver/bnb.hpp"
+
+int main() {
+    using ucp::TextTable;
+    ucp::bench::print_header(
+        "Table 3 — ZDD_SCG vs exact solver, difficult cyclic problems",
+        "Paper: all but max1024 solved to optimality (gap 1 there); improved\n"
+        "best-known solutions on test4 and bench1; Scherzo needs hours where\n"
+        "the heuristic needs seconds (ex5: 108s vs 31113s).");
+
+    TextTable table({"Name", "SCG Sol(LB)", "SCG T(s)", "MaxIter", "Exact Sol",
+                     "Exact T(s)", "Nodes"});
+    int hits = 0, total = 0;
+    for (const auto& entry : ucp::gen::difficult_cyclic_suite()) {
+        // Covering-table construction is shared (the paper compares only the
+        // cyclic-core solving here, since the implicit phase is identical).
+        const auto tab = ucp::cover::build_covering_table(entry.pla);
+
+        ucp::Timer tscg;
+        const auto scg = ucp::solver::solve_scg(tab.matrix);
+        const double scg_t = tscg.seconds();
+
+        ucp::solver::BnbOptions bopt;
+        bopt.time_limit_seconds = 120.0;
+        const auto exact = ucp::solver::solve_exact(tab.matrix, bopt);
+
+        ++total;
+        if (exact.optimal && scg.cost == exact.cost) ++hits;
+        table.add_row(
+            {entry.name,
+             ucp::bench::with_bound(scg.cost, scg.lower_bound,
+                                    scg.proved_optimal),
+             TextTable::num(scg_t),
+             std::to_string(std::max(scg.run_of_best, 1)),
+             std::to_string(exact.cost) + (exact.optimal ? "" : "H"),
+             TextTable::num(exact.seconds), std::to_string(exact.nodes)});
+    }
+    table.print(std::cout);
+    std::cout << "\nZDD_SCG matched the exact optimum on " << hits << " of "
+              << total << " instances (paper: 6 of 7, gap 1 on max1024)\n";
+    std::cout << "\nPaper's Table 3 for reference:\n";
+    TextTable paper({"Name", "SCG Sol(LB)", "SCG T(s)", "MaxIter", "Scherzo Sol",
+                     "Scherzo T(s)"});
+    paper.add_row({"bench1", "121(120)", "12.36", "1", "122H", ""});
+    paper.add_row({"ex5", "65(60)", "108.26", "12", "65", "31113"});
+    paper.add_row({"exam", "63(59)", "6.50", "1", "63H", ""});
+    paper.add_row({"max1024", "260(255)", "36.04", "2", "259", "15110"});
+    paper.add_row({"prom2", "287(285)", "9.98", "1", "287", "4111"});
+    paper.add_row({"t1", "100*", "0.42", "1", "100", "0.02"});
+    paper.add_row({"test4", "96(78)", "592.71", "1", "100H", ""});
+    paper.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table 4: ZDD_SCG vs the exact solver on the *challenging*
+// problems (the 9 rows the paper reports). Expected shape: the starred
+// structured instances are proved optimal instantly by both; on the heavy
+// random-logic rows the heuristic matches the exact optimum at a fraction of
+// the branch-and-bound effort.
+#include "bench_common.hpp"
+
+#include "cover/table_builder.hpp"
+#include "solver/bnb.hpp"
+
+int main() {
+    using ucp::TextTable;
+    ucp::bench::print_header(
+        "Table 4 — ZDD_SCG vs exact solver, challenging problems",
+        "Paper: ex4/jbp/ti/xparc proved optimal by both in <1s; pdc and\n"
+        "soar.pla matched; large improvements over the previous best-known\n"
+        "results on ex1010 / test2 / test3 (e.g. 239 vs 246H).");
+
+    // The 9 instances of the paper's Table 4.
+    const std::vector<std::string> rows{"ex1010", "ex4",  "jbp",  "pdc",
+                                        "soar.pla", "test2", "test3", "ti",
+                                        "xparc"};
+    TextTable table({"Name", "SCG Sol(LB)", "SCG T(s)", "MaxIter", "Exact Sol",
+                     "Exact T(s)", "Nodes"});
+    int hits = 0, total = 0;
+    for (const auto& entry : ucp::gen::challenging_suite()) {
+        if (std::find(rows.begin(), rows.end(), entry.name) == rows.end())
+            continue;
+        const auto tab = ucp::cover::build_covering_table(entry.pla);
+
+        ucp::Timer tscg;
+        const auto scg = ucp::solver::solve_scg(tab.matrix);
+        const double scg_t = tscg.seconds();
+
+        ucp::solver::BnbOptions bopt;
+        bopt.time_limit_seconds = 120.0;
+        const auto exact = ucp::solver::solve_exact(tab.matrix, bopt);
+
+        ++total;
+        if (exact.optimal && scg.cost == exact.cost) ++hits;
+        table.add_row(
+            {entry.name,
+             ucp::bench::with_bound(scg.cost, scg.lower_bound,
+                                    scg.proved_optimal),
+             TextTable::num(scg_t),
+             std::to_string(std::max(scg.run_of_best, 1)),
+             std::to_string(exact.cost) + (exact.optimal ? "" : "H"),
+             TextTable::num(exact.seconds), std::to_string(exact.nodes)});
+    }
+    table.print(std::cout);
+    std::cout << "\nZDD_SCG matched the exact optimum on " << hits << " of "
+              << total << " instances\n";
+    std::cout << "\nPaper's Table 4 for reference:\n";
+    TextTable paper(
+        {"Name", "SCG Sol(LB)", "SCG T(s)", "MaxIter", "Scherzo Sol",
+         "Scherzo T(s)"});
+    paper.add_row({"ex1010", "239(220)", "1355.56", "1", "246H", ""});
+    paper.add_row({"ex4", "279*", "0.00", "1", "279", "0.00"});
+    paper.add_row({"jbp", "122*", "0.02", "1", "122", "0.00"});
+    paper.add_row({"pdc", "96(92)", "5.21", "1", "96", "1.80"});
+    paper.add_row({"soar.pla", "352(350)", "39.87", "1", "352", "56.83"});
+    paper.add_row({"test2", "865(756)", "88956", "1", "995H", ""});
+    paper.add_row({"test3", "436(390)", "8167.62", "1", "477H", ""});
+    paper.add_row({"ti", "213*", "0.50", "1", "213", "0.15"});
+    paper.add_row({"xparc", "254*", "0.03", "1", "254", "0.02"});
+    paper.print(std::cout);
+    return 0;
+}

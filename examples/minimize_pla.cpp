@@ -1,0 +1,93 @@
+// Domain example: a full two-level minimisation flow for PLA files —
+// reads a Berkeley-format PLA (from a file, or a named built-in benchmark
+// instance), minimises it with the chosen solver, verifies the result and
+// writes the minimised PLA.
+//
+//   $ ./minimize_pla --instance=bench1 [--solver=scg|exact|greedy]
+//   $ ./minimize_pla my_function.pla --out=min.pla --compare-espresso
+#include <fstream>
+#include <iostream>
+
+#include "espresso/espresso.hpp"
+#include "gen/suites.hpp"
+#include "pla/pla_io.hpp"
+#include "solver/two_level.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+    const ucp::Options opts(argc, argv);
+    try {
+        ucp::pla::Pla pla;
+        if (opts.has("instance")) {
+            pla = ucp::gen::instance_by_name(opts.get("instance"));
+        } else if (!opts.positional().empty()) {
+            pla = ucp::pla::read_pla_file(opts.positional()[0]);
+        } else {
+            std::cerr << "usage: minimize_pla <file.pla> | --instance=<name>\n"
+                      << "       [--solver=scg|exact|greedy] [--out=<file>]\n"
+                      << "       [--compare-espresso]\n"
+                      << "named instances: bench1, ex5, exam, max1024, prom2, "
+                         "t1, test4, ex1010, test2, ...\n";
+            return 2;
+        }
+
+        const auto& s = pla.space();
+        std::cout << "Function: " << pla.name << " — " << s.num_inputs
+                  << " inputs, " << s.num_outputs << " outputs, "
+                  << pla.on.size() << " on-cubes, " << pla.dc.size()
+                  << " dc-cubes\n";
+
+        ucp::solver::TwoLevelOptions tl;
+        const std::string solver = opts.get("solver", "scg");
+        if (solver == "exact")
+            tl.cover_solver = ucp::solver::CoverSolver::kExact;
+        else if (solver == "greedy")
+            tl.cover_solver = ucp::solver::CoverSolver::kGreedy;
+        else if (solver != "scg") {
+            std::cerr << "unknown solver: " << solver << '\n';
+            return 2;
+        }
+
+        const auto r = ucp::solver::minimize_two_level(pla, tl);
+        std::cout << "\nZDD_SCG pipeline (" << solver << "):\n"
+                  << "  primes               : " << r.num_primes << '\n'
+                  << "  covering rows        : " << r.num_rows
+                  << " (signature classes of " << r.onset_minterms
+                  << " on-set minterms)\n"
+                  << "  products             : " << r.cost
+                  << (r.proved_optimal ? "  (proved optimal, LB = " : "  (LB = ")
+                  << r.lower_bound << ")\n"
+                  << "  literals             : " << r.literals << '\n'
+                  << "  cyclic core time     : " << r.cyclic_core_seconds
+                  << " s\n"
+                  << "  total time           : " << r.total_seconds << " s\n"
+                  << "  equivalence verified : "
+                  << (r.verified ? "yes" : "NO — BUG") << '\n';
+
+        if (opts.get_bool("compare-espresso", false)) {
+            const auto en = ucp::esp::espresso(pla);
+            ucp::esp::EspressoOptions strong;
+            strong.strong = true;
+            const auto es = ucp::esp::espresso(pla, strong);
+            std::cout << "\nEspresso baseline: " << en.cover.size()
+                      << " products (normal), " << es.cover.size()
+                      << " products (strong)\n";
+        }
+
+        if (opts.has("out")) {
+            ucp::pla::Pla out;
+            out.name = pla.name + ".min";
+            out.on = r.cover;
+            out.dc = ucp::pla::Cover(s);
+            out.off = ucp::pla::Cover(s);
+            std::ofstream f(opts.get("out"));
+            ucp::pla::write_pla(f, out);
+            std::cout << "\nminimised PLA written to " << opts.get("out")
+                      << '\n';
+        }
+        return r.verified ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

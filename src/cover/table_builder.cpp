@@ -1,0 +1,245 @@
+#include "cover/table_builder.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "primes/explicit_primes.hpp"
+#include "primes/implicit_primes.hpp"
+#include "util/timer.hpp"
+#include "zdd/zdd_cubes.hpp"
+
+namespace ucp::cover {
+
+using cov::Index;
+using pla::Cover;
+using pla::Cube;
+using pla::CubeSpace;
+using zdd::Zdd;
+using zdd::ZddManager;
+
+namespace {
+
+std::vector<zdd::LitSpec> cube_spec(const CubeSpace& s, const Cube& c) {
+    std::vector<zdd::LitSpec> spec(s.num_inputs, zdd::LitSpec::kDontCare);
+    for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+        switch (c.in(s, i)) {
+            case pla::Lit::kZero: spec[i] = zdd::LitSpec::kZero; break;
+            case pla::Lit::kOne: spec[i] = zdd::LitSpec::kOne; break;
+            case pla::Lit::kDontCare: break;
+            case pla::Lit::kEmpty:
+                UCP_ASSERT(false);  // covers validated on construction
+        }
+    }
+    return spec;
+}
+
+/// Multi-output primes of the care function, per the chosen method.
+Cover generate_primes(const pla::Pla& pla, const TableBuildOptions& opt,
+                      bool& used_implicit) {
+    const CubeSpace& s = pla.space();
+    Cover care = pla.on;
+    care.append(pla.dc);
+
+    const bool single_output = s.num_outputs == 1;
+    PrimeMethod method = opt.method;
+    if (method == PrimeMethod::kAuto)
+        method = single_output ? PrimeMethod::kImplicit : PrimeMethod::kConsensus;
+    if (method == PrimeMethod::kImplicit && !single_output)
+        throw std::invalid_argument(
+            "implicit prime generation supports single-output functions only");
+
+    if (method == PrimeMethod::kConsensus) {
+        used_implicit = false;
+        return primes::primes_by_consensus(care, opt.max_primes);
+    }
+
+    used_implicit = true;
+    ZddManager zmgr(2 * s.num_inputs);
+    const Cover care_in = care.restricted_to_output(0);
+    const auto result = primes::implicit_primes(zmgr, care_in);
+    if (result.prime_count > static_cast<double>(opt.max_primes))
+        throw std::runtime_error("implicit prime count exceeds max_primes");
+    const Cover in_primes =
+        primes::primes_zdd_to_cover(zmgr, result.primes, s.num_inputs);
+
+    // Re-attach the single output.
+    Cover out(s);
+    const CubeSpace in_space{s.num_inputs, 0};
+    for (const auto& c : in_primes) {
+        Cube mc = Cube::full_inputs(s);
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+            mc.set_in(s, i, c.in(in_space, i));
+        mc.set_out(s, 0, true);
+        out.add(std::move(mc));
+    }
+    return out;
+}
+
+}  // namespace
+
+OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
+                                  std::size_t max_rows) {
+    const CubeSpace& s = pla.space();
+    UCP_REQUIRE(s.num_outputs >= 1, "PLA must have at least one output");
+    UCP_REQUIRE(columns.space() == s, "column cover space mismatch");
+    const std::size_t P = columns.size();
+
+    OnsetMatrix out;
+    if (P == 0) {
+        // Legal only when the on-set is empty; checked below through the
+        // empty-signature guard.
+    }
+
+    ZddManager mgr(s.num_inputs == 0 ? 1 : s.num_inputs);
+
+    // Per-column input minterm sets (shared across outputs).
+    std::vector<Zdd> col_minterms;
+    col_minterms.reserve(P);
+    for (const auto& c : columns)
+        col_minterms.push_back(zdd::minterms_of_cube(mgr, cube_spec(s, c)));
+
+    // Signature-class rows, deduplicated across outputs.
+    std::map<std::vector<Index>, Index> row_of_signature;
+    std::vector<std::vector<Index>> rows;
+    std::unordered_set<Index> essential_set;
+
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+        // U_k: care on-set minterms of output k. Points also listed as
+        // don't-care are excluded — they need not be covered (Espresso
+        // semantics, kept consistent with the baseline minimiser).
+        Zdd onset = mgr.empty();
+        for (const auto& c : pla.on) {
+            if (!c.out(s, k)) continue;
+            onset = mgr.union_(onset, zdd::minterms_of_cube(mgr, cube_spec(s, c)));
+        }
+        for (const auto& c : pla.dc) {
+            if (!c.out(s, k)) continue;
+            onset = mgr.diff(onset, zdd::minterms_of_cube(mgr, cube_spec(s, c)));
+        }
+        if (onset.is_empty()) continue;
+        out.onset_minterms += mgr.count(onset);
+
+        // Partition refinement against each column asserting output k.
+        struct Class {
+            Zdd set;
+            std::vector<Index> sig;
+        };
+        std::vector<Class> classes;
+        classes.push_back({onset, {}});
+        for (Index j = 0; j < static_cast<Index>(P); ++j) {
+            if (!columns[j].out(s, k)) continue;
+            std::vector<Class> next;
+            next.reserve(classes.size() * 2);
+            for (auto& cl : classes) {
+                Zdd inter = mgr.intersect(cl.set, col_minterms[j]);
+                if (inter.is_empty()) {
+                    next.push_back(std::move(cl));
+                    continue;
+                }
+                Zdd rest = mgr.diff(cl.set, col_minterms[j]);
+                std::vector<Index> sig1 = cl.sig;
+                sig1.push_back(j);
+                next.push_back({std::move(inter), std::move(sig1)});
+                if (!rest.is_empty())
+                    next.push_back({std::move(rest), std::move(cl.sig)});
+            }
+            classes = std::move(next);
+            if (classes.size() > max_rows)
+                throw std::runtime_error(
+                    "signature classes exceed max_rows guard");
+        }
+
+        for (auto& cl : classes) {
+            if (cl.sig.empty())
+                throw std::invalid_argument(
+                    "columns do not cover the care on-set");
+            if (cl.sig.size() == 1) essential_set.insert(cl.sig[0]);
+            const auto [it, inserted] = row_of_signature.emplace(
+                std::move(cl.sig), static_cast<Index>(rows.size()));
+            if (inserted) rows.push_back(it->first);
+        }
+    }
+
+    out.essential_columns = essential_set.size();
+    out.matrix =
+        cov::CoverMatrix::from_rows(static_cast<Index>(P), std::move(rows));
+    return out;
+}
+
+CoveringTable build_covering_table(const pla::Pla& pla,
+                                   const TableBuildOptions& opt) {
+    Timer total;
+    const CubeSpace& s = pla.space();
+    UCP_REQUIRE(s.num_outputs >= 1, "PLA must have at least one output");
+
+    CoveringTable table;
+    {
+        Timer pt;
+        table.primes = generate_primes(pla, opt, table.used_implicit_primes);
+        table.prime_seconds = pt.seconds();
+    }
+    const std::size_t P = table.primes.size();
+    if (P > opt.max_cols)
+        throw std::runtime_error("prime count exceeds max_cols guard");
+    if (P == 0) {
+        // Empty on-set: nothing to cover.
+        table.matrix = cov::CoverMatrix::from_rows(0, {});
+        table.build_seconds = total.seconds();
+        return table;
+    }
+
+    OnsetMatrix onset = onset_covering_matrix(pla, table.primes, opt.max_rows);
+    table.onset_minterms = onset.onset_minterms;
+    table.num_essential_primes = onset.essential_columns;
+
+    table.column_prime.resize(P);
+    for (Index j = 0; j < static_cast<Index>(P); ++j) table.column_prime[j] = j;
+
+    // Column costs per the chosen model.
+    std::vector<cov::Cost> costs(P, 1);
+    switch (opt.cost_model) {
+        case CostModel::kProducts:
+            break;
+        case CostModel::kProductsThenLiterals: {
+            // W must exceed any achievable literal total so the product count
+            // stays the primary key.
+            table.weight_scale =
+                static_cast<cov::Cost>(s.num_inputs) * static_cast<cov::Cost>(P) +
+                1;
+            for (Index j = 0; j < static_cast<Index>(P); ++j)
+                costs[j] = table.weight_scale +
+                           table.primes[j].input_literal_count(s);
+            break;
+        }
+        case CostModel::kLiterals:
+            for (Index j = 0; j < static_cast<Index>(P); ++j)
+                costs[j] = std::max<cov::Cost>(
+                    1, table.primes[j].input_literal_count(s));
+            break;
+    }
+    // Rebuild with the chosen costs (rows are identical).
+    {
+        std::vector<std::vector<Index>> rows;
+        rows.reserve(onset.matrix.num_rows());
+        for (Index i = 0; i < onset.matrix.num_rows(); ++i)
+            rows.push_back(onset.matrix.row(i));
+        table.matrix = cov::CoverMatrix::from_rows(static_cast<Index>(P),
+                                                   std::move(rows),
+                                                   std::move(costs));
+    }
+    table.build_seconds = total.seconds();
+    return table;
+}
+
+pla::Cover solution_to_cover(const CoveringTable& table,
+                             const std::vector<Index>& solution) {
+    pla::Cover out(table.primes.space());
+    for (const Index j : solution) {
+        UCP_REQUIRE(j < table.column_prime.size(), "solution column out of range");
+        out.add(table.primes[table.column_prime[j]]);
+    }
+    return out;
+}
+
+}  // namespace ucp::cover

@@ -1,0 +1,203 @@
+#include "cover/zdd_cover.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ucp::cover {
+
+using cov::Cost;
+using cov::CoverMatrix;
+using cov::Index;
+using zdd::NodeId;
+using zdd::Var;
+using zdd::Zdd;
+using zdd::ZddManager;
+
+Zdd rows_as_zdd(ZddManager& mgr, const CoverMatrix& m) {
+    UCP_REQUIRE(m.num_cols() <= mgr.num_vars(),
+                "manager needs one variable per column");
+    Zdd family = mgr.empty();
+    for (Index i = 0; i < m.num_rows(); ++i) {
+        std::vector<Var> cols(m.row(i).begin(), m.row(i).end());
+        family = mgr.union_(family, mgr.set_of(cols));
+    }
+    return family;
+}
+
+CoverMatrix zdd_to_rows(const ZddManager& mgr, const Zdd& rows,
+                        const CoverMatrix& reference) {
+    std::vector<std::vector<Index>> out_rows;
+    mgr.for_each_set(rows, [&](const std::vector<Var>& cols) {
+        UCP_REQUIRE(!cols.empty(), "a row with no columns is infeasible");
+        out_rows.emplace_back(cols.begin(), cols.end());
+    });
+    std::vector<Cost> costs(reference.costs());
+    return CoverMatrix::from_rows(reference.num_cols(), std::move(out_rows),
+                                  std::move(costs));
+}
+
+ImplicitDominanceResult implicit_row_dominance(const CoverMatrix& m) {
+    ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols());
+    const Zdd rows = rows_as_zdd(mgr, m);
+    const Zdd minimal = mgr.minimal(rows);
+    ImplicitDominanceResult out{zdd_to_rows(mgr, minimal, m), m.num_rows(),
+                                static_cast<std::size_t>(minimal.count())};
+    return out;
+}
+
+ImplicitColumnDominanceResult implicit_column_dominance(const CoverMatrix& m) {
+    for (Index j = 0; j < m.num_cols(); ++j)
+        UCP_REQUIRE(m.cost(j) == 1,
+                    "implicit column dominance requires unit costs");
+
+    // Encode columns as row sets (transpose) and keep the maximal family.
+    ZddManager mgr(m.num_rows() == 0 ? 1 : m.num_rows());
+    Zdd family = mgr.empty();
+    std::vector<Zdd> col_sets;
+    col_sets.reserve(m.num_cols());
+    for (Index j = 0; j < m.num_cols(); ++j) {
+        std::vector<Var> rows(m.col(j).begin(), m.col(j).end());
+        col_sets.push_back(mgr.set_of(rows));
+        family = mgr.union_(family, col_sets.back());
+    }
+    const Zdd maximal = mgr.maximal(family);
+
+    // A column survives iff its row set is in the maximal family; duplicate
+    // survivors keep the lowest index.
+    std::vector<bool> keep(m.num_cols(), false);
+    std::unordered_map<NodeId, Index> first_with_set;
+    for (Index j = 0; j < m.num_cols(); ++j) {
+        const Zdd present = mgr.intersect(maximal, col_sets[j]);
+        if (present.id() != col_sets[j].id()) continue;  // strictly dominated
+        const auto [it, inserted] = first_with_set.emplace(col_sets[j].id(), j);
+        if (inserted) keep[j] = true;  // duplicates after the first are dropped
+    }
+
+    ImplicitColumnDominanceResult out;
+    std::vector<bool> remove(m.num_cols(), false);
+    for (Index j = 0; j < m.num_cols(); ++j) {
+        remove[j] = !keep[j];
+        if (!keep[j]) ++out.cols_removed;
+    }
+    const bool ok = cov::strip_columns(m, remove, out.matrix, out.col_map);
+    UCP_ASSERT(ok);  // dominated columns always have surviving dominators
+    return out;
+}
+
+namespace {
+
+/// Memoised recursion over the top column variable: a minimal cover either
+/// takes the column (discharging every row that contains it) or rejects it
+/// (every row loses that option). Row dominance (minimal) is applied to the
+/// sub-families both for canonical memo keys and to keep them small.
+class CoverEnumerator {
+public:
+    CoverEnumerator(ZddManager& mgr, std::size_t node_guard)
+        : mgr_(mgr), node_guard_(node_guard) {}
+
+    Zdd run(const Zdd& rows) { return mgr_.handle(covers(rows.id())); }
+
+private:
+    NodeId covers(NodeId rows) {
+        if (rows == zdd::kEmpty) return zdd::kBase;  // no constraints
+        // A row with no remaining columns: infeasible branch.
+        if (!mgr_.intersect(mgr_.handle(rows), mgr_.base()).is_empty())
+            return zdd::kEmpty;
+        const auto it = memo_.find(rows);
+        if (it != memo_.end()) return it->second;
+        if (mgr_.live_nodes() > node_guard_)
+            throw std::runtime_error(
+                "minimal_covers: ZDD node guard exceeded — the cover family "
+                "is too large for implicit enumeration");
+
+        const Var v = mgr_.var_of(rows);
+        const Zdd rows_h = mgr_.handle(rows);
+        const Zdd f0 = mgr_.subset0(rows_h, v);   // rows not containing v
+        const Zdd f1 = mgr_.subset1(rows_h, v);   // rows containing v, v gone
+
+        // Take v: rows with v are covered; the rest must still be covered.
+        const Zdd take_sub = mgr_.minimal(f0);
+        const Zdd take = mgr_.handle(covers(take_sub.id()));
+        // Skip v: rows with v lose the option.
+        const Zdd skip_sub = mgr_.minimal(mgr_.union_(f0, f1));
+        const Zdd skip = mgr_.handle(covers(skip_sub.id()));
+
+        // Attach v to the take-branch. take's members use variables > v only
+        // (they come from families whose top variable is > v), so a direct
+        // node keeps the ordering.
+        UCP_ASSERT(take.is_empty() || take.is_base() || mgr_.var_of(take.id()) > v);
+        const Zdd with_v = mgr_.handle(mgr_.make(v, zdd::kEmpty, take.id()));
+        const Zdd result = mgr_.minimal(mgr_.union_(with_v, skip));
+
+        memo_.emplace(rows, result.id());
+        pinned_.push_back(result);  // keep memoised results alive across GC
+        return result.id();
+    }
+
+    ZddManager& mgr_;
+    std::size_t node_guard_;
+    std::unordered_map<NodeId, NodeId> memo_;
+    std::vector<Zdd> pinned_;
+};
+
+}  // namespace
+
+Zdd minimal_covers(ZddManager& mgr, const CoverMatrix& m,
+                   std::size_t node_guard) {
+    UCP_REQUIRE(m.num_cols() <= mgr.num_vars(),
+                "manager needs one variable per column");
+    const Zdd rows = rows_as_zdd(mgr, m);
+    CoverEnumerator e(mgr, node_guard);
+    return e.run(mgr.minimal(rows));
+}
+
+std::optional<BestMember> min_cost_member(const ZddManager& mgr,
+                                          const Zdd& family,
+                                          const std::vector<Cost>& costs) {
+    if (family.is_empty()) return std::nullopt;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    std::unordered_map<NodeId, double> best;
+    const std::function<double(NodeId)> rec = [&](NodeId n) -> double {
+        if (n == zdd::kEmpty) return kInf;
+        if (n == zdd::kBase) return 0.0;
+        const auto it = best.find(n);
+        if (it != best.end()) return it->second;
+        const Var v = mgr.var_of(n);
+        UCP_REQUIRE(v < costs.size(), "cost vector too short for family");
+        const double lo = rec(mgr.lo_of(n));
+        const double hi = rec(mgr.hi_of(n)) + static_cast<double>(costs[v]);
+        const double r = std::min(lo, hi);
+        best.emplace(n, r);
+        return r;
+    };
+    rec(family.id());
+
+    BestMember out;
+    NodeId n = family.id();
+    while (n >= 2) {
+        const Var v = mgr.var_of(n);
+        const double lo = rec(mgr.lo_of(n));
+        const double hi = rec(mgr.hi_of(n)) + static_cast<double>(costs[v]);
+        if (hi < lo) {
+            out.members.push_back(v);
+            out.cost += costs[v];
+            n = mgr.hi_of(n);
+        } else {
+            n = mgr.lo_of(n);
+        }
+    }
+    UCP_ASSERT(n == zdd::kBase);
+    return out;
+}
+
+BestMember implicit_exact_cover(const CoverMatrix& m, std::size_t node_guard) {
+    ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols());
+    const Zdd covers = minimal_covers(mgr, m, node_guard);
+    auto best = min_cost_member(mgr, covers, m.costs());
+    UCP_ASSERT(best.has_value());  // every from_rows matrix is coverable
+    return *best;
+}
+
+}  // namespace ucp::cover

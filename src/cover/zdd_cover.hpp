@@ -1,0 +1,84 @@
+// Fully implicit covering operations on ZDDs (Coudert's implicit UCP
+// machinery [10][12], Knuth-style minimal hitting sets).
+//
+// A covering matrix's rows are encoded as a ZDD family over *column*
+// variables (row = the set of columns covering it). On that representation:
+//
+//   * duplicate rows vanish by canonicity;
+//   * row dominance is exactly the `minimal` operator: a row whose column
+//     set contains another row's is a weaker constraint (paper §2);
+//   * the family of ALL minimal covers (irredundant solutions) is computed
+//     by a memoised branch recursion on the top column variable — this is an
+//     exact implicit solver that never enumerates candidate covers;
+//   * a linear DP over the result ZDD extracts a minimum-cost cover.
+//
+// These complement the explicit reducer (matrix/reductions.hpp): the
+// explicit one scales to big sparse cores, the implicit one demonstrates the
+// paper's "never build the table" theme and doubles as an exact oracle on
+// small cores.
+#pragma once
+
+#include <optional>
+
+#include "matrix/sparse_matrix.hpp"
+#include "zdd/zdd.hpp"
+
+namespace ucp::cover {
+
+/// Encodes the rows of `m` as a ZDD family over column variables.
+/// The manager must have at least m.num_cols() variables.
+zdd::Zdd rows_as_zdd(zdd::ZddManager& mgr, const cov::CoverMatrix& m);
+
+/// Decodes a family of column-sets back into a covering matrix over the same
+/// column universe (costs copied from `reference`).
+cov::CoverMatrix zdd_to_rows(const zdd::ZddManager& mgr, const zdd::Zdd& rows,
+                             const cov::CoverMatrix& reference);
+
+struct ImplicitDominanceResult {
+    cov::CoverMatrix matrix;     ///< rows = minimal rows of the input
+    std::size_t rows_in = 0;
+    std::size_t rows_out = 0;    ///< after duplicate removal + dominance
+};
+
+/// Row dominance computed implicitly: minimal(rows). Semantically equivalent
+/// to the explicit reducer's row-dominance pass (plus duplicate removal).
+ImplicitDominanceResult implicit_row_dominance(const cov::CoverMatrix& m);
+
+struct ImplicitColumnDominanceResult {
+    cov::CoverMatrix matrix;           ///< dominated columns stripped
+    std::vector<cov::Index> col_map;   ///< new col -> original col
+    std::size_t cols_removed = 0;
+};
+
+/// Column dominance computed implicitly for UNIT-cost matrices: encode each
+/// column as its row set, keep the `maximal` family (a column whose row set
+/// is contained in another's is dominated). Duplicate columns keep the
+/// lowest index. Throws for non-uniform costs (cost-aware dominance needs
+/// the explicit reducer).
+ImplicitColumnDominanceResult implicit_column_dominance(
+    const cov::CoverMatrix& m);
+
+/// All minimal covers (irredundant feasible solutions) of `m` as a ZDD
+/// family over column variables. Throws std::runtime_error when the
+/// intermediate families exceed `node_guard` live nodes (the family can be
+/// exponentially large — this is an exact method for small cores).
+zdd::Zdd minimal_covers(zdd::ZddManager& mgr, const cov::CoverMatrix& m,
+                        std::size_t node_guard = 2'000'000);
+
+struct BestMember {
+    std::vector<zdd::Var> members;  ///< chosen column variables
+    cov::Cost cost = 0;
+};
+
+/// Minimum-cost member of a ZDD family (linear DP over the DAG).
+/// Returns nullopt for the empty family. `costs[v]` is the cost of column v.
+std::optional<BestMember> min_cost_member(const zdd::ZddManager& mgr,
+                                          const zdd::Zdd& family,
+                                          const std::vector<cov::Cost>& costs);
+
+/// Convenience: exact minimum-cost cover of `m` through the implicit
+/// pipeline (minimal_covers + min_cost_member).
+BestMember implicit_exact_cover(const cov::CoverMatrix& m,
+                                std::size_t node_guard = 2'000'000);
+
+}  // namespace ucp::cover

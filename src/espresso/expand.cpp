@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <numeric>
+
+#include "espresso/espresso.hpp"
+
+namespace ucp::esp {
+
+using pla::Cover;
+using pla::Cube;
+using pla::CubeSpace;
+using pla::Lit;
+
+std::vector<Cover> compute_offsets(const pla::Pla& pla) {
+    const CubeSpace& s = pla.space();
+    std::vector<Cover> offsets;
+    offsets.reserve(s.num_outputs);
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+        Cover care = pla.on.restricted_to_output(k);
+        care.append(pla.dc.restricted_to_output(k));
+        Cover off = pla::complement(care);
+        off.remove_single_cube_contained();
+        offsets.push_back(std::move(off));
+    }
+    return offsets;
+}
+
+namespace {
+
+/// The off-set cubes blocking a multi-output cube: union of R_k over its
+/// asserted outputs, de-duplicated.
+Cover blocking_offset(const CubeSpace& s, const Cube& c,
+                      const std::vector<Cover>& offsets) {
+    const CubeSpace in_space{s.num_inputs, 0};
+    Cover block(in_space);
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+        if (!c.out(s, k)) continue;
+        block.append(offsets[k]);
+    }
+    block.remove_single_cube_contained();
+    return block;
+}
+
+/// Does the input cube intersect any off-cube?
+bool blocked(const CubeSpace& in_space, const Cube& input, const Cover& off) {
+    for (const auto& r : off)
+        if (input.intersects_inputs(in_space, r)) return true;
+    return false;
+}
+
+}  // namespace
+
+Cover expand(const Cover& f, const std::vector<Cover>& offsets,
+             unsigned order_seed) {
+    const CubeSpace& s = f.space();
+    UCP_REQUIRE(offsets.size() == s.num_outputs, "one off-set per output required");
+    const CubeSpace in_space{s.num_inputs, 0};
+
+    // Process large cubes first so they absorb the small ones.
+    std::vector<std::size_t> order(f.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return f[a].input_literal_count(s) < f[b].input_literal_count(s);
+    });
+
+    Cover out(s);
+    for (const std::size_t idx : order) {
+        const Cube& original = f[idx];
+        // Skip cubes already swallowed by an earlier expansion.
+        bool swallowed = false;
+        for (const auto& done : out)
+            if (done.contains(s, original)) {
+                swallowed = true;
+                break;
+            }
+        if (swallowed) continue;
+
+        const Cover block = blocking_offset(s, original, offsets);
+
+        // Project the input part into the input-only space for the checks.
+        Cube input = Cube::full_inputs(in_space);
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+            input.set_in(in_space, i, original.in(s, i));
+
+        // Literal raising order: by default ascending index; order_seed
+        // rotates the sequence so LAST_GASP explores different primes.
+        std::vector<std::uint32_t> vars;
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+            if (original.in(s, i) != Lit::kDontCare) vars.push_back(i);
+        if (order_seed != 0 && !vars.empty())
+            std::rotate(vars.begin(),
+                        vars.begin() + (order_seed % vars.size()), vars.end());
+
+        for (const std::uint32_t v : vars) {
+            const Lit saved = input.in(in_space, v);
+            input.set_in(in_space, v, Lit::kDontCare);
+            if (blocked(in_space, input, block))
+                input.set_in(in_space, v, saved);  // raise rejected
+        }
+
+        Cube expanded = original;
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+            expanded.set_in(s, i, input.in(in_space, i));
+
+        // Output raising: assert output k when no off-cube of R_k intersects.
+        for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+            if (expanded.out(s, k)) continue;
+            if (!blocked(in_space, input, offsets[k])) expanded.set_out(s, k, true);
+        }
+
+        out.add(std::move(expanded));
+    }
+    out.remove_single_cube_contained();
+    return out;
+}
+
+}  // namespace ucp::esp

@@ -1,0 +1,99 @@
+#include <algorithm>
+#include <numeric>
+
+#include "espresso/espresso.hpp"
+
+namespace ucp::esp {
+
+using pla::Cover;
+using pla::Cube;
+using pla::CubeSpace;
+
+Cover reduce_cover(const Cover& f, const Cover& dc) {
+    const CubeSpace& s = f.space();
+    const CubeSpace in_space{s.num_inputs, 0};
+
+    // Work on a mutable copy: each reduction sees the previously reduced
+    // cubes (the classical sequential REDUCE). Biggest cubes first.
+    std::vector<std::size_t> order(f.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return f[a].input_literal_count(s) < f[b].input_literal_count(s);
+    });
+
+    std::vector<Cube> work;
+    work.reserve(f.size());
+    for (const auto& c : f) work.push_back(c);
+    std::vector<bool> alive(f.size(), true);
+
+    for (const std::size_t idx : order) {
+        const Cube& c = work[idx];
+        Cube c_in = Cube::full_inputs(in_space);
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+            c_in.set_in(in_space, i, c.in(s, i));
+
+        // For each asserted output: the points of c that no other cube (nor
+        // dc) covers. supercube of those points per output; the reduced cube
+        // is their overall supercube; outputs with nothing to cover drop out.
+        Cube reduced = Cube::full_inputs(s);
+        // Start from an empty-input "nothing" marker: build the supercube
+        // incrementally, tracking whether anything was added.
+        bool any_point = false;
+        Cube needed_in = c_in;  // placeholder; replaced on first union
+        bool first = true;
+        for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+            if (!c.out(s, k)) continue;
+            // Q_k: the other alive cubes asserting k, plus dc_k — cofactored
+            // by c so the complement stays small.
+            Cover q(in_space);
+            for (std::size_t i = 0; i < work.size(); ++i) {
+                if (i == idx || !alive[i] || !work[i].out(s, k)) continue;
+                Cube ic = Cube::full_inputs(in_space);
+                for (std::uint32_t v = 0; v < s.num_inputs; ++v)
+                    ic.set_in(in_space, v, work[i].in(s, v));
+                q.add(std::move(ic));
+            }
+            for (const auto& d : dc) {
+                if (!d.out(s, k)) continue;
+                Cube ic = Cube::full_inputs(in_space);
+                for (std::uint32_t v = 0; v < s.num_inputs; ++v)
+                    ic.set_in(in_space, v, d.in(s, v));
+                q.add(std::move(ic));
+            }
+            const Cover comp = pla::complement(pla::cofactor(q, c_in));
+            bool output_needed = false;
+            for (const auto& u : comp) {
+                // u ∩ c = points of c not covered by the rest (for output k).
+                Cube pt = u.intersect(in_space, c_in);
+                if (!pt.inputs_valid(in_space)) continue;
+                output_needed = true;
+                if (first) {
+                    needed_in = pt;
+                    first = false;
+                } else {
+                    needed_in = needed_in.supercube(in_space, pt);
+                }
+            }
+            if (output_needed) {
+                reduced.set_out(s, k, true);
+                any_point = true;
+            }
+        }
+
+        if (!any_point) {
+            alive[idx] = false;  // fully redundant
+            continue;
+        }
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+            reduced.set_in(s, i, needed_in.in(in_space, i));
+        UCP_ASSERT(c.contains(s, reduced));
+        work[idx] = std::move(reduced);
+    }
+
+    Cover out(s);
+    for (std::size_t i = 0; i < work.size(); ++i)
+        if (alive[i]) out.add(std::move(work[i]));
+    return out;
+}
+
+}  // namespace ucp::esp

@@ -1,0 +1,171 @@
+#include "gen/pla_gen.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace ucp::gen {
+
+using pla::Cover;
+using pla::Cube;
+using pla::CubeSpace;
+using pla::Lit;
+using pla::Pla;
+
+namespace {
+
+Pla empty_pla(std::uint32_t n, std::uint32_t m, std::string name) {
+    Pla p;
+    p.name = std::move(name);
+    const CubeSpace s{n, m};
+    p.on = Cover(s);
+    p.dc = Cover(s);
+    p.off = Cover(s);
+    return p;
+}
+
+/// Minterm cube for an assignment given as bits of `value`.
+Cube minterm(const CubeSpace& s, std::uint64_t value) {
+    Cube c = Cube::full_inputs(s);
+    for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+        c.set_in(s, i, ((value >> i) & 1) != 0 ? Lit::kOne : Lit::kZero);
+    return c;
+}
+
+}  // namespace
+
+Pla random_pla(const RandomPlaOptions& opt) {
+    UCP_REQUIRE(opt.num_inputs >= 1 && opt.num_outputs >= 1,
+                "random_pla needs at least one input and output");
+    Rng rng(opt.seed);
+    Pla p = empty_pla(opt.num_inputs, opt.num_outputs,
+                      "random-" + std::to_string(opt.seed));
+    const CubeSpace& s = p.space();
+
+    while (p.on.empty()) {  // regenerate until the on-set is non-empty
+        p.on.clear();
+        p.dc.clear();
+        for (std::uint32_t c = 0; c < opt.num_cubes; ++c) {
+            Cube cube = Cube::full_inputs(s);
+            for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+                if (rng.chance(opt.literal_prob))
+                    cube.set_in(s, i, rng.chance(0.5) ? Lit::kOne : Lit::kZero);
+            }
+            bool any_out = false;
+            for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+                if (rng.chance(opt.output_prob)) {
+                    cube.set_out(s, k, true);
+                    any_out = true;
+                }
+            }
+            if (!any_out)
+                cube.set_out(s, static_cast<std::uint32_t>(
+                                    rng.below(s.num_outputs)),
+                             true);
+            if (rng.chance(opt.dc_fraction))
+                p.dc.add(std::move(cube));
+            else
+                p.on.add(std::move(cube));
+        }
+    }
+    return p;
+}
+
+Pla adder_pla(std::uint32_t bits) {
+    UCP_REQUIRE(bits >= 1 && bits <= 6, "adder_pla supports 1..6 bits");
+    const std::uint32_t n = 2 * bits;
+    const std::uint32_t m = bits + 1;
+    Pla p = empty_pla(n, m, "adder" + std::to_string(bits));
+    const CubeSpace& s = p.space();
+    for (std::uint64_t v = 0; v < (1ULL << n); ++v) {
+        const std::uint64_t a = v & ((1ULL << bits) - 1);
+        const std::uint64_t b = v >> bits;
+        const std::uint64_t sum = a + b;
+        Cube c = minterm(s, v);
+        bool any = false;
+        for (std::uint32_t k = 0; k < m; ++k) {
+            if ((sum >> k) & 1) {
+                c.set_out(s, k, true);
+                any = true;
+            }
+        }
+        if (any) p.on.add(std::move(c));
+    }
+    return p;
+}
+
+Pla mux_pla(std::uint32_t sel_bits) {
+    UCP_REQUIRE(sel_bits >= 1 && sel_bits <= 4, "mux_pla supports 1..4 select bits");
+    const std::uint32_t data = 1u << sel_bits;
+    const std::uint32_t n = sel_bits + data;
+    Pla p = empty_pla(n, 1, "mux" + std::to_string(data));
+    const CubeSpace& s = p.space();
+    for (std::uint32_t sel = 0; sel < data; ++sel) {
+        Cube c = Cube::full_inputs(s);
+        for (std::uint32_t b = 0; b < sel_bits; ++b)
+            c.set_in(s, b, ((sel >> b) & 1) != 0 ? Lit::kOne : Lit::kZero);
+        c.set_in(s, sel_bits + sel, Lit::kOne);
+        c.set_out(s, 0, true);
+        p.on.add(std::move(c));
+    }
+    return p;
+}
+
+Pla majority_pla(std::uint32_t n) {
+    UCP_REQUIRE(n >= 3 && n <= 15, "majority_pla supports 3..15 inputs");
+    Pla p = empty_pla(n, 1, "maj" + std::to_string(n));
+    const CubeSpace& s = p.space();
+    for (std::uint64_t v = 0; v < (1ULL << n); ++v) {
+        if (2 * static_cast<std::uint32_t>(std::popcount(v)) <= n) continue;
+        Cube c = minterm(s, v);
+        c.set_out(s, 0, true);
+        p.on.add(std::move(c));
+    }
+    return p;
+}
+
+Pla parity_pla(std::uint32_t n) {
+    UCP_REQUIRE(n >= 2 && n <= 15, "parity_pla supports 2..15 inputs");
+    Pla p = empty_pla(n, 1, "parity" + std::to_string(n));
+    const CubeSpace& s = p.space();
+    for (std::uint64_t v = 0; v < (1ULL << n); ++v) {
+        if ((std::popcount(v) & 1) == 0) continue;
+        Cube c = minterm(s, v);
+        c.set_out(s, 0, true);
+        p.on.add(std::move(c));
+    }
+    return p;
+}
+
+Pla interval_pla(std::uint32_t n, std::uint32_t num_outputs) {
+    UCP_REQUIRE(n >= 2 && n <= 16, "interval_pla supports 2..16 inputs");
+    UCP_REQUIRE(num_outputs >= 1, "at least one output required");
+    Pla p = empty_pla(n, num_outputs,
+                      "cmp" + std::to_string(n) + "x" + std::to_string(num_outputs));
+    const CubeSpace& s = p.space();
+    const std::uint64_t range = 1ULL << n;
+
+    // Output k: value ≥ threshold_k. Emitted as interval cubes (binary
+    // decomposition of [t, 2^n)), not minterms, to keep the cover compact.
+    for (std::uint32_t k = 0; k < num_outputs; ++k) {
+        const std::uint64_t threshold = (range * (k + 1)) / (num_outputs + 1);
+        // Decompose [threshold, range) into maximal aligned cubes.
+        std::uint64_t lo = threshold;
+        while (lo < range) {
+            // Largest power-of-two block starting at lo that fits.
+            std::uint32_t size_log = 0;
+            while (size_log < n && (lo & ((2ULL << size_log) - 1)) == 0 &&
+                   lo + (2ULL << size_log) <= range)
+                ++size_log;
+            Cube c = Cube::full_inputs(s);
+            for (std::uint32_t b = size_log; b < n; ++b)
+                c.set_in(s, b, ((lo >> b) & 1) != 0 ? Lit::kOne : Lit::kZero);
+            c.set_out(s, k, true);
+            p.on.add(std::move(c));
+            lo += 1ULL << size_log;
+        }
+    }
+    return p;
+}
+
+}  // namespace ucp::gen

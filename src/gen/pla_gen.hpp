@@ -1,0 +1,47 @@
+// Synthetic PLA generators — the stand-ins for the Berkeley PLA benchmark
+// tapes (see DESIGN.md §2). Families:
+//   * random_pla     — random cubes with tunable literal density, output
+//                      density and don't-care fraction (the main knob set);
+//   * adder_pla      — n-bit adder (arithmetic flavour, à la max1024);
+//   * mux_pla        — 2^k-way multiplexer (control-dominated, à la shift);
+//   * majority_pla   — majority function (huge prime count per input count);
+//   * parity_pla     — parity (all primes essential: empty cyclic core);
+//   * interval_pla   — threshold/comparator functions (dense cyclic cores).
+// All generators are deterministic in their parameters and seed.
+#pragma once
+
+#include <cstdint>
+
+#include "pla/pla_io.hpp"
+
+namespace ucp::gen {
+
+struct RandomPlaOptions {
+    std::uint32_t num_inputs = 8;
+    std::uint32_t num_outputs = 1;
+    std::uint32_t num_cubes = 20;
+    double literal_prob = 0.6;   ///< probability an input is bound in a cube
+    double output_prob = 0.6;    ///< probability an output is asserted
+    double dc_fraction = 0.15;   ///< fraction of cubes going to the DC plane
+    std::uint64_t seed = 1;
+};
+
+pla::Pla random_pla(const RandomPlaOptions& opt);
+
+/// bits-bit adder: 2·bits inputs, bits+1 outputs (sum + carry).
+pla::Pla adder_pla(std::uint32_t bits);
+
+/// 2^sel_bits-way multiplexer: sel_bits + 2^sel_bits inputs, 1 output.
+pla::Pla mux_pla(std::uint32_t sel_bits);
+
+/// Majority of n inputs (n odd recommended), 1 output.
+pla::Pla majority_pla(std::uint32_t n);
+
+/// Parity of n inputs, 1 output. All primes are essential minterms.
+pla::Pla parity_pla(std::uint32_t n);
+
+/// Comparator: output k asserted when the n-bit input value is ≥ threshold_k,
+/// thresholds spread over the range. Produces overlapping interval structure.
+pla::Pla interval_pla(std::uint32_t n, std::uint32_t num_outputs);
+
+}  // namespace ucp::gen

@@ -1,0 +1,124 @@
+#include "gen/scp_gen.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace ucp::gen {
+
+using cov::Cost;
+using cov::CoverMatrix;
+using cov::Index;
+
+CoverMatrix random_scp(const RandomScpOptions& opt) {
+    UCP_REQUIRE(opt.rows >= 1 && opt.cols >= 2, "need at least 1 row / 2 cols");
+    UCP_REQUIRE(opt.min_cost >= 1 && opt.max_cost >= opt.min_cost,
+                "bad cost range");
+    Rng rng(opt.seed);
+
+    std::vector<std::vector<Index>> rows(opt.rows);
+    for (Index i = 0; i < opt.rows; ++i) {
+        for (Index j = 0; j < opt.cols; ++j)
+            if (rng.chance(opt.density)) rows[i].push_back(j);
+        // Repair: every row needs ≥ 2 columns so essentiality is not forced
+        // by construction.
+        while (rows[i].size() < 2) {
+            const Index j = static_cast<Index>(rng.below(opt.cols));
+            bool present = false;
+            for (const Index x : rows[i])
+                if (x == j) present = true;
+            if (!present) rows[i].push_back(j);
+        }
+    }
+    std::vector<Cost> costs(opt.cols);
+    for (auto& c : costs) c = rng.between(opt.min_cost, opt.max_cost);
+    return CoverMatrix::from_rows(opt.cols, std::move(rows), std::move(costs));
+}
+
+CoverMatrix cyclic_matrix(Index n, Index k) {
+    UCP_REQUIRE(n >= 3 && k >= 2 && k < n, "need n ≥ 3, 2 ≤ k < n");
+    std::vector<std::vector<Index>> rows(n);
+    for (Index i = 0; i < n; ++i)
+        for (Index d = 0; d < k; ++d) rows[i].push_back((i + d) % n);
+    return CoverMatrix::from_rows(n, std::move(rows));
+}
+
+bcp::BcpMatrix random_bcp(const RandomBcpOptions& opt) {
+    UCP_REQUIRE(opt.rows >= 1 && opt.cols >= 2, "need at least 1 row / 2 cols");
+    Rng rng(opt.seed);
+    const double lit_prob =
+        std::min(1.0, opt.literals_per_row / static_cast<double>(opt.cols));
+    std::vector<std::vector<bcp::Literal>> rows(opt.rows);
+    for (Index i = 0; i < opt.rows; ++i) {
+        for (Index j = 0; j < opt.cols; ++j)
+            if (rng.chance(lit_prob))
+                rows[i].push_back({j, !rng.chance(opt.negative_fraction)});
+        while (rows[i].size() < 2) {
+            const Index j = static_cast<Index>(rng.below(opt.cols));
+            bool present = false;
+            for (const auto& l : rows[i]) present |= l.col == j;
+            if (!present)
+                rows[i].push_back({j, !rng.chance(opt.negative_fraction)});
+        }
+    }
+    std::vector<Cost> costs(opt.cols);
+    for (auto& c : costs) c = rng.between(opt.min_cost, opt.max_cost);
+    return bcp::BcpMatrix::from_rows(opt.cols, std::move(rows),
+                                     std::move(costs));
+}
+
+CoverMatrix steiner_cover(int dim) {
+    UCP_REQUIRE(dim == 2 || dim == 3, "steiner_cover supports dim 2 or 3");
+    const int n = dim == 2 ? 9 : 27;
+
+    // Points are vectors of F_3^dim encoded in base 3. A line through p with
+    // direction d ≠ 0 is {p, p+d, p+2d}; collect each once.
+    const auto add_mod3 = [dim](int a, int b) {
+        int out = 0, mul = 1;
+        for (int t = 0; t < dim; ++t) {
+            out += ((a % 3 + b % 3) % 3) * mul;
+            a /= 3;
+            b /= 3;
+            mul *= 3;
+        }
+        return out;
+    };
+
+    std::vector<std::vector<Index>> lines;
+    std::vector<bool> seen(static_cast<std::size_t>(n) * n * n, false);
+    for (int p = 0; p < n; ++p) {
+        for (int d = 1; d < n; ++d) {
+            int a = p, b = add_mod3(p, d), c = add_mod3(b, d);
+            int lo = std::min({a, b, c});
+            int hi = std::max({a, b, c});
+            int mid = a + b + c - lo - hi;
+            const std::size_t key =
+                (static_cast<std::size_t>(lo) * n + mid) * n + hi;
+            if (seen[key]) continue;
+            seen[key] = true;
+            lines.push_back({static_cast<Index>(lo), static_cast<Index>(mid),
+                             static_cast<Index>(hi)});
+        }
+    }
+    return CoverMatrix::from_rows(static_cast<Index>(n), std::move(lines));
+}
+
+CoverMatrix mis_vs_dual_example() {
+    // Rows r1..r4; columns: four private unit-cost columns and one cost-2
+    // column covering everything. Every row intersects every other through
+    // column 4, so the best independent set is a single row and LB_MIS = 1.
+    // The dual solution m = (0,0,1,1) is feasible with value 2 = LP = IP.
+    return CoverMatrix::from_rows(
+        5,
+        {{0, 4}, {1, 4}, {2, 4}, {3, 4}},
+        {1, 1, 1, 1, 2});
+}
+
+CoverMatrix dual_vs_lp_example() {
+    // Odd 3-cycle with costs (1, 2, 2): both MIS and dual ascent reach 2,
+    // the LP optimum is p = (½,½,½) of value 2.5, raised to 3 for integer
+    // costs — and 3 is the integer optimum.
+    return CoverMatrix::from_rows(3, {{0, 1}, {1, 2}, {0, 2}}, {1, 2, 2});
+}
+
+}  // namespace ucp::gen

@@ -1,0 +1,59 @@
+// Generators of raw unate-covering matrices: random (Beasley-style density /
+// cost control) and structured families with known cyclic cores, used by the
+// bound-comparison and ablation experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "bcp/bcp.hpp"
+#include "matrix/sparse_matrix.hpp"
+
+namespace ucp::gen {
+
+struct RandomScpOptions {
+    cov::Index rows = 50;
+    cov::Index cols = 100;
+    double density = 0.06;     ///< per-entry probability
+    cov::Cost min_cost = 1;
+    cov::Cost max_cost = 1;    ///< = min_cost gives the uniform (VLSI) case
+    std::uint64_t seed = 1;
+};
+
+/// Random covering matrix. Every row is guaranteed ≥ 2 entries (density plus
+/// repair); isolated columns are allowed (reductions remove them).
+cov::CoverMatrix random_scp(const RandomScpOptions& opt);
+
+/// Circulant matrix C(n, k): row i is covered by columns {i, …, i+k−1 mod n},
+/// unit costs. Its LP bound n/k is fractional when k ∤ n; there are no
+/// essential columns and no dominance — the matrix IS its cyclic core.
+cov::CoverMatrix cyclic_matrix(cov::Index n, cov::Index k);
+
+struct RandomBcpOptions {
+    cov::Index rows = 30;
+    cov::Index cols = 20;
+    double literals_per_row = 3.0;  ///< expected clause length
+    double negative_fraction = 0.3; ///< probability a literal is negated
+    cov::Cost min_cost = 1;
+    cov::Cost max_cost = 1;
+    std::uint64_t seed = 1;
+};
+
+/// Random binate covering instance (possibly infeasible).
+bcp::BcpMatrix random_bcp(const RandomBcpOptions& opt);
+
+/// Steiner-triple covering instance over the affine space F_3^dim
+/// (dim = 2 → the classic STS(9) with 9 columns / 12 rows, dim = 3 →
+/// STS(27) with 27 columns / 117 rows): every line {p, p+d, p+2d} must be
+/// hit by a chosen point. Unit costs. These have a large LP–IP gap
+/// (LP = 3^dim / 3, IP = 5 for STS(9), 18 for STS(27)) and empty cyclic-core
+/// reductions — the canonical family where bounds cannot prove optimality.
+cov::CoverMatrix steiner_cover(int dim);
+
+/// The two hand-built examples for the §3.4 bound-separation experiment
+/// (stand-ins for the paper's Figure 1, whose drawing is not in the text):
+/// * mis_vs_dual_example: LB_MIS = 1 < LB_DA = 2 (= LP = IP);
+cov::CoverMatrix mis_vs_dual_example();
+/// * dual_vs_lp_example: LB_MIS = LB_DA = 2 < LB_LP = 2.5 → ⌈·⌉ = 3 = IP.
+cov::CoverMatrix dual_vs_lp_example();
+
+}  // namespace ucp::gen

@@ -1,0 +1,40 @@
+// The benchmark suites: named synthetic stand-ins for the paper's Berkeley
+// PLA categories (DESIGN.md §2 documents the substitution). Instance names
+// follow the paper's tables so the bench output lines up row-for-row:
+//   * easy_cyclic_suite()      — 49 instances (the paper's "easy cyclic");
+//   * difficult_cyclic_suite() — bench1, ex5, exam, max1024, prom2, t1, test4;
+//   * challenging_suite()      — ex1010, ex4, ibm, jbp, misg, mish, misj,
+//                                pdc, shift, soar.pla, test2, test3, ti,
+//                                ts10, x2dn, xparc.
+// Each instance is deterministic (fixed generator + seed) and sized for
+// laptop-scale runs; the categories preserve the structural property that
+// made the originals interesting (see the per-family comments).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pla/pla_io.hpp"
+
+namespace ucp::gen {
+
+struct SuiteEntry {
+    std::string name;
+    pla::Pla pla;
+};
+
+/// 49 small instances whose cyclic cores are solvable exactly in milliseconds.
+std::vector<SuiteEntry> easy_cyclic_suite();
+
+/// 7 instances with dense, non-trivial cyclic cores where plain greedy loses
+/// several products (the paper's Table 1 / Table 3 rows).
+std::vector<SuiteEntry> difficult_cyclic_suite();
+
+/// 16 instances with large prime counts relative to their size
+/// (the paper's Table 2 / Table 4 rows).
+std::vector<SuiteEntry> challenging_suite();
+
+/// Looks an instance up by name across all three suites; throws if unknown.
+pla::Pla instance_by_name(const std::string& name);
+
+}  // namespace ucp::gen

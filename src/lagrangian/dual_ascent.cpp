@@ -1,0 +1,137 @@
+#include "lagrangian/dual_ascent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ucp::lagr {
+
+using cov::CoverMatrix;
+using cov::Index;
+
+DualAscentResult dual_ascent(const CoverMatrix& a,
+                             const std::vector<double>& warm_start,
+                             const std::vector<double>& cost_override) {
+    const Index R = a.num_rows();
+    const Index C = a.num_cols();
+
+    std::vector<double> cost(C);
+    if (cost_override.empty()) {
+        for (Index j = 0; j < C; ++j) cost[j] = static_cast<double>(a.cost(j));
+    } else {
+        UCP_REQUIRE(cost_override.size() == C, "cost override size mismatch");
+        cost = cost_override;
+    }
+
+    // c̄_i = min over columns covering row i (∞-cost columns are ignored).
+    std::vector<double> cbar(R, std::numeric_limits<double>::infinity());
+    for (Index i = 0; i < R; ++i)
+        for (const Index j : a.row(i)) cbar[i] = std::min(cbar[i], cost[j]);
+    for (Index i = 0; i < R; ++i) {
+        // A row coverable only by +∞-cost columns makes the dual unbounded
+        // (the primal with those columns forbidden is infeasible); a huge
+        // finite value propagates the right conclusion to the penalty tests.
+        if (!std::isfinite(cbar[i])) cbar[i] = 1e18;
+    }
+
+    std::vector<double> m(R);
+    if (warm_start.empty()) {
+        m = cbar;
+    } else {
+        UCP_REQUIRE(warm_start.size() == R, "warm start size mismatch");
+        for (Index i = 0; i < R; ++i)
+            m[i] = std::clamp(warm_start[i], 0.0, cbar[i]);
+    }
+
+    // Column loads: Σ_i a_ij m_i.
+    std::vector<double> load(C, 0.0);
+    for (Index i = 0; i < R; ++i)
+        for (const Index j : a.row(i)) load[j] += m[i];
+
+    // ---- phase 1: decrease until A'm ≤ c, most-covered rows first -----------
+    std::vector<Index> order(R);
+    std::iota(order.begin(), order.end(), Index{0});
+    std::stable_sort(order.begin(), order.end(), [&](Index x, Index y) {
+        return a.row(x).size() > a.row(y).size();
+    });
+    for (const Index i : order) {
+        if (m[i] <= 0.0) continue;
+        double worst = 0.0;
+        for (const Index j : a.row(i)) {
+            if (!std::isfinite(cost[j])) continue;  // relaxed constraint
+            worst = std::max(worst, load[j] - cost[j]);
+        }
+        if (worst > 0.0) {
+            const double dec = std::min(m[i], worst);
+            m[i] -= dec;
+            for (const Index j : a.row(i)) load[j] -= dec;
+        }
+    }
+    // Phase 1 guarantees: every column containing a still-positive variable is
+    // satisfied; a final sweep handles rounding slack.
+    // ---- phase 2: increase in increasing occurrence order ---------------------
+    std::stable_sort(order.begin(), order.end(), [&](Index x, Index y) {
+        return a.row(x).size() < a.row(y).size();
+    });
+    for (const Index i : order) {
+        double slack = cbar[i] - m[i];  // respect the m ≤ c̄ box
+        for (const Index j : a.row(i)) {
+            if (!std::isfinite(cost[j])) continue;
+            slack = std::min(slack, cost[j] - load[j]);
+        }
+        if (slack > 1e-12) {
+            m[i] += slack;
+            for (const Index j : a.row(i)) load[j] += slack;
+        }
+    }
+
+    DualAscentResult out;
+    out.m = std::move(m);
+    out.value = std::accumulate(out.m.begin(), out.m.end(), 0.0);
+    return out;
+}
+
+MisResult mis_lower_bound(const CoverMatrix& a) {
+    const Index R = a.num_rows();
+
+    // Cheapest covering column per row; rows with expensive cheap-cover and
+    // low connectivity make good independent-set members.
+    std::vector<cov::Cost> cheapest(R);
+    for (Index i = 0; i < R; ++i) {
+        cov::Cost c = std::numeric_limits<cov::Cost>::max();
+        for (const Index j : a.row(i)) c = std::min(c, a.cost(j));
+        cheapest[i] = c;
+    }
+    // Row degree in the intersection graph ≈ Σ over its columns of column size.
+    std::vector<std::size_t> weight(R, 0);
+    for (Index i = 0; i < R; ++i)
+        for (const Index j : a.row(i)) weight[i] += a.col(j).size();
+
+    std::vector<Index> order(R);
+    std::iota(order.begin(), order.end(), Index{0});
+    std::stable_sort(order.begin(), order.end(), [&](Index x, Index y) {
+        // Prefer high bound contribution, then low connectivity.
+        const double sx = static_cast<double>(cheapest[x]) / static_cast<double>(weight[x]);
+        const double sy = static_cast<double>(cheapest[y]) / static_cast<double>(weight[y]);
+        return sx > sy;
+    });
+
+    MisResult out;
+    std::vector<bool> col_blocked(a.num_cols(), false);
+    for (const Index i : order) {
+        bool independent = true;
+        for (const Index j : a.row(i))
+            if (col_blocked[j]) {
+                independent = false;
+                break;
+            }
+        if (!independent) continue;
+        out.rows.push_back(i);
+        out.bound += cheapest[i];
+        for (const Index j : a.row(i)) col_blocked[j] = true;
+    }
+    return out;
+}
+
+}  // namespace ucp::lagr

@@ -1,0 +1,41 @@
+// Dual-ascent heuristic for the LP dual of unate covering (paper §3.5):
+//
+//   (D)  max e'm   s.t.  A'm ≤ c,  0 ≤ m ≤ c̄,   c̄_i = min_{j: a_ij=1} c_j
+//
+// Phase 1 starts from m_i = c̄_i (individually maximal) and decreases the
+// variables — most-covered rows first — until every dual constraint holds.
+// Phase 2 re-increases them in increasing occurrence order while keeping
+// feasibility. Any feasible m yields the lower bound w(m) = Σ m_i ≤ z*_P and
+// is a valid Lagrangian multiplier vector (paper §3.3); with uniform costs
+// the result is equivalent to a maximal-independent-set bound (Prop. 1).
+#pragma once
+
+#include <vector>
+
+#include "matrix/sparse_matrix.hpp"
+
+namespace ucp::lagr {
+
+struct DualAscentResult {
+    std::vector<double> m;  ///< dual-feasible solution, one value per row
+    double value = 0.0;     ///< w(m) = Σ m_i, a lower bound on z*_P
+};
+
+/// Runs the two-phase dual ascent. If `warm_start` is non-empty it replaces
+/// the m_i = c̄_i initialisation (it need not be feasible; phase 1 repairs it).
+/// `cost_override` (optional, same size as columns) replaces the cost vector —
+/// used by the dual penalty tests which probe c_j = 0 / c_j = +∞.
+DualAscentResult dual_ascent(const cov::CoverMatrix& a,
+                             const std::vector<double>& warm_start = {},
+                             const std::vector<double>& cost_override = {});
+
+/// Classical maximal-independent-set lower bound (greedy MIS on the row
+/// intersection graph, rows sorted by cheapest-covering-column cost then by
+/// degree). Returned as the bound value plus the chosen row set.
+struct MisResult {
+    std::vector<cov::Index> rows;
+    cov::Cost bound = 0;
+};
+MisResult mis_lower_bound(const cov::CoverMatrix& a);
+
+}  // namespace ucp::lagr

@@ -1,0 +1,108 @@
+#include "lagrangian/greedy_heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ucp::lagr {
+
+using cov::CoverMatrix;
+using cov::Index;
+
+namespace {
+
+double score(GreedyVariant variant, double ctilde, double nj, double weighted_nj) {
+    // All variants: smaller is better. c̃ may be ≤ 0 (those columns are very
+    // attractive); the division keeps the sign, so a more-covering negative
+    // column wins — except we must make the denominator effect monotone:
+    // dividing a negative cost by a larger n_j makes it *less* negative.
+    // Following Balas–Ho [1] and the paper, non-positive reduced costs are
+    // clamped to a small positive epsilon so the coverage term drives the
+    // choice; the truly-negative columns were already taken by the caller.
+    const double c = std::max(ctilde, 1e-9);
+    switch (variant) {
+        case GreedyVariant::kCostOverRows:
+            return c / nj;
+        case GreedyVariant::kCostOverLog:
+            return c / std::log2(nj + 1.0);
+        case GreedyVariant::kCostOverRowsLog:
+            return c / (nj * std::log2(nj + 1.0));
+        case GreedyVariant::kCoverageWeighted:
+            return c / weighted_nj;
+    }
+    return c / nj;
+}
+
+}  // namespace
+
+std::vector<Index> lagrangian_greedy(const CoverMatrix& a,
+                                     const std::vector<double>& ctilde,
+                                     GreedyVariant variant,
+                                     const std::vector<Index>& forced) {
+    const Index R = a.num_rows();
+    const Index C = a.num_cols();
+    UCP_REQUIRE(ctilde.size() == C, "lagrangian cost size mismatch");
+
+    std::vector<bool> covered(R, false);
+    std::vector<bool> selected(C, false);
+    Index uncovered = R;
+
+    auto take = [&](Index j) {
+        if (selected[j]) return;
+        selected[j] = true;
+        for (const Index i : a.col(j)) {
+            if (!covered[i]) {
+                covered[i] = true;
+                --uncovered;
+            }
+        }
+    };
+
+    for (const Index j : forced) take(j);
+    // Lagrangian solution: all columns with non-positive Lagrangian cost.
+    for (Index j = 0; j < C; ++j)
+        if (ctilde[j] <= 0.0) take(j);
+
+    // Row weights for γ4: 1 / (|cover set| − 1); essential rows get a huge
+    // weight so their column is taken immediately.
+    std::vector<double> row_weight(R, 0.0);
+    if (variant == GreedyVariant::kCoverageWeighted) {
+        for (Index i = 0; i < R; ++i) {
+            const std::size_t k = a.row(i).size();
+            row_weight[i] = k <= 1 ? 1e9 : 1.0 / static_cast<double>(k - 1);
+        }
+    }
+
+    while (uncovered > 0) {
+        Index best = C;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (Index j = 0; j < C; ++j) {
+            if (selected[j]) continue;
+            Index nj = 0;
+            double wj = 0.0;
+            for (const Index i : a.col(j)) {
+                if (!covered[i]) {
+                    ++nj;
+                    if (variant == GreedyVariant::kCoverageWeighted)
+                        wj += row_weight[i];
+                }
+            }
+            if (nj == 0) continue;
+            const double s =
+                score(variant, ctilde[j], static_cast<double>(nj), wj);
+            if (s < best_score) {
+                best_score = s;
+                best = j;
+            }
+        }
+        UCP_ASSERT(best < C);  // some column must cover an uncovered row
+        take(best);
+    }
+
+    std::vector<Index> solution;
+    for (Index j = 0; j < C; ++j)
+        if (selected[j]) solution.push_back(j);
+    return a.make_irredundant(std::move(solution));
+}
+
+}  // namespace ucp::lagr

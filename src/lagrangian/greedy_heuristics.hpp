@@ -1,0 +1,41 @@
+// Primal Lagrangian greedy heuristics (paper §3.5).
+//
+// Starting from the (generally infeasible) Lagrangian solution — every column
+// with non-positive Lagrangian cost c̃_j — columns are added one at a time
+// until all rows are covered; the column chosen minimises a score γ_j that
+// combines c̃_j with the number n_j of still-uncovered rows it covers. Four
+// variants are implemented, matching the paper:
+//
+//   γ1: c̃_j / n_j
+//   γ2: c̃_j / log2(n_j + 1)
+//   γ3: c̃_j / (n_j · log2(n_j + 1))
+//   γ4: c̃_j / Σ_{uncovered m covered by j} 1 / (|{p : m R p}| − 1)
+//       (rows covered by few columns weigh more, Coudert [10])
+//
+// The result is finally made irredundant against the *original* costs.
+#pragma once
+
+#include <vector>
+
+#include "matrix/sparse_matrix.hpp"
+
+namespace ucp::lagr {
+
+enum class GreedyVariant : int {
+    kCostOverRows = 0,     ///< γ1
+    kCostOverLog = 1,      ///< γ2
+    kCostOverRowsLog = 2,  ///< γ3
+    kCoverageWeighted = 3, ///< γ4
+};
+inline constexpr int kNumGreedyVariants = 4;
+
+/// Builds a feasible solution guided by the Lagrangian costs `ctilde`
+/// (size = columns; pass the original costs to get the classical Chvátal
+/// greedy). Columns listed in `forced` are taken unconditionally first.
+/// Returns an irredundant feasible solution (original-cost irredundancy).
+std::vector<cov::Index> lagrangian_greedy(const cov::CoverMatrix& a,
+                                          const std::vector<double>& ctilde,
+                                          GreedyVariant variant,
+                                          const std::vector<cov::Index>& forced = {});
+
+}  // namespace ucp::lagr

@@ -1,0 +1,94 @@
+#include "lagrangian/penalties.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "lagrangian/dual_ascent.hpp"
+
+namespace ucp::lagr {
+
+using cov::Cost;
+using cov::CoverMatrix;
+using cov::Index;
+
+namespace {
+
+double effective_bound(double v, bool integer_costs) {
+    return integer_costs ? std::ceil(v - 1e-6) : v;
+}
+
+}  // namespace
+
+PenaltyResult lagrangian_penalties(const CoverMatrix& a,
+                                   const std::vector<double>& ctilde, double z_lp,
+                                   Cost z_best, bool integer_costs) {
+    UCP_REQUIRE(ctilde.size() == a.num_cols(), "ctilde size mismatch");
+    PenaltyResult out;
+    const auto zb = static_cast<double>(z_best);
+    for (Index j = 0; j < a.num_cols(); ++j) {
+        if (ctilde[j] <= 0.0) {
+            // (3): forcing p_j = 0 costs at least z_LP − c̃_j.
+            if (effective_bound(z_lp - ctilde[j], integer_costs) >= zb)
+                out.fix_to_one.push_back(j);
+        } else {
+            // (4): forcing p_j = 1 costs at least z_LP + c̃_j.
+            if (effective_bound(z_lp + ctilde[j], integer_costs) >= zb)
+                out.fix_to_zero.push_back(j);
+        }
+    }
+    return out;
+}
+
+PenaltyResult dual_penalties(const CoverMatrix& a, Cost z_best,
+                             const std::vector<double>& warm,
+                             std::size_t max_cols, bool integer_costs) {
+    PenaltyResult out;
+    const Index C = a.num_cols();
+    if (C > max_cols) return out;  // paper: skipped when too many columns
+
+    const auto zb = static_cast<double>(z_best);
+    std::vector<double> cost(C);
+    for (Index j = 0; j < C; ++j) cost[j] = static_cast<double>(a.cost(j));
+
+    for (Index j = 0; j < C; ++j) {
+        // (5): relax constraint j (c_j = +∞). If even then the dual bound
+        // reaches z_best, no improving solution omits column j.
+        {
+            std::vector<double> c5 = cost;
+            c5[j] = std::numeric_limits<double>::infinity();
+            const double w = dual_ascent(a, warm, c5).value;
+            if (effective_bound(w, integer_costs) >= zb) {
+                out.fix_to_one.push_back(j);
+                continue;
+            }
+        }
+        // (6): take column j for free (c_j = 0) and pay c_j: if the dual bound
+        // of the remainder plus c_j reaches z_best, no improving solution
+        // includes column j.
+        {
+            std::vector<double> c6 = cost;
+            c6[j] = 0.0;
+            const double w = dual_ascent(a, warm, c6).value + cost[j];
+            if (effective_bound(w, integer_costs) >= zb)
+                out.fix_to_zero.push_back(j);
+        }
+    }
+    return out;
+}
+
+std::vector<Index> limit_bound_removals(const CoverMatrix& a,
+                                        const std::vector<Index>& mis_rows,
+                                        Cost lb_mis, Cost z_best) {
+    std::vector<bool> in_mis_cols(a.num_cols(), false);
+    for (const Index i : mis_rows)
+        for (const Index j : a.row(i)) in_mis_cols[j] = true;
+
+    std::vector<Index> removed;
+    for (Index j = 0; j < a.num_cols(); ++j) {
+        if (in_mis_cols[j]) continue;  // covers an element of the MIS
+        if (lb_mis + a.cost(j) >= z_best) removed.push_back(j);
+    }
+    return removed;
+}
+
+}  // namespace ucp::lagr

@@ -1,0 +1,237 @@
+#include "lagrangian/subgradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lagrangian/dual_ascent.hpp"
+
+namespace ucp::lagr {
+
+using cov::Cost;
+using cov::CoverMatrix;
+using cov::Index;
+
+namespace {
+
+/// z_LP(λ) and the Lagrangian costs / solution for a given λ.
+struct LagrangianEval {
+    double z = 0.0;
+    std::vector<double> ctilde;  // c − A'λ
+    std::vector<bool> p;         // p*_j = [c̃_j ≤ 0]
+};
+
+LagrangianEval eval_lagrangian(const CoverMatrix& a,
+                               const std::vector<double>& lambda) {
+    const Index R = a.num_rows();
+    const Index C = a.num_cols();
+    LagrangianEval ev;
+    ev.ctilde.resize(C);
+    ev.p.assign(C, false);
+    for (Index j = 0; j < C; ++j) ev.ctilde[j] = static_cast<double>(a.cost(j));
+    double lam_sum = 0.0;
+    for (Index i = 0; i < R; ++i) {
+        lam_sum += lambda[i];
+        for (const Index j : a.row(i)) ev.ctilde[j] -= lambda[i];
+    }
+    ev.z = lam_sum;
+    for (Index j = 0; j < C; ++j) {
+        if (ev.ctilde[j] <= 0.0) {
+            ev.p[j] = true;
+            ev.z += ev.ctilde[j];
+        }
+    }
+    return ev;
+}
+
+}  // namespace
+
+SubgradientResult subgradient_ascent(const CoverMatrix& a,
+                                     const SubgradientOptions& opt,
+                                     std::vector<double> lambda0,
+                                     std::vector<double> mu0,
+                                     std::vector<Index> incumbent) {
+    const Index R = a.num_rows();
+    const Index C = a.num_cols();
+    SubgradientResult out;
+
+    if (R == 0) {  // trivially solved problem
+        out.proved_optimal = true;
+        out.lagrangian_costs.resize(C);
+        for (Index j = 0; j < C; ++j)
+            out.lagrangian_costs[j] = static_cast<double>(a.cost(j));
+        out.mu.assign(C, 0.0);
+        return out;
+    }
+
+    // c̄ for the dual-Lagrangian inner solution.
+    std::vector<double> cbar(R, std::numeric_limits<double>::infinity());
+    for (Index i = 0; i < R; ++i)
+        for (const Index j : a.row(i))
+            cbar[i] = std::min(cbar[i], static_cast<double>(a.cost(j)));
+
+    // --- initialisation (paper §3.3 / §3.5) -------------------------------------
+    if (lambda0.empty()) lambda0 = dual_ascent(a).m;
+    UCP_REQUIRE(lambda0.size() == R, "lambda0 size mismatch");
+
+    // Incumbent: greedy on original costs if none supplied.
+    std::vector<double> orig_cost(C);
+    for (Index j = 0; j < C; ++j) orig_cost[j] = static_cast<double>(a.cost(j));
+    if (incumbent.empty())
+        incumbent =
+            lagrangian_greedy(a, orig_cost, GreedyVariant::kCostOverRows);
+    UCP_REQUIRE(a.is_feasible(incumbent), "incumbent must be feasible");
+    out.best_solution = incumbent;
+    out.best_cost = a.solution_cost(incumbent);
+
+    if (mu0.empty()) {
+        mu0.assign(C, 0.0);
+        for (const Index j : incumbent) mu0[j] = 1.0;
+    }
+    UCP_REQUIRE(mu0.size() == C, "mu0 size mismatch");
+
+    std::vector<double> lambda = std::move(lambda0);
+    std::vector<double> mu = std::move(mu0);
+    out.lambda = lambda;
+    out.mu = mu;
+
+    double lb_best = -std::numeric_limits<double>::infinity();
+    double w_ld_best = std::numeric_limits<double>::infinity();
+    double t = opt.t0;
+    int since_improve = 0;
+    // The dual-Lagrangian side keeps its own step schedule: its progress
+    // (w_LD decreasing) is independent of the primal bound's.
+    double t_dual = opt.t0;
+    int since_dual_improve = 0;
+
+    const auto ceil_int = [](double v) {
+        return static_cast<Cost>(std::ceil(v - 1e-6));
+    };
+
+    for (int k = 0; k < opt.max_iterations; ++k) {
+        ++out.iterations;
+
+        // ---- primal Lagrangian evaluation -------------------------------------
+        LagrangianEval ev = eval_lagrangian(a, lambda);
+        if (ev.z > lb_best + 1e-12) {
+            lb_best = ev.z;
+            out.lambda = lambda;
+            out.lagrangian_costs = ev.ctilde;
+            since_improve = 0;
+        } else {
+            ++since_improve;
+        }
+
+        // ---- dual Lagrangian evaluation (LD) -----------------------------------
+        double w_mu = 0.0;
+        std::vector<double> m_star;
+        if (opt.use_dual_lagrangian) {
+            m_star.assign(R, 0.0);
+            std::vector<double> etilde(R, 1.0);
+            for (Index j = 0; j < C; ++j) {
+                if (mu[j] == 0.0) continue;
+                w_mu += mu[j] * static_cast<double>(a.cost(j));
+                for (const Index i : a.col(j)) etilde[i] -= mu[j];
+            }
+            for (Index i = 0; i < R; ++i) {
+                if (etilde[i] > 0.0) {
+                    m_star[i] = cbar[i];
+                    w_mu += etilde[i] * cbar[i];
+                }
+            }
+            if (w_mu < w_ld_best - 1e-12) {
+                w_ld_best = w_mu;
+                out.mu = mu;
+                since_dual_improve = 0;
+            } else {
+                ++since_dual_improve;
+            }
+        }
+
+        // ---- periodic primal heuristics ----------------------------------------
+        if (k % opt.heuristic_period == 0) {
+            const auto variant =
+                static_cast<GreedyVariant>((k / opt.heuristic_period) %
+                                           kNumGreedyVariants);
+            auto sol = lagrangian_greedy(a, ev.ctilde, variant);
+            const Cost cost = a.solution_cost(sol);
+            if (cost < out.best_cost) {
+                out.best_cost = cost;
+                out.best_solution = std::move(sol);
+            }
+        }
+
+        if (opt.record_trace) {
+            out.trace.push_back({k, ev.z, std::max(lb_best, 0.0),
+                                 opt.use_dual_lagrangian ? w_mu : 0.0,
+                                 out.best_cost, t});
+        }
+
+        // ---- termination tests ---------------------------------------------------
+        if (opt.integer_costs &&
+            out.best_cost <= ceil_int(lb_best)) {  // ⌈LB⌉ proves optimality
+            out.proved_optimal = true;
+            break;
+        }
+        // UB on z*_P: the incumbent's value, improved by the dual-Lagrangian
+        // bound when available (paper §3.3).
+        double ub_est = static_cast<double>(out.best_cost);
+        if (opt.use_dual_lagrangian) ub_est = std::min(ub_est, w_ld_best);
+        if (ub_est - ev.z < opt.delta) break;
+        if (t < opt.t_min) break;
+
+        // ---- λ update, formula (2) -------------------------------------------------
+        double norm2 = 0.0;
+        std::vector<double> s(R, 1.0);
+        for (Index j = 0; j < C; ++j) {
+            if (!ev.p[j]) continue;
+            for (const Index i : a.col(j)) s[i] -= 1.0;
+        }
+        for (Index i = 0; i < R; ++i) norm2 += s[i] * s[i];
+        if (norm2 > 1e-12) {
+            const double step = t * std::abs(ub_est - ev.z) / norm2;
+            for (Index i = 0; i < R; ++i)
+                lambda[i] = std::max(lambda[i] + step * s[i], 0.0);
+        }
+
+        // ---- µ update (dual side, driven down towards LB) --------------------------
+        if (opt.use_dual_lagrangian) {
+            double gnorm2 = 0.0;
+            std::vector<double> g(C);
+            for (Index j = 0; j < C; ++j) {
+                double load = 0.0;
+                for (const Index i : a.col(j)) load += m_star[i];
+                g[j] = static_cast<double>(a.cost(j)) - load;
+                gnorm2 += g[j] * g[j];
+            }
+            const double target = std::max(lb_best, 0.0);
+            if (gnorm2 > 1e-12 && w_mu > target) {
+                const double step = t_dual * (w_mu - target) / gnorm2;
+                for (Index j = 0; j < C; ++j)
+                    mu[j] = std::clamp(mu[j] - step * g[j], 0.0, 1.0);
+            }
+        }
+
+        if (since_improve >= opt.halve_after) {
+            t *= 0.5;
+            since_improve = 0;
+        }
+        if (since_dual_improve >= opt.halve_after) {
+            t_dual *= 0.5;
+            since_dual_improve = 0;
+        }
+    }
+
+    if (out.lagrangian_costs.empty()) {
+        const LagrangianEval ev = eval_lagrangian(a, out.lambda);
+        out.lagrangian_costs = ev.ctilde;
+    }
+    out.lb_fractional = std::max(lb_best, 0.0);
+    out.lb = opt.integer_costs ? ceil_int(out.lb_fractional)
+                               : static_cast<Cost>(out.lb_fractional);
+    out.w_ld_best = w_ld_best;
+    if (opt.integer_costs && out.best_cost <= out.lb) out.proved_optimal = true;
+    return out;
+}
+
+}  // namespace ucp::lagr

@@ -1,0 +1,270 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ucp::lp {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dense tableau for min c'x, Wx = b (b ≥ 0), x ≥ 0 with an all-artificial /
+/// partially-slack starting basis. Columns: structural + surplus + ub-slacks +
+/// artificials; rows as prepared by the caller.
+class Tableau {
+public:
+    Tableau(std::vector<std::vector<double>> w, std::vector<double> b,
+            std::vector<double> phase2_cost, std::size_t num_artificial_start)
+        : w_(std::move(w)),
+          b_(std::move(b)),
+          cost2_(std::move(phase2_cost)),
+          art_start_(num_artificial_start) {
+        rows_ = w_.size();
+        cols_ = w_.empty() ? 0 : w_[0].size();
+        basis_.assign(rows_, 0);
+    }
+
+    std::vector<std::size_t>& basis() { return basis_; }
+
+    /// Runs phase 1 (min Σ artificials) then phase 2. Returns the status.
+    LpStatus solve(std::size_t max_iters) {
+        // Phase-1 reduced costs: cost 1 on artificials, reduced by the basic
+        // rows (each artificial is basic in exactly one row).
+        std::vector<double> d1(cols_, 0.0);
+        double obj1 = 0.0;
+        for (std::size_t j = art_start_; j < cols_; ++j) d1[j] = 1.0;
+        for (std::size_t r = 0; r < rows_; ++r) {
+            if (basis_[r] >= art_start_) {
+                for (std::size_t j = 0; j < cols_; ++j) d1[j] -= w_[r][j];
+                obj1 += b_[r];
+            }
+        }
+        // Phase-2 reduced costs, kept in sync during phase 1 pivots.
+        d2_ = cost2_;
+        obj2_ = 0.0;
+        for (std::size_t r = 0; r < rows_; ++r) {
+            const double cb = cost2_[basis_[r]];
+            if (cb != 0.0) {
+                for (std::size_t j = 0; j < cols_; ++j) d2_[j] -= cb * w_[r][j];
+                obj2_ += cb * b_[r];
+            }
+        }
+
+        std::size_t iters = 0;
+        const LpStatus s1 = run(d1, obj1, /*allow_artificial=*/true, max_iters, iters);
+        if (s1 != LpStatus::kOptimal) return s1;
+        if (obj1 > 1e-6) return LpStatus::kInfeasible;
+
+        drive_out_artificials(d1, obj1);
+
+        const LpStatus s2 =
+            run(d2_, obj2_, /*allow_artificial=*/false, max_iters, iters);
+        return s2;
+    }
+
+    [[nodiscard]] double objective() const { return obj2_; }
+    /// Value of structural/slack variable j in the final basis.
+    [[nodiscard]] double value(std::size_t j) const {
+        for (std::size_t r = 0; r < rows_; ++r)
+            if (basis_[r] == j) return b_[r];
+        return 0.0;
+    }
+    /// Final phase-2 reduced cost of column j (= dual value machinery).
+    [[nodiscard]] double reduced_cost(std::size_t j) const { return d2_[j]; }
+
+private:
+    void pivot(std::size_t pr, std::size_t pc, std::vector<double>& d, double& obj) {
+        const double pv = w_[pr][pc];
+        const double inv = 1.0 / pv;
+        for (std::size_t j = 0; j < cols_; ++j) w_[pr][j] *= inv;
+        b_[pr] *= inv;
+        w_[pr][pc] = 1.0;  // exact
+
+        for (std::size_t r = 0; r < rows_; ++r) {
+            if (r == pr) continue;
+            const double f = w_[r][pc];
+            if (std::abs(f) < kTol) {
+                w_[r][pc] = 0.0;
+                continue;
+            }
+            for (std::size_t j = 0; j < cols_; ++j) w_[r][j] -= f * w_[pr][j];
+            w_[r][pc] = 0.0;
+            b_[r] -= f * b_[pr];
+            if (b_[r] < 0 && b_[r] > -kTol) b_[r] = 0.0;
+        }
+        auto update_costs = [&](std::vector<double>& dd, double& oo) {
+            const double f = dd[pc];
+            if (std::abs(f) < kTol) {
+                dd[pc] = 0.0;
+                return;
+            }
+            for (std::size_t j = 0; j < cols_; ++j) dd[j] -= f * w_[pr][j];
+            dd[pc] = 0.0;
+            oo += f * b_[pr];
+        };
+        update_costs(d, obj);
+        if (&d != &d2_) update_costs(d2_, obj2_);
+        basis_[pr] = pc;
+    }
+
+    LpStatus run(std::vector<double>& d, double& obj, bool allow_artificial,
+                 std::size_t max_iters, std::size_t& iters) {
+        const std::size_t bland_after = 2000 + 20 * rows_;
+        std::size_t local = 0;
+        while (true) {
+            if (++iters > max_iters) return LpStatus::kIterLimit;
+            ++local;
+            const bool bland = local > bland_after;
+
+            // Entering column.
+            std::size_t pc = cols_;
+            double best = -kTol;
+            for (std::size_t j = 0; j < cols_; ++j) {
+                if (!allow_artificial && j >= art_start_) break;
+                if (d[j] < (bland ? -kTol : best)) {
+                    pc = j;
+                    if (bland) break;
+                    best = d[j];
+                }
+            }
+            if (pc == cols_) return LpStatus::kOptimal;
+
+            // Ratio test (Bland tie-break: smallest basis index).
+            std::size_t pr = rows_;
+            double best_ratio = kInf;
+            for (std::size_t r = 0; r < rows_; ++r) {
+                const double a = w_[r][pc];
+                if (a <= kTol) continue;
+                const double ratio = b_[r] / a;
+                if (ratio < best_ratio - kTol ||
+                    (ratio < best_ratio + kTol && pr < rows_ &&
+                     basis_[r] < basis_[pr])) {
+                    best_ratio = ratio;
+                    pr = r;
+                }
+            }
+            if (pr == rows_) return LpStatus::kUnbounded;
+            pivot(pr, pc, d, obj);
+        }
+    }
+
+    /// After phase 1, pivot basic artificials (at value 0) out of the basis
+    /// where possible; redundant rows keep their artificial but it can never
+    /// re-enter in phase 2.
+    void drive_out_artificials(std::vector<double>& d1, double& obj1) {
+        for (std::size_t r = 0; r < rows_; ++r) {
+            if (basis_[r] < art_start_) continue;
+            for (std::size_t j = 0; j < art_start_; ++j) {
+                if (std::abs(w_[r][j]) > 1e-7) {
+                    pivot(r, j, d1, obj1);
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<std::vector<double>> w_;
+    std::vector<double> b_;
+    std::vector<double> cost2_;
+    std::vector<double> d2_;
+    double obj2_ = 0.0;
+    std::size_t rows_ = 0, cols_ = 0;
+    std::size_t art_start_;
+    std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpResult simplex_min(const std::vector<std::vector<double>>& a,
+                     const std::vector<double>& b, const std::vector<double>& c,
+                     const std::vector<double>& ub, std::size_t max_iterations) {
+    const std::size_t m = a.size();
+    const std::size_t n = c.size();
+    UCP_REQUIRE(b.size() == m, "b size mismatch");
+    UCP_REQUIRE(ub.size() == n, "ub size mismatch");
+    for (const auto& row : a) UCP_REQUIRE(row.size() == n, "A width mismatch");
+
+    std::vector<std::size_t> ub_rows;
+    for (std::size_t j = 0; j < n; ++j)
+        if (std::isfinite(ub[j])) ub_rows.push_back(j);
+
+    // Column layout: [structural n][surplus m][ub slacks u][artificials m].
+    const std::size_t u = ub_rows.size();
+    const std::size_t art_start = n + m + u;
+    const std::size_t total_cols = art_start + m;
+    const std::size_t total_rows = m + u;
+
+    std::vector<std::vector<double>> w(total_rows,
+                                       std::vector<double>(total_cols, 0.0));
+    std::vector<double> rhs(total_rows, 0.0);
+    std::vector<double> cost2(total_cols, 0.0);
+    for (std::size_t j = 0; j < n; ++j) cost2[j] = c[j];
+
+    Tableau tab({}, {}, {}, 0);  // placeholder; rebuilt below
+    // Fill the ≥ rows: a·x - s = b, with sign normalisation so rhs ≥ 0.
+    for (std::size_t i = 0; i < m; ++i) {
+        const double sign = b[i] >= 0 ? 1.0 : -1.0;
+        for (std::size_t j = 0; j < n; ++j) w[i][j] = sign * a[i][j];
+        w[i][n + i] = -sign;          // surplus
+        w[i][art_start + i] = 1.0;    // artificial
+        rhs[i] = sign * b[i];
+    }
+    // Upper-bound rows: x_j + t = ub_j.
+    for (std::size_t k = 0; k < u; ++k) {
+        const std::size_t j = ub_rows[k];
+        w[m + k][j] = 1.0;
+        w[m + k][n + m + k] = 1.0;
+        rhs[m + k] = ub[j];
+    }
+
+    tab = Tableau(std::move(w), std::move(rhs), std::move(cost2), art_start);
+    for (std::size_t i = 0; i < m; ++i) tab.basis()[i] = art_start + i;
+    for (std::size_t k = 0; k < u; ++k) tab.basis()[m + k] = n + m + k;
+
+    LpResult out;
+    out.status = tab.solve(max_iterations);
+    if (out.status != LpStatus::kOptimal) return out;
+
+    out.objective = tab.objective();
+    out.x.resize(n);
+    for (std::size_t j = 0; j < n; ++j) out.x[j] = tab.value(j);
+    // Dual of covering row i = final reduced cost of its surplus column
+    // (cost 0, coefficient -e_i → d = y_i). Negative b rows flip sign.
+    out.dual.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const double y = tab.reduced_cost(n + i);
+        out.dual[i] = b[i] >= 0 ? y : -y;
+        if (std::abs(out.dual[i]) < kTol) out.dual[i] = 0.0;
+    }
+    // Box duals: u_j equals the reduced cost of the box slack t_j
+    // (cost 0, coefficient +e_k → d(t_k) = −w_k = u_j ≥ 0).
+    out.dual_ub.assign(n, 0.0);
+    for (std::size_t k = 0; k < u; ++k) {
+        const double uj = tab.reduced_cost(n + m + k);
+        out.dual_ub[ub_rows[k]] = std::abs(uj) < kTol ? 0.0 : uj;
+    }
+    return out;
+}
+
+LpResult solve_covering_lp(const cov::CoverMatrix& m) {
+    const std::size_t rows = m.num_rows();
+    const std::size_t cols = m.num_cols();
+    std::vector<std::vector<double>> a(rows, std::vector<double>(cols, 0.0));
+    for (cov::Index i = 0; i < rows; ++i)
+        for (const cov::Index j : m.row(i)) a[i][j] = 1.0;
+    std::vector<double> b(rows, 1.0);
+    std::vector<double> c(cols), ub(cols, 1.0);
+    for (cov::Index j = 0; j < cols; ++j) c[j] = static_cast<double>(m.cost(j));
+    return simplex_min(a, b, c, ub);
+}
+
+cov::Cost lp_lower_bound_rounded(const cov::CoverMatrix& m) {
+    const LpResult r = solve_covering_lp(m);
+    UCP_REQUIRE(r.status == LpStatus::kOptimal, "covering LP must be solvable");
+    return static_cast<cov::Cost>(std::ceil(r.objective - 1e-6));
+}
+
+}  // namespace ucp::lp

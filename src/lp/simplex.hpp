@@ -1,0 +1,48 @@
+// Dense two-phase primal simplex, used as the exact linear-relaxation oracle:
+//   (P)  min c'p   s.t.  Ap ≥ e,  0 ≤ p ≤ 1                   (paper §3.1)
+//
+// The paper never solves (P) directly inside ZDD_SCG (the Lagrangian bound is
+// the workhorse) but the bound-comparison experiment of §3.4 (Figure 1 /
+// Proposition 1) needs z*_P and an optimal dual solution, and the tests use
+// the LP optimum to validate that the subgradient bound converges from below.
+//
+// This is a textbook tableau implementation (Nemhauser–Wolsey [19]) with
+// Bland's anti-cycling rule after a Dantzig warm period. It is O(rows²·cols)
+// per pivot and intended for the small/medium cores the experiments use.
+#pragma once
+
+#include <vector>
+
+#include "matrix/sparse_matrix.hpp"
+
+namespace ucp::lp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpResult {
+    LpStatus status = LpStatus::kIterLimit;
+    double objective = 0.0;
+    std::vector<double> x;     ///< primal values of the structural variables
+    std::vector<double> dual;  ///< dual values of the covering rows (y ≥ 0)
+    /// Dual values u_j ≥ 0 of the x_j ≤ ub_j box rows (0 for unbounded vars).
+    /// The full dual objective is b'y − ub'u = objective at optimality, and
+    /// (y, u) satisfies A'y − u ≤ c.
+    std::vector<double> dual_ub;
+};
+
+/// Solves min c'x s.t. Ax ≥ b, 0 ≤ x ≤ ub. `a` is dense row-major
+/// (rows × cols). All b must be finite; ub entries may be +infinity.
+LpResult simplex_min(const std::vector<std::vector<double>>& a,
+                     const std::vector<double>& b, const std::vector<double>& c,
+                     const std::vector<double>& ub,
+                     std::size_t max_iterations = 200000);
+
+/// The linear relaxation (P) of a covering matrix. Returns the optimum, the
+/// fractional solution and the covering-row duals.
+LpResult solve_covering_lp(const cov::CoverMatrix& m);
+
+/// Convenience: the linear-relaxation lower bound ⌈z*_P⌉ for integer costs
+/// (the paper's "raised" bound, §3.4 example).
+cov::Cost lp_lower_bound_rounded(const cov::CoverMatrix& m);
+
+}  // namespace ucp::lp

@@ -1,0 +1,267 @@
+#include "matrix/reductions.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ucp::cov {
+
+namespace {
+
+/// Is `small` a subset of `big`? Both sorted ascending.
+bool subset_of(const std::vector<Index>& small, const std::vector<Index>& big) {
+    if (small.size() > big.size()) return false;
+    auto it = big.begin();
+    for (const Index x : small) {
+        it = std::lower_bound(it, big.end(), x);
+        if (it == big.end() || *it != x) return false;
+        ++it;
+    }
+    return true;
+}
+
+}  // namespace
+
+ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
+                    const ReduceOptions& opt) {
+    const Index R = m.num_rows();
+    const Index C = m.num_cols();
+    std::vector<bool> row_alive(R, true), col_alive(C, true);
+
+    ReduceResult result;
+
+    auto remove_rows_covered_by = [&](Index j) {
+        for (const Index i : m.col(j))
+            row_alive[i] = false;
+    };
+
+    for (const Index j : fixed) {
+        UCP_REQUIRE(j < C, "fixed column out of range");
+        if (!col_alive[j]) continue;
+        col_alive[j] = false;
+        remove_rows_covered_by(j);
+    }
+
+    // Filtered adjacency snapshots, rebuilt when marked dirty.
+    std::vector<std::vector<Index>> rcols(R), crows(C);
+    auto rebuild = [&] {
+        for (Index i = 0; i < R; ++i) {
+            rcols[i].clear();
+            if (!row_alive[i]) continue;
+            for (const Index j : m.row(i))
+                if (col_alive[j]) rcols[i].push_back(j);
+        }
+        for (Index j = 0; j < C; ++j) {
+            crows[j].clear();
+            if (!col_alive[j]) continue;
+            for (const Index i : m.col(j))
+                if (row_alive[i]) crows[j].push_back(i);
+        }
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++result.passes;
+        rebuild();
+
+        // --- essential columns (to a fixed point, cheap) ---------------------
+        if (opt.essential) {
+            bool ess_changed = true;
+            while (ess_changed) {
+                ess_changed = false;
+                for (Index i = 0; i < R; ++i) {
+                    if (!row_alive[i]) continue;
+                    Index last = 0, count = 0;
+                    for (const Index j : m.row(i)) {
+                        if (col_alive[j]) {
+                            last = j;
+                            if (++count > 1) break;
+                        }
+                    }
+                    UCP_ASSERT(count >= 1);  // empty row ⇒ infeasible input
+                    if (count == 1) {
+                        result.essential_cols.push_back(last);
+                        result.fixed_cost += m.cost(last);
+                        col_alive[last] = false;
+                        remove_rows_covered_by(last);
+                        ess_changed = true;
+                        changed = true;
+                    }
+                }
+            }
+            if (changed) rebuild();
+        }
+
+        // --- row dominance: drop rows whose column set is a superset ---------
+        const Index alive_rows = static_cast<Index>(
+            std::count(row_alive.begin(), row_alive.end(), true));
+        if (opt.row_dominance && alive_rows <= opt.max_dominance_rows) {
+            std::vector<bool> to_remove(R, false);
+            for (Index k = 0; k < R; ++k) {
+                if (!row_alive[k] || to_remove[k]) continue;
+                // Candidates that could be dominated BY k (supersets of k's
+                // columns) all appear in the column lists of k's columns; scan
+                // the cheapest one.
+                Index probe = rcols[k][0];
+                for (const Index j : rcols[k])
+                    if (crows[j].size() < crows[probe].size()) probe = j;
+                for (const Index i : crows[probe]) {
+                    if (i == k || !row_alive[i] || to_remove[i]) continue;
+                    if (rcols[i].size() < rcols[k].size()) continue;
+                    if (rcols[i].size() == rcols[k].size() && i < k)
+                        continue;  // equal sets: keep the smaller index
+                    if (subset_of(rcols[k], rcols[i])) {
+                        to_remove[i] = true;
+                        ++result.rows_removed_dominance;
+                        changed = true;
+                    }
+                }
+            }
+            bool any = false;
+            for (Index i = 0; i < R; ++i)
+                if (to_remove[i]) {
+                    row_alive[i] = false;
+                    any = true;
+                }
+            if (any) rebuild();
+        }
+
+        // --- column dominance: drop columns covered by a cheaper/equal peer ---
+        const Index alive_cols = static_cast<Index>(
+            std::count(col_alive.begin(), col_alive.end(), true));
+        if (opt.col_dominance && alive_cols <= opt.max_dominance_cols) {
+            std::vector<bool> to_remove(C, false);
+            for (Index j = 0; j < C; ++j) {
+                if (!col_alive[j] || to_remove[j]) continue;
+                if (crows[j].empty()) {
+                    // Covers nothing any more — trivially dominated.
+                    to_remove[j] = true;
+                    ++result.cols_removed_dominance;
+                    changed = true;
+                    continue;
+                }
+                // A dominator of j must appear in every row of j; scan the
+                // shortest row.
+                Index probe = crows[j][0];
+                for (const Index i : crows[j])
+                    if (rcols[i].size() < rcols[probe].size()) probe = i;
+                for (const Index k : rcols[probe]) {
+                    if (k == j || !col_alive[k] || to_remove[k]) continue;
+                    if (m.cost(k) > m.cost(j)) continue;
+                    if (crows[k].size() < crows[j].size()) continue;
+                    if (crows[k].size() == crows[j].size() && m.cost(k) == m.cost(j) &&
+                        k > j)
+                        continue;  // symmetric pair: keep the smaller index
+                    if (subset_of(crows[j], crows[k])) {
+                        to_remove[j] = true;
+                        ++result.cols_removed_dominance;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            bool any = false;
+            for (Index j = 0; j < C; ++j)
+                if (to_remove[j]) {
+                    col_alive[j] = false;
+                    any = true;
+                }
+            if (any) rebuild();
+        }
+    }
+
+    // --- extract the cyclic core ------------------------------------------------
+    std::vector<Index> col_new(C, 0);
+    for (Index j = 0; j < C; ++j) {
+        if (col_alive[j] && !m.col(j).empty()) {
+            // Keep only columns that still cover some alive row.
+            bool useful = false;
+            for (const Index i : m.col(j))
+                if (row_alive[i]) {
+                    useful = true;
+                    break;
+                }
+            if (!useful) col_alive[j] = false;
+        }
+    }
+    for (Index j = 0; j < C; ++j) {
+        if (col_alive[j]) {
+            col_new[j] = static_cast<Index>(result.core_col_map.size());
+            result.core_col_map.push_back(j);
+        }
+    }
+    std::vector<std::vector<Index>> core_rows;
+    std::vector<Cost> core_costs;
+    core_costs.reserve(result.core_col_map.size());
+    for (const Index j : result.core_col_map) core_costs.push_back(m.cost(j));
+    for (Index i = 0; i < R; ++i) {
+        if (!row_alive[i]) continue;
+        std::vector<Index> r;
+        for (const Index j : m.row(i))
+            if (col_alive[j]) r.push_back(col_new[j]);
+        UCP_ASSERT(!r.empty());
+        core_rows.push_back(std::move(r));
+        result.core_row_map.push_back(i);
+    }
+    result.core = CoverMatrix::from_rows(
+        static_cast<Index>(result.core_col_map.size()), std::move(core_rows),
+        std::move(core_costs));
+    return result;
+}
+
+std::vector<Partition> partition_blocks(const CoverMatrix& m) {
+    const Index R = m.num_rows();
+    const Index C = m.num_cols();
+    constexpr Index kNone = ~Index{0};
+    std::vector<Index> row_block(R, kNone), col_block(C, kNone);
+
+    Index num_blocks = 0;
+    for (Index start = 0; start < R; ++start) {
+        if (row_block[start] != kNone) continue;
+        const Index b = num_blocks++;
+        // BFS over the bipartite incidence graph.
+        std::vector<Index> queue{start};
+        row_block[start] = b;
+        while (!queue.empty()) {
+            const Index i = queue.back();
+            queue.pop_back();
+            for (const Index j : m.row(i)) {
+                if (col_block[j] != kNone) continue;
+                col_block[j] = b;
+                for (const Index i2 : m.col(j)) {
+                    if (row_block[i2] != kNone) continue;
+                    row_block[i2] = b;
+                    queue.push_back(i2);
+                }
+            }
+        }
+    }
+
+    std::vector<Partition> blocks(num_blocks);
+    std::vector<std::vector<std::vector<Index>>> rows(num_blocks);
+    std::vector<std::vector<Cost>> costs(num_blocks);
+    std::vector<Index> col_new(C, 0);
+    for (Index j = 0; j < C; ++j) {
+        const Index b = col_block[j];
+        if (b == kNone) continue;  // column covers nothing: drop
+        col_new[j] = static_cast<Index>(blocks[b].col_map.size());
+        blocks[b].col_map.push_back(j);
+        costs[b].push_back(m.cost(j));
+    }
+    for (Index i = 0; i < R; ++i) {
+        const Index b = row_block[i];
+        std::vector<Index> r;
+        r.reserve(m.row(i).size());
+        for (const Index j : m.row(i)) r.push_back(col_new[j]);
+        rows[b].push_back(std::move(r));
+        blocks[b].row_map.push_back(i);
+    }
+    for (Index b = 0; b < num_blocks; ++b) {
+        blocks[b].matrix = CoverMatrix::from_rows(
+            static_cast<Index>(blocks[b].col_map.size()), std::move(rows[b]),
+            std::move(costs[b]));
+    }
+    return blocks;
+}
+
+}  // namespace ucp::cov

@@ -1,0 +1,68 @@
+// Classical explicit reductions for unate covering (survey: Villa et al. [23]):
+//   * essential columns     — a row covered by a single column fixes it;
+//   * row dominance         — a row whose column set is a superset of another
+//                             row's is a weaker constraint and is removed;
+//   * column dominance      — a column covering a subset of another column's
+//                             rows at no lower cost is removed;
+//   * Gimpel's reduction    — optional, applied when a row has exactly two
+//                             columns and one is unit-cost (extension hook).
+//
+// Iterated to a fixed point they yield the *cyclic core* (paper §2). The
+// reducer also accepts pre-fixed columns (the SCG loop fixes columns and
+// re-reduces, Fig. 2).
+#pragma once
+
+#include "matrix/sparse_matrix.hpp"
+
+namespace ucp::cov {
+
+struct ReduceOptions {
+    bool essential = true;
+    bool row_dominance = true;
+    bool col_dominance = true;
+    /// Safety valve for the O(n²) dominance passes on huge matrices.
+    std::size_t max_dominance_rows = 200000;
+    std::size_t max_dominance_cols = 200000;
+};
+
+struct ReduceResult {
+    /// Columns (original indices) proven to belong to some optimal completion
+    /// — essential columns found during reduction.
+    std::vector<Index> essential_cols;
+    /// Cost of the essential columns.
+    Cost fixed_cost = 0;
+    /// The cyclic core (possibly empty: the reductions solved the problem).
+    CoverMatrix core;
+    /// Maps core column index -> original column index.
+    std::vector<Index> core_col_map;
+    /// Maps core row index -> original row index.
+    std::vector<Index> core_row_map;
+    /// Statistics.
+    std::size_t rows_removed_dominance = 0;
+    std::size_t cols_removed_dominance = 0;
+    std::size_t passes = 0;
+
+    [[nodiscard]] bool solved() const noexcept { return core.num_rows() == 0; }
+};
+
+/// Reduces `m` to its cyclic core. Columns in `fixed` are treated as already
+/// chosen: rows they cover are discarded first (they do NOT appear in
+/// essential_cols or fixed_cost).
+ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed = {},
+                    const ReduceOptions& opt = {});
+
+/// One independent block of a covering matrix (the "partitioning" reduction
+/// of the classical literature, paper §2): rows/columns unreachable from one
+/// another in the bipartite incidence graph can be solved separately and the
+/// solutions concatenated.
+struct Partition {
+    CoverMatrix matrix;
+    std::vector<Index> col_map;  ///< block col -> original col
+    std::vector<Index> row_map;  ///< block row -> original row
+};
+
+/// Splits `m` into its connected components. Columns covering no row are
+/// dropped (they belong to no block and to no optimal solution).
+std::vector<Partition> partition_blocks(const CoverMatrix& m);
+
+}  // namespace ucp::cov

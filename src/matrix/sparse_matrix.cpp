@@ -1,0 +1,187 @@
+#include "matrix/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace ucp::cov {
+
+CoverMatrix CoverMatrix::from_rows(Index num_cols,
+                                   std::vector<std::vector<Index>> rows,
+                                   std::vector<Cost> costs) {
+    CoverMatrix m;
+    if (costs.empty()) costs.assign(num_cols, 1);
+    UCP_REQUIRE(costs.size() == num_cols, "cost vector size mismatch");
+    for (const Cost c : costs) UCP_REQUIRE(c > 0, "column costs must be positive");
+
+    m.costs_ = std::move(costs);
+    m.col_rows_.resize(num_cols);
+    m.row_cols_.resize(rows.size());
+    for (Index i = 0; i < rows.size(); ++i) {
+        auto& r = rows[i];
+        std::sort(r.begin(), r.end());
+        r.erase(std::unique(r.begin(), r.end()), r.end());
+        UCP_REQUIRE(!r.empty(), "row with no covering column (infeasible problem)");
+        UCP_REQUIRE(r.back() < num_cols, "column index out of range");
+        for (const Index j : r) m.col_rows_[j].push_back(i);
+        m.entries_ += r.size();
+        m.row_cols_[i] = std::move(r);
+    }
+    return m;
+}
+
+bool CoverMatrix::entry(Index i, Index j) const {
+    const auto& r = row_cols_[i];
+    return std::binary_search(r.begin(), r.end(), j);
+}
+
+double CoverMatrix::density() const noexcept {
+    const double cells =
+        static_cast<double>(num_rows()) * static_cast<double>(num_cols());
+    return cells == 0.0 ? 0.0 : static_cast<double>(entries_) / cells;
+}
+
+bool CoverMatrix::is_feasible(const std::vector<Index>& solution) const {
+    std::vector<bool> in_sol(num_cols(), false);
+    for (const Index j : solution) {
+        UCP_REQUIRE(j < num_cols(), "solution column out of range");
+        in_sol[j] = true;
+    }
+    for (Index i = 0; i < num_rows(); ++i) {
+        bool covered = false;
+        for (const Index j : row_cols_[i])
+            if (in_sol[j]) {
+                covered = true;
+                break;
+            }
+        if (!covered) return false;
+    }
+    return true;
+}
+
+Cost CoverMatrix::solution_cost(const std::vector<Index>& solution) const {
+    Cost total = 0;
+    for (const Index j : solution) total += costs_[j];
+    return total;
+}
+
+std::vector<Index> CoverMatrix::make_irredundant(std::vector<Index> solution) const {
+    UCP_REQUIRE(is_feasible(solution), "make_irredundant needs a feasible solution");
+    // Count how many selected columns cover each row.
+    std::vector<Index> cover_count(num_rows(), 0);
+    std::vector<bool> selected(num_cols(), false);
+    for (const Index j : solution) {
+        if (selected[j]) continue;  // duplicates contribute once
+        selected[j] = true;
+        for (const Index i : col_rows_[j]) ++cover_count[i];
+    }
+    // Deduplicate, then drop redundant columns, highest cost first
+    // (ties: higher index first, for determinism).
+    std::sort(solution.begin(), solution.end());
+    solution.erase(std::unique(solution.begin(), solution.end()), solution.end());
+    std::vector<Index> order = solution;
+    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+        return costs_[a] != costs_[b] ? costs_[a] > costs_[b] : a > b;
+    });
+    for (const Index j : order) {
+        bool redundant = true;
+        for (const Index i : col_rows_[j])
+            if (cover_count[i] == 1) {
+                redundant = false;
+                break;
+            }
+        if (redundant) {
+            selected[j] = false;
+            for (const Index i : col_rows_[j]) --cover_count[i];
+        }
+    }
+    std::vector<Index> out;
+    for (const Index j : solution)
+        if (selected[j]) out.push_back(j);
+    return out;
+}
+
+void CoverMatrix::validate() const {
+    std::size_t entries = 0;
+    for (Index i = 0; i < num_rows(); ++i) {
+        const auto& r = row_cols_[i];
+        UCP_ASSERT(std::is_sorted(r.begin(), r.end()));
+        UCP_ASSERT(!r.empty());
+        for (const Index j : r) {
+            UCP_ASSERT(j < num_cols());
+            const auto& c = col_rows_[j];
+            UCP_ASSERT(std::binary_search(c.begin(), c.end(), i));
+        }
+        entries += r.size();
+    }
+    UCP_ASSERT(entries == entries_);
+    for (Index j = 0; j < num_cols(); ++j)
+        UCP_ASSERT(std::is_sorted(col_rows_[j].begin(), col_rows_[j].end()));
+}
+
+std::string CoverMatrix::to_string() const {
+    std::ostringstream os;
+    os << num_rows() << "x" << num_cols() << " covering matrix, "
+       << num_entries() << " entries\n";
+    for (Index i = 0; i < num_rows() && i < 40; ++i) {
+        for (Index j = 0; j < num_cols() && j < 80; ++j)
+            os << (entry(i, j) ? '1' : '.');
+        os << '\n';
+    }
+    return os.str();
+}
+
+bool strip_columns(const CoverMatrix& m, const std::vector<bool>& remove,
+                   CoverMatrix& out, std::vector<Index>& col_map) {
+    UCP_REQUIRE(remove.size() == m.num_cols(), "removal mask size mismatch");
+    std::vector<Index> new_index(m.num_cols(), 0);
+    col_map.clear();
+    for (Index j = 0; j < m.num_cols(); ++j) {
+        if (!remove[j]) {
+            new_index[j] = static_cast<Index>(col_map.size());
+            col_map.push_back(j);
+        }
+    }
+    std::vector<std::vector<Index>> rows(m.num_rows());
+    std::vector<Cost> costs;
+    costs.reserve(col_map.size());
+    for (const Index j : col_map) costs.push_back(m.cost(j));
+    for (Index i = 0; i < m.num_rows(); ++i) {
+        for (const Index j : m.row(i))
+            if (!remove[j]) rows[i].push_back(new_index[j]);
+        if (rows[i].empty()) return false;
+    }
+    out = CoverMatrix::from_rows(static_cast<Index>(col_map.size()),
+                                 std::move(rows), std::move(costs));
+    return true;
+}
+
+CoverMatrix read_matrix(std::istream& is) {
+    Index r = 0, c = 0;
+    UCP_REQUIRE(static_cast<bool>(is >> r >> c), "matrix header missing");
+    std::vector<Cost> costs(c);
+    for (auto& x : costs) UCP_REQUIRE(static_cast<bool>(is >> x), "cost missing");
+    std::vector<std::vector<Index>> rows(r);
+    for (Index i = 0; i < r; ++i) {
+        std::size_t k = 0;
+        UCP_REQUIRE(static_cast<bool>(is >> k), "row length missing");
+        rows[i].resize(k);
+        for (auto& j : rows[i])
+            UCP_REQUIRE(static_cast<bool>(is >> j), "row entry missing");
+    }
+    return CoverMatrix::from_rows(c, std::move(rows), std::move(costs));
+}
+
+void write_matrix(std::ostream& os, const CoverMatrix& m) {
+    os << m.num_rows() << ' ' << m.num_cols() << '\n';
+    for (Index j = 0; j < m.num_cols(); ++j)
+        os << m.cost(j) << (j + 1 == m.num_cols() ? '\n' : ' ');
+    for (Index i = 0; i < m.num_rows(); ++i) {
+        os << m.row(i).size();
+        for (const Index j : m.row(i)) os << ' ' << j;
+        os << '\n';
+    }
+}
+
+}  // namespace ucp::cov

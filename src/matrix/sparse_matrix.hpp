@@ -1,0 +1,89 @@
+// Sparse 0/1 covering matrix for the unate covering problem
+//   min c'p  s.t.  Ap ≥ e,  p ∈ {0,1}^|P|          (UCP, paper §3.1)
+//
+// Rows are constraints (minterms / signature classes), columns are candidate
+// elements (prime implicants). Stored as dual adjacency (rows→cols, cols→rows)
+// with sorted index vectors, which is what every reduction and bound
+// computation iterates over.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ucp::cov {
+
+using Index = std::uint32_t;
+using Cost = std::int64_t;
+
+class CoverMatrix {
+public:
+    CoverMatrix() = default;
+
+    /// Builds from per-row column lists. Column costs default to 1 (the
+    /// uniform-cost case common in VLSI, as the paper notes).
+    static CoverMatrix from_rows(Index num_cols,
+                                 std::vector<std::vector<Index>> rows,
+                                 std::vector<Cost> costs = {});
+
+    [[nodiscard]] Index num_rows() const noexcept {
+        return static_cast<Index>(row_cols_.size());
+    }
+    [[nodiscard]] Index num_cols() const noexcept {
+        return static_cast<Index>(col_rows_.size());
+    }
+    [[nodiscard]] std::size_t num_entries() const noexcept { return entries_; }
+
+    [[nodiscard]] const std::vector<Index>& row(Index i) const {
+        return row_cols_[i];
+    }
+    [[nodiscard]] const std::vector<Index>& col(Index j) const {
+        return col_rows_[j];
+    }
+    [[nodiscard]] Cost cost(Index j) const { return costs_[j]; }
+    [[nodiscard]] const std::vector<Cost>& costs() const noexcept { return costs_; }
+
+    [[nodiscard]] bool entry(Index i, Index j) const;
+
+    /// Density: entries / (rows × cols).
+    [[nodiscard]] double density() const noexcept;
+
+    // ---- solution helpers --------------------------------------------------------
+    /// True iff the column set covers every row.
+    [[nodiscard]] bool is_feasible(const std::vector<Index>& solution) const;
+    [[nodiscard]] Cost solution_cost(const std::vector<Index>& solution) const;
+    /// Removes redundant columns (highest-cost first, as in the paper's
+    /// final While loop) until the solution is irredundant. Returns the
+    /// pruned solution; the input must be feasible.
+    [[nodiscard]] std::vector<Index> make_irredundant(
+        std::vector<Index> solution) const;
+
+    /// Structural sanity check (sorted adjacency, mutual consistency).
+    void validate() const;
+
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<std::vector<Index>> row_cols_;
+    std::vector<std::vector<Index>> col_rows_;
+    std::vector<Cost> costs_;
+    std::size_t entries_ = 0;
+};
+
+/// Removes a set of columns from the matrix. Returns false when some row
+/// would lose its last covering column (the restricted problem is
+/// infeasible); otherwise fills `out` and `col_map` (new index → old index).
+bool strip_columns(const CoverMatrix& m, const std::vector<bool>& remove,
+                   CoverMatrix& out, std::vector<Index>& col_map);
+
+/// Simple text format for covering problems (used by the set_cover example):
+///   line 1: R C
+///   line 2: C costs
+///   next R lines: k col_1 ... col_k   (0-based column indices)
+CoverMatrix read_matrix(std::istream& is);
+void write_matrix(std::ostream& os, const CoverMatrix& m);
+
+}  // namespace ucp::cov

@@ -1,0 +1,144 @@
+#include "pla/cover.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace ucp::pla {
+
+void Cover::add(Cube c) {
+    UCP_REQUIRE(c.valid(space_), "attempt to add an empty cube to a cover");
+    cubes_.push_back(std::move(c));
+}
+
+bool Cover::add_if_valid(Cube c) {
+    if (!c.valid(space_)) return false;
+    cubes_.push_back(std::move(c));
+    return true;
+}
+
+void Cover::remove_at(std::size_t i) {
+    UCP_REQUIRE(i < cubes_.size(), "index out of range");
+    cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+Cover Cover::from_strings(
+    const CubeSpace& s,
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+    Cover c(s);
+    for (const auto& [in_part, out_part] : rows)
+        c.add(Cube::parse(s, in_part, out_part));
+    return c;
+}
+
+void Cover::remove_single_cube_contained() {
+    std::vector<bool> dead(cubes_.size(), false);
+    for (std::size_t i = 0; i < cubes_.size(); ++i) {
+        if (dead[i]) continue;
+        for (std::size_t j = 0; j < cubes_.size(); ++j) {
+            if (i == j || dead[j]) continue;
+            if (cubes_[i].contains(space_, cubes_[j])) {
+                // Equal cubes: keep the earlier one.
+                if (cubes_[j].contains(space_, cubes_[i]) && j < i) continue;
+                dead[j] = true;
+            }
+        }
+    }
+    std::vector<Cube> kept;
+    kept.reserve(cubes_.size());
+    for (std::size_t i = 0; i < cubes_.size(); ++i)
+        if (!dead[i]) kept.push_back(std::move(cubes_[i]));
+    cubes_ = std::move(kept);
+}
+
+void Cover::remove_duplicates() {
+    std::unordered_set<std::size_t> seen_hashes;
+    std::vector<Cube> kept;
+    kept.reserve(cubes_.size());
+    for (auto& c : cubes_) {
+        const std::size_t h = c.hash();
+        if (seen_hashes.count(h) != 0) {
+            bool dup = false;
+            for (const auto& k : kept)
+                if (k == c) {
+                    dup = true;
+                    break;
+                }
+            if (dup) continue;
+        }
+        seen_hashes.insert(h);
+        kept.push_back(std::move(c));
+    }
+    cubes_ = std::move(kept);
+}
+
+Cover Cover::restricted_to_output(std::uint32_t k) const {
+    UCP_REQUIRE(k < space_.num_outputs, "output index out of range");
+    const CubeSpace in_space{space_.num_inputs, 0};
+    Cover out(in_space);
+    for (const auto& c : cubes_) {
+        if (!c.out(space_, k)) continue;
+        Cube ic = Cube::full_inputs(in_space);
+        for (std::uint32_t i = 0; i < space_.num_inputs; ++i)
+            ic.set_in(in_space, i, c.in(space_, i));
+        out.add(std::move(ic));
+    }
+    return out;
+}
+
+Cover Cover::inputs_only() const {
+    const CubeSpace in_space{space_.num_inputs, 0};
+    Cover out(in_space);
+    for (const auto& c : cubes_) {
+        Cube ic = Cube::full_inputs(in_space);
+        for (std::uint32_t i = 0; i < space_.num_inputs; ++i)
+            ic.set_in(in_space, i, c.in(space_, i));
+        out.add(std::move(ic));
+    }
+    return out;
+}
+
+void Cover::append(const Cover& other) {
+    UCP_REQUIRE(other.space_ == space_, "cover space mismatch");
+    cubes_.insert(cubes_.end(), other.cubes_.begin(), other.cubes_.end());
+}
+
+bool Cover::has_universal_input_cube() const {
+    for (const auto& c : cubes_)
+        if (c.input_literal_count(space_) == 0) return true;
+    return false;
+}
+
+bool Cover::eval(const std::vector<std::uint64_t>& assignment,
+                 std::uint32_t k) const {
+    for (const auto& c : cubes_) {
+        if (space_.num_outputs > 0 && !c.out(space_, k)) continue;
+        if (c.covers_assignment(space_, assignment)) return true;
+    }
+    return false;
+}
+
+void Cover::for_each_assignment(const std::function<void(std::uint64_t)>& fn) const {
+    UCP_REQUIRE(space_.num_inputs <= 24, "exhaustive iteration limited to 24 inputs");
+    const std::uint64_t limit = 1ULL << space_.num_inputs;
+    for (std::uint64_t a = 0; a < limit; ++a) fn(a);
+}
+
+double Cover::point_count_upper() const {
+    double total = 0.0;
+    for (const auto& c : cubes_) total += c.point_count(space_);
+    return total;
+}
+
+std::size_t Cover::literal_count() const {
+    std::size_t n = 0;
+    for (const auto& c : cubes_) n += c.input_literal_count(space_);
+    return n;
+}
+
+std::string Cover::to_string() const {
+    std::ostringstream os;
+    for (const auto& c : cubes_) os << c.to_string(space_) << '\n';
+    return os.str();
+}
+
+}  // namespace ucp::pla

@@ -1,0 +1,85 @@
+// A cover: an ordered collection of cubes in one CubeSpace, representing a
+// multi-output sum-of-products. The class provides the structural operations
+// shared by the minimisers; the unate-recursive algorithms (tautology,
+// complement, containment) live in urp.hpp.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pla/cube.hpp"
+
+namespace ucp::pla {
+
+class Cover {
+public:
+    Cover() = default;
+    explicit Cover(CubeSpace space) : space_(space) {}
+
+    [[nodiscard]] const CubeSpace& space() const noexcept { return space_; }
+    [[nodiscard]] std::size_t size() const noexcept { return cubes_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return cubes_.empty(); }
+    [[nodiscard]] const Cube& operator[](std::size_t i) const { return cubes_[i]; }
+    [[nodiscard]] Cube& operator[](std::size_t i) { return cubes_[i]; }
+    [[nodiscard]] auto begin() const noexcept { return cubes_.begin(); }
+    [[nodiscard]] auto end() const noexcept { return cubes_.end(); }
+
+    /// Appends a cube. Invalid (empty) cubes are rejected with an exception;
+    /// use add_if_valid for a silent filter.
+    void add(Cube c);
+    /// Appends c only when it covers at least one point; returns whether added.
+    bool add_if_valid(Cube c);
+    void clear() noexcept { cubes_.clear(); }
+    void remove_at(std::size_t i);
+    void reserve(std::size_t n) { cubes_.reserve(n); }
+
+    /// Builds a cover from (input-part, output-part) strings — test helper.
+    static Cover from_strings(
+        const CubeSpace& s,
+        const std::vector<std::pair<std::string, std::string>>& rows);
+
+    // ---- structural transforms -------------------------------------------------
+    /// Removes cubes contained in another single cube of the cover (SCC).
+    /// Deterministic: keeps the earliest maximal cube.
+    void remove_single_cube_contained();
+    /// Removes exact duplicates.
+    void remove_duplicates();
+    /// Input-only projection of the cubes asserting output k (space m = 0).
+    [[nodiscard]] Cover restricted_to_output(std::uint32_t k) const;
+    /// Drops all output parts (space becomes {n, 0}).
+    [[nodiscard]] Cover inputs_only() const;
+    /// Merges another cover of the same space.
+    void append(const Cover& other);
+
+    /// True iff some cube has all inputs don't-care (covers the whole input
+    /// space; for m == 0 this is the tautology witness for unate covers).
+    [[nodiscard]] bool has_universal_input_cube() const;
+
+    // ---- semantics ----------------------------------------------------------------
+    /// Value of output k (or of the single function when m == 0) on a complete
+    /// input assignment.
+    [[nodiscard]] bool eval(const std::vector<std::uint64_t>& assignment,
+                            std::uint32_t k = 0) const;
+
+    /// Iterates over all 2^num_inputs assignments (requires num_inputs <= 24)
+    /// invoking fn(assignment_word) — exhaustive-check helper for tests.
+    void for_each_assignment(
+        const std::function<void(std::uint64_t)>& fn) const;
+
+    /// Total number of (minterm, output) points covered, counted with
+    /// multiplicity removed only when cubes are disjoint — upper-bound metric.
+    [[nodiscard]] double point_count_upper() const;
+
+    /// Sum of input literals over all cubes (the secondary cost in the paper).
+    [[nodiscard]] std::size_t literal_count() const;
+
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    CubeSpace space_{};
+    std::vector<Cube> cubes_;
+};
+
+}  // namespace ucp::pla

@@ -1,0 +1,185 @@
+#include "pla/pla_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ucp::pla {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& name, std::size_t line,
+                       const std::string& what) {
+    throw std::invalid_argument("PLA '" + name + "' line " + std::to_string(line) +
+                                ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) out.push_back(tok);
+    return out;
+}
+
+}  // namespace
+
+Pla read_pla(std::istream& is, const std::string& name) {
+    Pla pla;
+    pla.name = name;
+    long ni = -1, no = -1;
+    bool space_ready = false;
+    CubeSpace space;
+    std::string line;
+    std::size_t lineno = 0;
+
+    auto ensure_space = [&](std::size_t at_line) {
+        if (space_ready) return;
+        if (ni < 0) fail(name, at_line, "cube line before .i");
+        if (no < 0) no = 1;  // tolerate missing .o: single output
+        space = CubeSpace{static_cast<std::uint32_t>(ni),
+                          static_cast<std::uint32_t>(no)};
+        pla.on = Cover(space);
+        pla.dc = Cover(space);
+        pla.off = Cover(space);
+        space_ready = true;
+    };
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Strip comments.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const auto toks = tokenize(line);
+        if (toks.empty()) continue;
+
+        if (toks[0][0] == '.') {
+            const std::string& dir = toks[0];
+            if (dir == ".i") {
+                if (toks.size() < 2) fail(name, lineno, ".i needs a value");
+                ni = std::stol(toks[1]);
+                if (ni <= 0) fail(name, lineno, ".i must be positive");
+            } else if (dir == ".o") {
+                if (toks.size() < 2) fail(name, lineno, ".o needs a value");
+                no = std::stol(toks[1]);
+                if (no <= 0) fail(name, lineno, ".o must be positive");
+            } else if (dir == ".p") {
+                // cube-count hint; ignored (we count what we read)
+            } else if (dir == ".type") {
+                if (toks.size() < 2) fail(name, lineno, ".type needs a value");
+                pla.type = toks[1];
+            } else if (dir == ".ilb") {
+                pla.input_labels.assign(toks.begin() + 1, toks.end());
+            } else if (dir == ".ob") {
+                pla.output_labels.assign(toks.begin() + 1, toks.end());
+            } else if (dir == ".e" || dir == ".end") {
+                break;
+            }
+            // Other directives (.mv, .phase, ...) are ignored.
+            continue;
+        }
+
+        // Cube line: input plane then (optionally) output plane.
+        ensure_space(lineno);
+        std::string in_part, out_part;
+        if (toks.size() == 1 && space.num_outputs == 1 &&
+            toks[0].size() == space.num_inputs) {
+            in_part = toks[0];
+            out_part = "1";
+        } else {
+            // Espresso allows arbitrary whitespace: concatenate tokens and
+            // split by counts.
+            std::string all;
+            for (const auto& t : toks) all += t;
+            if (all.size() != space.num_inputs + space.num_outputs)
+                fail(name, lineno, "cube width mismatch (have " +
+                                       std::to_string(all.size()) + ", expected " +
+                                       std::to_string(space.num_inputs +
+                                                      space.num_outputs) +
+                                       ")");
+            in_part = all.substr(0, space.num_inputs);
+            out_part = all.substr(space.num_inputs);
+        }
+
+        // Build the shared input cube.
+        Cube base = Cube::full_inputs(space);
+        for (std::uint32_t i = 0; i < space.num_inputs; ++i) {
+            const auto l = lit_from_char(in_part[i]);
+            if (!l.has_value()) fail(name, lineno, "bad input character");
+            base.set_in(space, i, *l);
+        }
+        // Dispatch output characters to the three planes.
+        Cube on_c = base, dc_c = base, off_c = base;
+        bool has_on = false, has_dc = false, has_off = false;
+        for (std::uint32_t k = 0; k < space.num_outputs; ++k) {
+            switch (out_part[k]) {
+                case '1':
+                case '4':
+                    on_c.set_out(space, k, true);
+                    has_on = true;
+                    break;
+                case '0':
+                    off_c.set_out(space, k, true);
+                    has_off = true;
+                    break;
+                case '-':
+                case '2':
+                case 'd':
+                    dc_c.set_out(space, k, true);
+                    has_dc = true;
+                    break;
+                case '~':
+                    break;
+                default:
+                    fail(name, lineno, "bad output character");
+            }
+        }
+        if (has_on && base.inputs_valid(space)) pla.on.add(std::move(on_c));
+        if (has_dc && base.inputs_valid(space)) pla.dc.add(std::move(dc_c));
+        if (has_off && base.inputs_valid(space)) pla.off.add(std::move(off_c));
+    }
+
+    ensure_space(lineno);
+    return pla;
+}
+
+Pla read_pla_string(const std::string& text, const std::string& name) {
+    std::istringstream is(text);
+    return read_pla(is, name);
+}
+
+Pla read_pla_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::invalid_argument("cannot open PLA file: " + path);
+    return read_pla(is, path);
+}
+
+void write_pla(std::ostream& os, const Pla& pla) {
+    const CubeSpace& s = pla.space();
+    os << ".i " << s.num_inputs << '\n';
+    os << ".o " << s.num_outputs << '\n';
+    os << ".p " << (pla.on.size() + pla.dc.size()) << '\n';
+    if (!pla.dc.empty()) os << ".type fd\n";
+
+    auto emit = [&](const Cover& cover, char on_char) {
+        for (const auto& c : cover) {
+            for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+                os << lit_to_char(c.in(s, i));
+            os << ' ';
+            for (std::uint32_t k = 0; k < s.num_outputs; ++k)
+                os << (c.out(s, k) ? on_char : '~');
+            os << '\n';
+        }
+    };
+    emit(pla.on, '1');
+    emit(pla.dc, '-');
+    os << ".e\n";
+}
+
+std::string write_pla_string(const Pla& pla) {
+    std::ostringstream os;
+    write_pla(os, pla);
+    return os.str();
+}
+
+}  // namespace ucp::pla

@@ -1,0 +1,42 @@
+// Berkeley PLA format reader / writer (the input format of the Espresso
+// benchmark suite the paper evaluates on).
+//
+// Supported directives: .i .o .p .type (f, fd, fr, fdr) .ilb .ob .e/.end;
+// unknown dot-directives are ignored with a warning callback. Output-plane
+// characters: '1'/'4' = ON-set, '0' = OFF-set (fr/fdr types), '-'/'2'/'d' =
+// DC-set (fd/fdr types), '~' = no information.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pla/cover.hpp"
+
+namespace ucp::pla {
+
+/// A parsed PLA: the three planes of a Boolean function with don't-cares.
+/// `on` and `dc` share one CubeSpace; `off` is only populated for fr/fdr
+/// inputs (otherwise derived on demand by complementation).
+struct Pla {
+    std::string name;
+    Cover on;   ///< F: the on-set cover
+    Cover dc;   ///< D: the don't-care cover
+    Cover off;  ///< R: the off-set cover (may be empty for type f / fd)
+    std::vector<std::string> input_labels;
+    std::vector<std::string> output_labels;
+    std::string type = "fd";
+
+    [[nodiscard]] const CubeSpace& space() const { return on.space(); }
+};
+
+/// Parses PLA text. Throws std::invalid_argument on malformed input.
+Pla read_pla(std::istream& is, const std::string& name = "pla");
+Pla read_pla_string(const std::string& text, const std::string& name = "pla");
+Pla read_pla_file(const std::string& path);
+
+/// Writes the on-set (and the dc-set if non-empty, as type fd) in PLA format.
+void write_pla(std::ostream& os, const Pla& pla);
+std::string write_pla_string(const Pla& pla);
+
+}  // namespace ucp::pla

@@ -1,0 +1,164 @@
+#include "pla/urp.hpp"
+
+#include <algorithm>
+
+namespace ucp::pla {
+
+Cover cofactor(const Cover& f, const Cube& p) {
+    const CubeSpace& s = f.space();
+    Cover out(s);
+    out.reserve(f.size());
+    for (const auto& c : f) {
+        if (!c.intersects_inputs(s, p)) continue;
+        Cube r = c;
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+            // x_j := c_j ∨ ¬p_j — p's bound positions become free in r.
+            const auto cj = static_cast<unsigned>(c.in(s, i));
+            const auto pj = static_cast<unsigned>(p.in(s, i));
+            r.set_in(s, i, static_cast<Lit>((cj | (~pj & 3u)) & 3u));
+        }
+        out.add(std::move(r));
+    }
+    return out;
+}
+
+bool select_split_var(const Cover& f, std::uint32_t& var_out) {
+    const CubeSpace& s = f.space();
+    std::vector<std::uint32_t> zeros(s.num_inputs, 0), ones(s.num_inputs, 0);
+    for (const auto& c : f) {
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+            const Lit l = c.in(s, i);
+            if (l == Lit::kZero) ++zeros[i];
+            else if (l == Lit::kOne) ++ones[i];
+        }
+    }
+    bool found = false;
+    bool found_binate = false;
+    std::uint64_t best_score = 0;
+    for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+        const std::uint32_t z = zeros[i], o = ones[i];
+        if (z + o == 0) continue;
+        const bool binate = z > 0 && o > 0;
+        // Prefer binate variables; among them the most balanced/most frequent.
+        const std::uint64_t score =
+            (binate ? (1ULL << 32) : 0) +
+            (static_cast<std::uint64_t>(std::min(z, o)) << 16) + z + o;
+        if (!found || (binate && !found_binate) ||
+            (binate == found_binate && score > best_score)) {
+            found = true;
+            found_binate = binate;
+            best_score = score;
+            var_out = i;
+        }
+    }
+    return found;
+}
+
+namespace {
+
+/// Cofactor against a single literal of variable v.
+Cover literal_cofactor(const Cover& f, std::uint32_t v, Lit l) {
+    Cube p = Cube::full_inputs(f.space());
+    p.set_in(f.space(), v, l);
+    return cofactor(f, p);
+}
+
+bool tautology_rec(const Cover& f) {
+    if (f.empty()) return false;
+    if (f.has_universal_input_cube()) return true;
+
+    std::uint32_t v = 0;
+    if (!select_split_var(f, v)) return false;  // no universal cube, all bound? —
+    // select_split_var returns false only when no variable is bound in any cube,
+    // i.e. every cube is universal; that case was handled above, so v is valid.
+
+    return tautology_rec(literal_cofactor(f, v, Lit::kZero)) &&
+           tautology_rec(literal_cofactor(f, v, Lit::kOne));
+}
+
+/// Complement of a single cube by De Morgan: one cube per bound literal.
+Cover complement_cube(const CubeSpace& s, const Cube& c) {
+    Cover out(s);
+    for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+        const Lit l = c.in(s, i);
+        if (l == Lit::kDontCare) continue;
+        Cube r = Cube::full_inputs(s);
+        r.set_in(s, i, l == Lit::kZero ? Lit::kOne : Lit::kZero);
+        out.add(std::move(r));
+    }
+    return out;
+}
+
+Cover complement_rec(const Cover& f) {
+    const CubeSpace& s = f.space();
+    if (f.empty()) {
+        Cover out(s);
+        out.add(Cube::full_inputs(s));
+        return out;
+    }
+    if (f.has_universal_input_cube()) return Cover(s);
+    if (f.size() == 1) return complement_cube(s, f[0]);
+
+    std::uint32_t v = 0;
+    const bool ok = select_split_var(f, v);
+    UCP_ASSERT(ok);  // some literal is bound, otherwise a universal cube exists
+
+    Cover out(s);
+    for (const Lit phase : {Lit::kZero, Lit::kOne}) {
+        Cover part = complement_rec(literal_cofactor(f, v, phase));
+        for (std::size_t i = 0; i < part.size(); ++i) {
+            Cube c = part[i];
+            // Re-impose the branch literal x_v = phase.
+            const auto cur = static_cast<unsigned>(c.in(s, v));
+            const auto ph = static_cast<unsigned>(phase);
+            c.set_in(s, v, static_cast<Lit>(cur & ph));
+            out.add_if_valid(std::move(c));
+        }
+    }
+    out.remove_single_cube_contained();
+    return out;
+}
+
+}  // namespace
+
+bool is_tautology(const Cover& f) {
+    UCP_REQUIRE(f.space().num_outputs == 0, "tautology requires input-only cover");
+    return tautology_rec(f);
+}
+
+Cover complement(const Cover& f) {
+    UCP_REQUIRE(f.space().num_outputs == 0, "complement requires input-only cover");
+    return complement_rec(f);
+}
+
+bool cover_contains_cube(const Cover& f, const Cube& c) {
+    const CubeSpace& s = f.space();
+    if (s.num_outputs == 0) {
+        const Cover cof = cofactor(f, c);
+        return tautology_rec(cof);
+    }
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+        if (!c.out(s, k)) continue;
+        const Cover fk = f.restricted_to_output(k);
+        // Project c's input part into the input-only space.
+        const CubeSpace in_space{s.num_inputs, 0};
+        Cube ic = Cube::full_inputs(in_space);
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+            ic.set_in(in_space, i, c.in(s, i));
+        if (!tautology_rec(cofactor(fk, ic))) return false;
+    }
+    return true;
+}
+
+bool cover_implies(const Cover& a, const Cover& b) {
+    UCP_REQUIRE(a.space() == b.space(), "cover space mismatch");
+    for (const auto& c : a)
+        if (!cover_contains_cube(b, c)) return false;
+    return true;
+}
+
+bool covers_equal(const Cover& a, const Cover& b) {
+    return cover_implies(a, b) && cover_implies(b, a);
+}
+
+}  // namespace ucp::pla

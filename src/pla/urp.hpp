@@ -1,0 +1,41 @@
+// Unate Recursive Paradigm (URP) algorithms on input-only covers, following
+// Brayton et al. [3]: tautology checking, complementation and cube
+// containment. These are the semantic workhorses behind prime generation,
+// Espresso's EXPAND/IRREDUNDANT, and all equivalence checks in the tests.
+#pragma once
+
+#include "pla/cover.hpp"
+
+namespace ucp::pla {
+
+/// Cofactor of an input-only cover with respect to a cube
+/// (Shannon cofactor generalised to cubes): cubes not intersecting p are
+/// dropped, the rest get p's bound literals freed.
+/// Precondition: both arguments share the cover's space; outputs are ignored.
+[[nodiscard]] Cover cofactor(const Cover& f, const Cube& p);
+
+/// True iff the input-only cover is the tautology (covers every minterm).
+[[nodiscard]] bool is_tautology(const Cover& f);
+
+/// Complement of an input-only cover, as an input-only cover.
+[[nodiscard]] Cover complement(const Cover& f);
+
+/// True iff the multi-output cover f covers every point of cube c
+/// (for every asserted output of c, the input cube is covered by the cubes of
+/// f asserting that output). For m == 0 this is plain input containment.
+[[nodiscard]] bool cover_contains_cube(const Cover& f, const Cube& c);
+
+/// True iff the two multi-output covers represent the same function
+/// (mutual containment, checked with URP — no minterm enumeration).
+[[nodiscard]] bool covers_equal(const Cover& a, const Cover& b);
+
+/// True iff cover a's function implies cover b's (a ≤ b pointwise).
+[[nodiscard]] bool cover_implies(const Cover& a, const Cover& b);
+
+/// Selects the splitting variable for URP recursion: a variable that is
+/// binate in f if one exists (maximising the balance of its phases),
+/// otherwise the most frequently bound variable. Returns false when every
+/// cube is the universal cube (no variable is bound anywhere).
+bool select_split_var(const Cover& f, std::uint32_t& var_out);
+
+}  // namespace ucp::pla

@@ -1,0 +1,39 @@
+// Implicit prime-implicant generation for single-output functions via the
+// Coudert–Madre recursion [12]: the function is built as a BDD from its care
+// cover, and the set of prime cubes is produced directly as a ZDD in the
+// literal encoding (zdd_cubes.hpp) without ever enumerating implicants.
+//
+//   Primes(0) = ∅,  Primes(1) = {tautology cube}
+//   Primes(f) = Primes(f0·f1)
+//             ∪ x̄·(Primes(f0) − Primes(f0·f1))
+//             ∪ x·(Primes(f1) − Primes(f0·f1))
+//
+// where f0/f1 are the cofactors on f's top variable x.
+#pragma once
+
+#include "pla/cover.hpp"
+#include "zdd/bdd.hpp"
+#include "zdd/zdd.hpp"
+
+namespace ucp::primes {
+
+struct ImplicitPrimeResult {
+    zdd::Zdd primes;           ///< ZDD over 2n literal variables
+    double prime_count = 0;    ///< |primes|
+    std::size_t zdd_nodes = 0; ///< size of the result ZDD
+    std::size_t bdd_nodes = 0; ///< size of the function BDD
+};
+
+/// Builds the BDD of an input-only cover (disjunction of its cubes).
+zdd::BddId cover_to_bdd(zdd::BddManager& bmgr, const pla::Cover& cover);
+
+/// Primes of the single-output function given by the input-only cover `care`.
+/// `zmgr` must have at least 2 * num_inputs variables.
+ImplicitPrimeResult implicit_primes(zdd::ZddManager& zmgr,
+                                    const pla::Cover& care);
+
+/// Decodes a literal-encoded prime ZDD into an input-only cover.
+pla::Cover primes_zdd_to_cover(const zdd::ZddManager& zmgr, const zdd::Zdd& primes,
+                               std::uint32_t num_inputs);
+
+}  // namespace ucp::primes

@@ -1,0 +1,335 @@
+#include "solver/bnb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lagrangian/dual_ascent.hpp"
+#include "lagrangian/penalties.hpp"
+#include "lagrangian/subgradient.hpp"
+#include "lp/simplex.hpp"
+#include "matrix/reductions.hpp"
+#include "solver/greedy.hpp"
+#include "util/timer.hpp"
+
+namespace ucp::solver {
+
+using cov::Cost;
+using cov::CoverMatrix;
+using cov::Index;
+
+namespace {
+
+struct Ctx {
+    explicit Ctx(const BnbOptions& o) : opt(o) {}
+
+    const BnbOptions& opt;
+    Timer timer;
+    std::size_t nodes = 0;
+    bool aborted = false;
+    Cost best_cost = 0;
+    std::vector<Index> best_solution;  // original column indices
+
+    bool out_of_budget() {
+        if (nodes >= opt.max_nodes) return true;
+        if (opt.time_limit_seconds > 0.0 &&
+            timer.seconds() >= opt.time_limit_seconds)
+            return true;
+        return false;
+    }
+};
+
+/// Lower bound of a (non-empty) core. Fills `mis` when the MIS set is needed
+/// for the limit-bound test.
+Cost core_bound(const CoverMatrix& core, Ctx& ctx, lagr::MisResult* mis_out,
+                std::vector<Index>* incumbent_out, Cost* incumbent_cost_out) {
+    switch (ctx.opt.bound) {
+        case BnbBound::kMis: {
+            lagr::MisResult mis = lagr::mis_lower_bound(core);
+            const Cost b = mis.bound;
+            if (mis_out != nullptr) *mis_out = std::move(mis);
+            return b;
+        }
+        case BnbBound::kDualAscent: {
+            if (mis_out != nullptr) *mis_out = lagr::mis_lower_bound(core);
+            const double w = lagr::dual_ascent(core).value;
+            return static_cast<Cost>(std::ceil(w - 1e-6));
+        } break;
+        case BnbBound::kLagrangian: {
+            if (mis_out != nullptr) *mis_out = lagr::mis_lower_bound(core);
+            lagr::SubgradientOptions sopt;
+            sopt.max_iterations = ctx.opt.lagrangian_iterations;
+            sopt.use_dual_lagrangian = false;
+            sopt.heuristic_period = 20;
+            const auto sub = lagr::subgradient_ascent(core, sopt);
+            if (incumbent_out != nullptr) {
+                *incumbent_out = sub.best_solution;
+                *incumbent_cost_out = sub.best_cost;
+            }
+            return sub.lb;
+        }
+        case BnbBound::kLp: {
+            if (mis_out != nullptr) *mis_out = lagr::mis_lower_bound(core);
+            const std::size_t cells = static_cast<std::size_t>(core.num_rows()) *
+                                      core.num_cols();
+            if (cells > ctx.opt.lp_cell_limit) {
+                const double w = lagr::dual_ascent(core).value;
+                return static_cast<Cost>(std::ceil(w - 1e-6));
+            }
+            return lp::lp_lower_bound_rounded(core);
+        }
+        case BnbBound::kIncrementalMis: {
+            lagr::MisResult mis = lagr::mis_lower_bound(core);
+            const Cost b = incremental_mis_bound(
+                core, ctx.opt.incremental_mis_extra_rows);
+            if (mis_out != nullptr) *mis_out = std::move(mis);
+            return b;
+        }
+    }
+    return 0;
+}
+
+void recurse(const CoverMatrix& mat, const std::vector<Index>& col_map,
+             const std::vector<Index>& fixed, Cost cost_so_far,
+             std::vector<Index>& chosen, Ctx& ctx) {
+    if (ctx.aborted || ctx.out_of_budget()) {
+        ctx.aborted = true;
+        return;
+    }
+    ++ctx.nodes;
+
+    const cov::ReduceResult red = cov::reduce(mat, fixed);
+    const std::size_t chosen_mark = chosen.size();
+    Cost cost = cost_so_far + red.fixed_cost;
+    for (const Index j : red.essential_cols) chosen.push_back(col_map[j]);
+
+    const auto unwind = [&] { chosen.resize(chosen_mark); };
+
+    if (cost >= ctx.best_cost) {
+        unwind();
+        return;
+    }
+    if (red.solved()) {
+        ctx.best_cost = cost;
+        ctx.best_solution = chosen;
+        unwind();
+        return;
+    }
+
+    // Compose the core's column mapping.
+    std::vector<Index> core_map(red.core.num_cols());
+    for (Index j = 0; j < red.core.num_cols(); ++j)
+        core_map[j] = col_map[red.core_col_map[j]];
+
+    lagr::MisResult mis;
+    std::vector<Index> inc;
+    Cost inc_cost = 0;
+    const Cost lb = core_bound(red.core, ctx,
+                               ctx.opt.use_limit_bound ? &mis : nullptr,
+                               &inc, &inc_cost);
+    if (!inc.empty() && cost + inc_cost < ctx.best_cost) {
+        // A heuristic incumbent found while bounding.
+        ctx.best_cost = cost + inc_cost;
+        ctx.best_solution = chosen;
+        for (const Index j : inc) ctx.best_solution.push_back(core_map[j]);
+    }
+    if (cost + lb >= ctx.best_cost) {
+        unwind();
+        return;
+    }
+
+    // Limit-bound theorem: discard columns that cannot be in an improving
+    // solution. (Uses the MIS bound regardless of the pruning bound choice.)
+    const CoverMatrix* work = &red.core;
+    CoverMatrix stripped;
+    std::vector<Index> stripped_map;
+    if (ctx.opt.use_limit_bound) {
+        const auto removals = lagr::limit_bound_removals(
+            red.core, mis.rows, cost + mis.bound, ctx.best_cost);
+        if (!removals.empty()) {
+            std::vector<bool> mask(red.core.num_cols(), false);
+            for (const Index j : removals) mask[j] = true;
+            std::vector<Index> rel_map;
+            if (!cov::strip_columns(red.core, mask, stripped, rel_map)) {
+                unwind();
+                return;  // no improving solution in this subtree
+            }
+            stripped_map.resize(rel_map.size());
+            for (std::size_t j = 0; j < rel_map.size(); ++j)
+                stripped_map[j] = core_map[rel_map[j]];
+            work = &stripped;
+            core_map = stripped_map;
+        }
+    }
+
+    // Branch on the columns of a shortest row (complete disjunction). Each
+    // branch k fixes column j_k and forbids j_1..j_{k-1}.
+    Index branch_row = 0;
+    for (Index i = 1; i < work->num_rows(); ++i)
+        if (work->row(i).size() < work->row(branch_row).size()) branch_row = i;
+
+    std::vector<Index> branch_cols = work->row(branch_row);
+    // Try the most promising columns first: low cost, high coverage.
+    std::sort(branch_cols.begin(), branch_cols.end(), [&](Index x, Index y) {
+        const double sx =
+            static_cast<double>(work->cost(x)) / static_cast<double>(work->col(x).size());
+        const double sy =
+            static_cast<double>(work->cost(y)) / static_cast<double>(work->col(y).size());
+        return sx < sy;
+    });
+
+    std::vector<bool> forbidden(work->num_cols(), false);
+    for (std::size_t k = 0; k < branch_cols.size(); ++k) {
+        const Index j = branch_cols[k];
+        CoverMatrix child;
+        std::vector<Index> child_rel;
+        const CoverMatrix* child_mat = work;
+        std::vector<Index> child_map = core_map;
+        if (k > 0) {
+            if (!cov::strip_columns(*work, forbidden, child, child_rel)) {
+                forbidden[j] = true;
+                continue;  // row lost all columns: skip this branch
+            }
+            child_map.resize(child_rel.size());
+            for (std::size_t t = 0; t < child_rel.size(); ++t)
+                child_map[t] = core_map[child_rel[t]];
+            child_mat = &child;
+        }
+        // Locate j in the child matrix.
+        Index j_child = j;
+        if (k > 0) {
+            j_child = child_mat->num_cols();
+            for (Index t = 0; t < child_mat->num_cols(); ++t)
+                if (child_map[t] == core_map[j]) {
+                    j_child = t;
+                    break;
+                }
+            UCP_ASSERT(j_child < child_mat->num_cols());
+        }
+        chosen.push_back(core_map[j]);
+        recurse(*child_mat, child_map, {j_child}, cost + work->cost(j), chosen,
+                ctx);
+        chosen.pop_back();
+        forbidden[j] = true;
+        if (ctx.aborted) break;
+    }
+    unwind();
+}
+
+}  // namespace
+
+namespace {
+
+BnbResult solve_exact_single(const CoverMatrix& m, const BnbOptions& opt);
+
+}  // namespace
+
+Cost incremental_mis_bound(const CoverMatrix& m, int extra_rows) {
+    const lagr::MisResult mis = lagr::mis_lower_bound(m);
+    if (m.num_rows() == 0) return 0;
+
+    // Grow the row set: add the tightest rows (smallest support) that are not
+    // already selected. The induced sub-problem has fewer constraints than
+    // the original, so its optimum is a valid lower bound — and it contains
+    // the MIS rows, so it dominates the MIS bound.
+    std::vector<bool> selected(m.num_rows(), false);
+    for (const Index i : mis.rows) selected[i] = true;
+    std::vector<Index> order;
+    for (Index i = 0; i < m.num_rows(); ++i)
+        if (!selected[i]) order.push_back(i);
+    std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+        return m.row(a).size() < m.row(b).size();
+    });
+    std::vector<Index> rows = mis.rows;
+    for (int t = 0; t < extra_rows && static_cast<std::size_t>(t) < order.size();
+         ++t)
+        rows.push_back(order[static_cast<std::size_t>(t)]);
+
+    // Induced sub-matrix over the union of the selected rows' columns.
+    constexpr Index kNone = ~Index{0};
+    std::vector<Index> col_new(m.num_cols(), kNone);
+    std::vector<Index> col_map;
+    std::vector<std::vector<Index>> sub_rows;
+    for (const Index i : rows) {
+        std::vector<Index> r;
+        for (const Index j : m.row(i)) {
+            if (col_new[j] == kNone) {
+                col_new[j] = static_cast<Index>(col_map.size());
+                col_map.push_back(j);
+            }
+            r.push_back(col_new[j]);
+        }
+        sub_rows.push_back(std::move(r));
+    }
+    std::vector<Cost> costs;
+    costs.reserve(col_map.size());
+    for (const Index j : col_map) costs.push_back(m.cost(j));
+    const CoverMatrix sub = CoverMatrix::from_rows(
+        static_cast<Index>(col_map.size()), std::move(sub_rows),
+        std::move(costs));
+
+    BnbOptions sopt;
+    sopt.bound = BnbBound::kDualAscent;  // no recursive strengthening
+    sopt.max_nodes = 20'000;
+    const BnbResult r = solve_exact(sub, sopt);
+    // r.lower_bound ≤ sub-optimum ≤ full optimum whether or not the small
+    // search completed; the MIS bound is the floor either way.
+    return std::max(mis.bound, r.lower_bound);
+}
+
+BnbResult solve_exact(const CoverMatrix& m, const BnbOptions& opt) {
+    // Partitioning reduction (paper §2): independent blocks of the incidence
+    // graph are solved separately and concatenated.
+    const auto blocks = cov::partition_blocks(m);
+    if (blocks.size() <= 1) return solve_exact_single(m, opt);
+
+    BnbResult out;
+    out.optimal = true;
+    Timer timer;
+    for (const auto& block : blocks) {
+        const BnbResult r = solve_exact_single(block.matrix, opt);
+        for (const Index j : r.solution)
+            out.solution.push_back(block.col_map[j]);
+        out.cost += r.cost;
+        out.lower_bound += r.lower_bound;
+        out.nodes += r.nodes;
+        out.optimal = out.optimal && r.optimal;
+    }
+    out.seconds = timer.seconds();
+    UCP_ASSERT(m.is_feasible(out.solution));
+    return out;
+}
+
+namespace {
+
+BnbResult solve_exact_single(const CoverMatrix& m, const BnbOptions& opt) {
+    Ctx ctx{opt};
+    const GreedyResult greedy = chvatal_greedy(m);
+    ctx.best_cost = greedy.cost;
+    ctx.best_solution = greedy.solution;
+
+    // Root lower bound, reported when the search is truncated.
+    const cov::ReduceResult root = cov::reduce(m);
+    Cost root_lb = root.fixed_cost;
+    if (!root.solved()) {
+        lagr::MisResult mis;
+        root_lb += core_bound(root.core, ctx, &mis, nullptr, nullptr);
+    }
+
+    std::vector<Index> chosen;
+    std::vector<Index> identity(m.num_cols());
+    for (Index j = 0; j < m.num_cols(); ++j) identity[j] = j;
+    recurse(m, identity, {}, 0, chosen, ctx);
+
+    BnbResult out;
+    out.solution = m.make_irredundant(std::move(ctx.best_solution));
+    out.cost = m.solution_cost(out.solution);
+    out.nodes = ctx.nodes;
+    out.optimal = !ctx.aborted;
+    out.lower_bound = out.optimal ? out.cost : std::min(root_lb, out.cost);
+    out.seconds = ctx.timer.seconds();
+    return out;
+}
+
+}  // namespace
+
+}  // namespace ucp::solver

@@ -1,0 +1,18 @@
+#include "solver/greedy.hpp"
+
+#include "lagrangian/greedy_heuristics.hpp"
+
+namespace ucp::solver {
+
+GreedyResult chvatal_greedy(const cov::CoverMatrix& m) {
+    std::vector<double> cost(m.num_cols());
+    for (cov::Index j = 0; j < m.num_cols(); ++j)
+        cost[j] = static_cast<double>(m.cost(j));
+    GreedyResult out;
+    out.solution =
+        lagr::lagrangian_greedy(m, cost, lagr::GreedyVariant::kCostOverRows);
+    out.cost = m.solution_cost(out.solution);
+    return out;
+}
+
+}  // namespace ucp::solver

@@ -1,0 +1,20 @@
+// Classical greedy set-covering baseline (Johnson–Lovász [16], Chvátal [9]):
+// repeatedly take the column minimising cost / newly-covered-rows, then make
+// the result irredundant. Used as the baseline heuristic and as the initial
+// incumbent for the exact solver.
+#pragma once
+
+#include <vector>
+
+#include "matrix/sparse_matrix.hpp"
+
+namespace ucp::solver {
+
+struct GreedyResult {
+    std::vector<cov::Index> solution;
+    cov::Cost cost = 0;
+};
+
+GreedyResult chvatal_greedy(const cov::CoverMatrix& m);
+
+}  // namespace ucp::solver

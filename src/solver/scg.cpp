@@ -1,0 +1,328 @@
+#include "solver/scg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <unordered_map>
+
+#include "lagrangian/dual_ascent.hpp"
+#include "lagrangian/penalties.hpp"
+#include "matrix/reductions.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ucp::solver {
+
+using cov::Cost;
+using cov::CoverMatrix;
+using cov::Index;
+
+namespace {
+
+/// A sub-problem view: a matrix plus mappings of its rows/columns back to the
+/// ORIGINAL problem, and warm-start multipliers aligned with it.
+struct Work {
+    CoverMatrix mat;
+    std::vector<Index> col_map;  // work col -> original col
+    std::vector<Index> row_map;  // work row -> original row
+    std::vector<double> lambda;  // per work row
+    std::vector<double> mu;      // per work col
+};
+
+/// Applies reduce() to w.mat with `fixed` (work-local column indices),
+/// appending all newly fixed columns (as original indices) to `chosen` and
+/// re-aligning the warm-start multipliers. Returns the reduced Work.
+Work apply_reduce(const Work& w, const std::vector<Index>& fixed,
+                  std::vector<Index>& chosen) {
+    const cov::ReduceResult red = cov::reduce(w.mat, fixed);
+    for (const Index j : fixed) chosen.push_back(w.col_map[j]);
+    for (const Index j : red.essential_cols) chosen.push_back(w.col_map[j]);
+
+    Work next;
+    next.mat = red.core;
+    next.col_map.resize(red.core.num_cols());
+    next.mu.resize(red.core.num_cols());
+    for (Index j = 0; j < red.core.num_cols(); ++j) {
+        next.col_map[j] = w.col_map[red.core_col_map[j]];
+        next.mu[j] = w.mu.empty() ? 0.0 : w.mu[red.core_col_map[j]];
+    }
+    next.row_map.resize(red.core.num_rows());
+    next.lambda.resize(red.core.num_rows());
+    for (Index i = 0; i < red.core.num_rows(); ++i) {
+        next.row_map[i] = w.row_map[red.core_row_map[i]];
+        next.lambda[i] = w.lambda.empty() ? 0.0 : w.lambda[red.core_row_map[i]];
+    }
+    return next;
+}
+
+/// Removes columns (work-local indices) from w. Returns false when a row
+/// would become uncoverable — the caller must abandon the run (no improving
+/// solution exists down this path).
+bool apply_removals(Work& w, const std::vector<Index>& removals) {
+    if (removals.empty()) return true;
+    std::vector<bool> mask(w.mat.num_cols(), false);
+    for (const Index j : removals) mask[j] = true;
+    CoverMatrix stripped;
+    std::vector<Index> rel;
+    if (!cov::strip_columns(w.mat, mask, stripped, rel)) return false;
+    std::vector<Index> new_col_map(rel.size());
+    std::vector<double> new_mu(rel.size());
+    for (std::size_t j = 0; j < rel.size(); ++j) {
+        new_col_map[j] = w.col_map[rel[j]];
+        new_mu[j] = w.mu.empty() ? 0.0 : w.mu[rel[j]];
+    }
+    w.mat = std::move(stripped);
+    w.col_map = std::move(new_col_map);
+    w.mu = std::move(new_mu);
+    return true;
+}
+
+ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt);
+
+}  // namespace
+
+ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
+    // Partitioning reduction (paper §2): solve independent blocks separately.
+    const auto blocks = cov::partition_blocks(m);
+    if (blocks.size() <= 1) return solve_scg_single(m, opt);
+
+    Timer timer;
+    ScgResult out;
+    out.proved_optimal = true;
+    for (const auto& block : blocks) {
+        const ScgResult r = solve_scg_single(block.matrix, opt);
+        for (const Index j : r.solution)
+            out.solution.push_back(block.col_map[j]);
+        out.cost += r.cost;
+        out.lower_bound += r.lower_bound;
+        out.lower_bound_fractional += r.lower_bound_fractional;
+        out.proved_optimal = out.proved_optimal && r.proved_optimal;
+        out.runs_executed = std::max(out.runs_executed, r.runs_executed);
+        out.run_of_best = std::max(out.run_of_best, r.run_of_best);
+        out.subgradient_calls += r.subgradient_calls;
+        out.columns_fixed_by_penalties += r.columns_fixed_by_penalties;
+        out.columns_removed_by_penalties += r.columns_removed_by_penalties;
+    }
+    out.seconds = timer.seconds();
+    UCP_ASSERT(m.is_feasible(out.solution));
+    return out;
+}
+
+namespace {
+
+ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
+    Timer timer;
+    Rng rng(opt.seed);
+    ScgResult out;
+
+    const auto expired = [&] {
+        return opt.time_limit_seconds > 0.0 &&
+               timer.seconds() >= opt.time_limit_seconds;
+    };
+
+    // ---- initial reduction to the exact cyclic core ---------------------------
+    std::vector<Index> essentials;  // original indices, part of every solution
+    Work root;
+    root.col_map.resize(m.num_cols());
+    for (Index j = 0; j < m.num_cols(); ++j) root.col_map[j] = j;
+    root.row_map.resize(m.num_rows());
+    for (Index i = 0; i < m.num_rows(); ++i) root.row_map[i] = i;
+    root.mat = m;
+    root = apply_reduce(root, {}, essentials);
+    const Cost essential_cost = m.solution_cost(essentials);
+
+    if (root.mat.num_rows() == 0) {
+        out.solution = m.make_irredundant(essentials);
+        out.cost = m.solution_cost(out.solution);
+        out.lower_bound = out.cost;
+        out.lower_bound_fractional = static_cast<double>(out.cost);
+        out.proved_optimal = true;
+        out.seconds = timer.seconds();
+        return out;
+    }
+
+    // ---- root subgradient: global bound + first incumbent ----------------------
+    const auto root_sub = lagr::subgradient_ascent(root.mat, opt.subgradient);
+    ++out.subgradient_calls;
+    root.lambda = root_sub.lambda;
+    root.mu = root_sub.mu;
+
+    out.lower_bound_fractional =
+        static_cast<double>(essential_cost) + root_sub.lb_fractional;
+    out.lower_bound = essential_cost + root_sub.lb;
+
+    std::vector<Index> best = essentials;
+    for (const Index j : root_sub.best_solution) best.push_back(root.col_map[j]);
+    best = m.make_irredundant(std::move(best));
+    Cost best_cost = m.solution_cost(best);
+    out.run_of_best = 0;
+
+    if (opt.log != nullptr)
+        *opt.log << "[scg] core " << root.mat.num_rows() << "x"
+                 << root.mat.num_cols() << " essentials " << essentials.size()
+                 << " root LB " << out.lower_bound << " incumbent " << best_cost
+                 << '\n';
+
+    // Save the exact cyclic core (paper: A_e, p_e).
+    const Work saved = root;
+
+    if (best_cost <= out.lower_bound) {
+        out.solution = std::move(best);
+        out.cost = best_cost;
+        out.proved_optimal = true;
+        out.seconds = timer.seconds();
+        return out;
+    }
+
+    // ---- NumIter constructive runs ---------------------------------------------
+    for (int run = 1; run <= opt.num_iter && !expired(); ++run) {
+        ++out.runs_executed;
+        if (best_cost <= out.lower_bound) break;  // already proven optimal
+        Work w = saved;
+        std::vector<Index> chosen = essentials;  // original ids fixed so far
+        auto sub = root_sub;  // valid for `saved`, re-computed after each fixing
+        const int best_col =
+            run == 1 ? 1 : opt.best_col_start + (run - 2) * opt.best_col_growth;
+
+        while (w.mat.num_rows() > 0 && !expired()) {
+            // Candidate incumbent: chosen + this phase's heuristic solution.
+            {
+                std::vector<Index> cand = chosen;
+                for (const Index j : sub.best_solution)
+                    cand.push_back(w.col_map[j]);
+                cand = m.make_irredundant(std::move(cand));
+                const Cost cc = m.solution_cost(cand);
+                if (cc < best_cost) {
+                    best_cost = cc;
+                    best = std::move(cand);
+                    out.run_of_best = run;
+                }
+            }
+            // Local bound: nothing better reachable from this partial fixing.
+            const Cost chosen_cost = m.solution_cost(chosen);
+            if (chosen_cost + sub.lb >= best_cost) break;
+            const Cost local_target = best_cost - chosen_cost;
+
+            std::vector<Index> to_fix;  // work-local columns to take
+            std::vector<bool> fix_mask(w.mat.num_cols(), false);
+            std::vector<Index> to_remove;  // work-local columns to delete
+            std::vector<bool> remove_mask(w.mat.num_cols(), false);
+            const auto mark_fix = [&](Index j) {
+                if (!fix_mask[j] && !remove_mask[j]) {
+                    fix_mask[j] = true;
+                    to_fix.push_back(j);
+                }
+            };
+            const auto mark_remove = [&](Index j) {
+                if (!remove_mask[j] && !fix_mask[j]) {
+                    remove_mask[j] = true;
+                    to_remove.push_back(j);
+                }
+            };
+
+            // Penalty tests prove columns in / out of improving completions.
+            if (opt.use_lagrangian_penalties) {
+                const auto pen = lagr::lagrangian_penalties(
+                    w.mat, sub.lagrangian_costs, sub.lb_fractional, local_target,
+                    opt.subgradient.integer_costs);
+                for (const Index j : pen.fix_to_one) mark_fix(j);
+                for (const Index j : pen.fix_to_zero) mark_remove(j);
+                out.columns_fixed_by_penalties += pen.fix_to_one.size();
+                out.columns_removed_by_penalties += pen.fix_to_zero.size();
+            }
+            if (opt.use_dual_penalties &&
+                w.mat.num_cols() <= opt.dual_pen_max_cols) {
+                const auto pen = lagr::dual_penalties(
+                    w.mat, local_target, sub.lambda, opt.dual_pen_max_cols,
+                    opt.subgradient.integer_costs);
+                for (const Index j : pen.fix_to_one) mark_fix(j);
+                for (const Index j : pen.fix_to_zero) mark_remove(j);
+                out.columns_fixed_by_penalties += pen.fix_to_one.size();
+                out.columns_removed_by_penalties += pen.fix_to_zero.size();
+            }
+
+            // Promising columns: c̃_j ≤ ĉ and µ_j ≥ µ̂ (§3.7).
+            for (Index j = 0; j < w.mat.num_cols(); ++j)
+                if (sub.lagrangian_costs[j] <= opt.c_hat && w.mu[j] >= opt.mu_hat)
+                    mark_fix(j);
+
+            // Always fix at least one column: σ = c̃ − α·µ rating (§3.7/§4).
+            if (to_fix.empty()) {
+                std::vector<Index> order;
+                for (Index j = 0; j < w.mat.num_cols(); ++j)
+                    if (!remove_mask[j]) order.push_back(j);
+                if (order.empty()) break;  // everything removed: hopeless path
+                std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+                    const double sx =
+                        sub.lagrangian_costs[x] - opt.alpha * w.mu[x];
+                    const double sy =
+                        sub.lagrangian_costs[y] - opt.alpha * w.mu[y];
+                    return sx != sy ? sx < sy : x < y;
+                });
+                const std::size_t pool = std::min<std::size_t>(
+                    order.size(), static_cast<std::size_t>(std::max(1, best_col)));
+                const Index pick =
+                    order[run == 1 ? 0 : static_cast<std::size_t>(rng.below(pool))];
+                mark_fix(pick);
+            }
+
+            // Record fixes by original id, shrink the matrix, then fix+reduce.
+            std::vector<Index> fix_orig;
+            fix_orig.reserve(to_fix.size());
+            for (const Index j : to_fix) fix_orig.push_back(w.col_map[j]);
+
+            if (!apply_removals(w, to_remove)) break;  // path proven hopeless
+
+            std::vector<Index> fixed_local;
+            {
+                std::unordered_map<Index, Index> pos;
+                pos.reserve(w.mat.num_cols());
+                for (Index j = 0; j < w.mat.num_cols(); ++j)
+                    pos.emplace(w.col_map[j], j);
+                for (const Index oid : fix_orig) {
+                    const auto it = pos.find(oid);
+                    UCP_ASSERT(it != pos.end());  // fixes are never removed
+                    fixed_local.push_back(it->second);
+                }
+            }
+            w = apply_reduce(w, fixed_local, chosen);
+            if (w.mat.num_rows() == 0) break;  // `chosen` is feasible
+
+            // Re-optimise the multipliers on the reduced problem, warm-started
+            // from the previous ones (paper §3.2: "the best value determined
+            // for the previous problem is assumed as the initial one").
+            sub = lagr::subgradient_ascent(w.mat, opt.subgradient, w.lambda,
+                                           w.mu);
+            ++out.subgradient_calls;
+            w.lambda = sub.lambda;
+            w.mu = sub.mu;
+        }
+
+        if (opt.log != nullptr)
+            *opt.log << "[scg] run " << run << " (BestCol " << best_col
+                     << "): incumbent " << best_cost << ", "
+                     << out.subgradient_calls << " subgradient phases\n";
+
+        // Run finished: if the constructive solution is feasible, it is a
+        // candidate; make it irredundant (paper's final While loop).
+        if (m.is_feasible(chosen)) {
+            std::vector<Index> cand = m.make_irredundant(std::move(chosen));
+            const Cost cc = m.solution_cost(cand);
+            if (cc < best_cost) {
+                best_cost = cc;
+                best = std::move(cand);
+                out.run_of_best = run;
+            }
+        }
+    }
+
+    out.solution = std::move(best);
+    out.cost = best_cost;
+    out.proved_optimal = out.cost <= out.lower_bound;
+    out.seconds = timer.seconds();
+    return out;
+}
+
+}  // namespace
+
+}  // namespace ucp::solver

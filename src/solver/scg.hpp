@@ -1,0 +1,61 @@
+// The paper's algorithm: SCG (subgradient-driven constructive greedy), the
+// explicit phase of ZDD_SCG (Fig. 2).
+//
+// Outer loop: NumIter runs. Each run starts from the saved exact cyclic core
+// and repeatedly
+//   1. runs SubgradientAscent → (λ, µ, LB, incumbent);
+//   2. applies the Lagrangian and dual penalty tests (§3.6) to fix/remove
+//      columns;
+//   3. adds the "promising" columns (c̃_j ≤ ĉ and µ_j ≥ µ̂, §3.7);
+//   4. rates the rest with σ = c̃ − α·µ and fixes one more column — the best
+//      one in run 1, a random one of the best `BestCol` in later runs;
+//   5. re-reduces the matrix to a fixed point;
+// until the matrix empties or the local bound proves no improvement is
+// possible. The incumbent is made irredundant at the end of each run.
+// BestCol grows from run to run to widen the explored region (§4).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "lagrangian/subgradient.hpp"
+#include "matrix/sparse_matrix.hpp"
+
+namespace ucp::solver {
+
+struct ScgOptions {
+    int num_iter = 4;          ///< NumIter: number of constructive runs
+    int best_col_start = 1;    ///< BestCol for run 2 (run 1 is deterministic)
+    int best_col_growth = 2;   ///< BestCol increment per run
+    double alpha = 2.0;        ///< σ = c̃ − α·µ (paper: α = 2)
+    double c_hat = 0.001;      ///< promising-column threshold on c̃
+    double mu_hat = 0.999;     ///< promising-column threshold on µ
+    bool use_lagrangian_penalties = true;
+    bool use_dual_penalties = true;
+    std::size_t dual_pen_max_cols = 100;  ///< paper: DualPen = 100
+    std::uint64_t seed = 0x5eed;
+    double time_limit_seconds = 0.0;  ///< 0 = unlimited
+    lagr::SubgradientOptions subgradient{};
+    /// Optional progress log (one line per subgradient phase / run).
+    std::ostream* log = nullptr;
+};
+
+struct ScgResult {
+    std::vector<cov::Index> solution;  ///< original column indices, irredundant
+    cov::Cost cost = 0;
+    cov::Cost lower_bound = 0;       ///< best global Lagrangian bound, ⌈·⌉
+    double lower_bound_fractional = 0.0;
+    bool proved_optimal = false;     ///< cost == lower_bound
+    int runs_executed = 0;
+    int run_of_best = 0;             ///< the run (1-based) that found `solution`
+    std::size_t subgradient_calls = 0;
+    std::size_t columns_fixed_by_penalties = 0;
+    std::size_t columns_removed_by_penalties = 0;
+    double seconds = 0.0;
+};
+
+/// Solves the unate covering problem heuristically with the SCG scheme.
+ScgResult solve_scg(const cov::CoverMatrix& m, const ScgOptions& opt = {});
+
+}  // namespace ucp::solver

@@ -1,0 +1,98 @@
+#include "solver/two_level.hpp"
+
+#include "cover/zdd_cover.hpp"
+#include "matrix/reductions.hpp"
+#include "pla/urp.hpp"
+#include "solver/greedy.hpp"
+#include "util/timer.hpp"
+
+namespace ucp::solver {
+
+using cov::Cost;
+using cov::Index;
+
+bool verify_equivalence(const pla::Pla& pla, const pla::Cover& cover) {
+    const pla::CubeSpace& s = pla.space();
+    if (cover.space() != s) return false;
+
+    // Direction 1: cover asserts no OFF point — every cube of the cover is an
+    // implicant of ON ∪ DC.
+    pla::Cover care = pla.on;
+    care.append(pla.dc);
+    for (const auto& c : cover)
+        if (!pla::cover_contains_cube(care, c)) return false;
+
+    // Direction 2: every ON point is covered — ON ≤ cover ∪ DC.
+    pla::Cover relaxed = cover;
+    relaxed.append(pla.dc);
+    for (const auto& c : pla.on)
+        if (!pla::cover_contains_cube(relaxed, c)) return false;
+    return true;
+}
+
+TwoLevelResult minimize_two_level(const pla::Pla& pla,
+                                  const TwoLevelOptions& opt) {
+    Timer total;
+    TwoLevelResult res;
+
+    const cover::CoveringTable table = cover::build_covering_table(pla, opt.table);
+    res.num_primes = table.primes.size();
+    res.num_rows = table.matrix.num_rows();
+    res.onset_minterms = table.onset_minterms;
+    res.cyclic_core_seconds = table.build_seconds;
+
+    std::vector<Index> solution;
+    switch (opt.cover_solver) {
+        case CoverSolver::kScg: {
+            const ScgResult r = solve_scg(table.matrix, opt.scg);
+            solution = r.solution;
+            res.weighted_lower_bound = r.lower_bound;
+            res.proved_optimal = r.proved_optimal;
+            res.run_of_best = r.run_of_best;
+            break;
+        }
+        case CoverSolver::kGreedy: {
+            const GreedyResult r = chvatal_greedy(table.matrix);
+            solution = r.solution;
+            res.weighted_lower_bound = 0;
+            break;
+        }
+        case CoverSolver::kExact: {
+            const BnbResult r = solve_exact(table.matrix, opt.bnb);
+            solution = r.solution;
+            res.weighted_lower_bound = r.lower_bound;
+            res.proved_optimal = r.optimal;
+            break;
+        }
+        case CoverSolver::kImplicitExact: {
+            // Reduce explicitly first (essentials + dominance), then let the
+            // ZDD enumeration solve the cyclic core exactly.
+            const cov::ReduceResult red = cov::reduce(table.matrix);
+            solution = red.essential_cols;
+            Cost lb = red.fixed_cost;
+            if (!red.solved()) {
+                const auto best = cover::implicit_exact_cover(red.core);
+                for (const auto v : best.members)
+                    solution.push_back(red.core_col_map[v]);
+                lb += best.cost;
+            }
+            solution = table.matrix.make_irredundant(std::move(solution));
+            res.weighted_lower_bound = lb;
+            res.proved_optimal = true;
+            break;
+        }
+    }
+    res.weighted_cost = table.matrix.solution_cost(solution);
+    // Under the lexicographic (products, literals) model the product-count
+    // bound is ⌊weighted bound / W⌋ (W exceeds every literal total).
+    res.lower_bound = res.weighted_lower_bound / table.weight_scale;
+
+    res.cover = cover::solution_to_cover(table, solution);
+    res.cost = static_cast<Cost>(res.cover.size());
+    res.literals = res.cover.literal_count();
+    if (opt.verify) res.verified = verify_equivalence(pla, res.cover);
+    res.total_seconds = total.seconds();
+    return res;
+}
+
+}  // namespace ucp::solver

@@ -1,0 +1,77 @@
+// Minimal arbitrary-precision unsigned integer: addition and decimal
+// printing only — exactly what exact ZDD family counting needs (families
+// routinely exceed 2^64, e.g. power sets and enumerated cover families).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ucp {
+
+class BigUint {
+public:
+    BigUint() = default;
+    /*implicit*/ BigUint(std::uint64_t v) {
+        if (v != 0) {
+            limbs_.push_back(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+            if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+        }
+    }
+
+    [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+
+    BigUint& operator+=(const BigUint& other) {
+        const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+        limbs_.resize(n, 0);
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t sum = carry + limbs_[i];
+            if (i < other.limbs_.size()) sum += other.limbs_[i];
+            limbs_[i] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
+            carry = sum >> 32;
+        }
+        if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+        return *this;
+    }
+    friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+
+    friend bool operator==(const BigUint&, const BigUint&) = default;
+
+    /// Value as double (may lose precision / overflow to inf — for checks).
+    [[nodiscard]] double to_double() const noexcept {
+        double v = 0;
+        for (std::size_t i = limbs_.size(); i-- > 0;)
+            v = v * 4294967296.0 + static_cast<double>(limbs_[i]);
+        return v;
+    }
+
+    /// Exact decimal representation.
+    [[nodiscard]] std::string to_string() const {
+        if (limbs_.empty()) return "0";
+        std::vector<std::uint32_t> work(limbs_);
+        std::string digits;
+        while (!work.empty()) {
+            // Divide by 10^9, collecting the remainder.
+            std::uint64_t rem = 0;
+            for (std::size_t i = work.size(); i-- > 0;) {
+                const std::uint64_t cur = (rem << 32) | work[i];
+                work[i] = static_cast<std::uint32_t>(cur / 1000000000ULL);
+                rem = cur % 1000000000ULL;
+            }
+            while (!work.empty() && work.back() == 0) work.pop_back();
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), work.empty() ? "%llu" : "%09llu",
+                          static_cast<unsigned long long>(rem));
+            digits.insert(0, buf);
+        }
+        return digits;
+    }
+
+private:
+    std::vector<std::uint32_t> limbs_;  // little-endian, no leading zeros
+};
+
+}  // namespace ucp

@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// Library code validates its *public* preconditions with UCP_REQUIRE (always on,
+// throws std::invalid_argument) and internal invariants with UCP_ASSERT (throws
+// std::logic_error; compiled in all build types — the solvers here are not on a
+// nanosecond-critical path, and a corrupted covering matrix must never silently
+// produce a "solution").
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ucp::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+    throw std::invalid_argument(std::string("precondition failed: ") + expr + " at " +
+                                file + ":" + std::to_string(line) +
+                                (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file, int line) {
+    throw std::logic_error(std::string("internal invariant violated: ") + expr +
+                           " at " + file + ":" + std::to_string(line));
+}
+
+}  // namespace ucp::detail
+
+#define UCP_REQUIRE(expr, msg)                                              \
+    do {                                                                    \
+        if (!(expr)) ::ucp::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+    } while (false)
+
+#define UCP_ASSERT(expr)                                                    \
+    do {                                                                    \
+        if (!(expr)) ::ucp::detail::assert_failed(#expr, __FILE__, __LINE__); \
+    } while (false)

@@ -1,0 +1,56 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ucp {
+
+Options::Options(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos) {
+                values_[arg.substr(2)] = "true";
+            } else {
+                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            }
+        } else {
+            positional_.push_back(std::move(arg));
+        }
+    }
+}
+
+bool Options::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string Options::get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long Options::get_int(const std::string& name, long fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::stol(it->second);
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Options::keys() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [k, _] : values_) out.push_back(k);
+    return out;
+}
+
+}  // namespace ucp

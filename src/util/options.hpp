@@ -1,0 +1,39 @@
+// Minimal command-line option parser for examples and benchmark binaries.
+//
+// Syntax: "--key=value", "--flag" (boolean true) and bare positional arguments.
+// Unknown options are kept and can be listed, so binaries can warn about typos.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ucp {
+
+class Options {
+public:
+    Options() = default;
+    Options(int argc, const char* const* argv);
+
+    /// True if "--name" or "--name=..." was given.
+    [[nodiscard]] bool has(const std::string& name) const;
+
+    [[nodiscard]] std::string get(const std::string& name,
+                                  const std::string& fallback = "") const;
+    [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+    [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+    [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+    [[nodiscard]] const std::vector<std::string>& positional() const {
+        return positional_;
+    }
+
+    /// All option keys that were present on the command line.
+    [[nodiscard]] std::vector<std::string> keys() const;
+
+private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace ucp

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ucp {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+            c != '+' && c != 'e' && c != '*' && c != '(' && c != ')' && c != '%')
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+        os << '|';
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string();
+            const bool right = align_numeric && looks_numeric(cell);
+            os << ' ' << (right ? std::string(width[c] - cell.size(), ' ') : "")
+               << cell << (right ? "" : std::string(width[c] - cell.size(), ' '))
+               << " |";
+        }
+        os << '\n';
+    };
+
+    emit(header_, false);
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << '|';
+    os << '\n';
+    for (const auto& row : rows_) emit(row, true);
+    return os.str();
+}
+
+}  // namespace ucp

@@ -1,0 +1,33 @@
+// Column-aligned plain-text table printer used by the benchmark binaries to emit
+// the paper's tables (Table 1-4 and the easy-cyclic totals).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ucp {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Numeric-looking cells are right-aligned, everything else left-aligned.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Adds a data row. Missing trailing cells render as empty.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    static std::string num(double v, int precision = 2);
+
+    void print(std::ostream& os) const;
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ucp

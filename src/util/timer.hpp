@@ -1,0 +1,48 @@
+// Wall-clock timing used by benchmark harnesses to fill the CC(s) / T(s) columns
+// of the paper's tables.
+#pragma once
+
+#include <chrono>
+
+namespace ucp {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class Timer {
+public:
+    Timer() noexcept : start_(Clock::now()) {}
+
+    void restart() noexcept { start_ = Clock::now(); }
+
+    /// Elapsed time in seconds since construction or the last restart().
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Deadline helper: lets long-running solvers honour a time budget.
+class Deadline {
+public:
+    /// A non-positive budget means "no limit".
+    explicit Deadline(double budget_seconds = 0.0) noexcept
+        : budget_(budget_seconds) {}
+
+    [[nodiscard]] bool expired() const noexcept {
+        return budget_ > 0.0 && timer_.seconds() >= budget_;
+    }
+
+    [[nodiscard]] double remaining() const noexcept {
+        return budget_ > 0.0 ? budget_ - timer_.seconds() : 1e300;
+    }
+
+private:
+    double budget_;
+    Timer timer_;
+};
+
+}  // namespace ucp

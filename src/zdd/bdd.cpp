@@ -1,0 +1,189 @@
+#include "zdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+namespace ucp::zdd {
+
+namespace {
+constexpr std::size_t kInitialTable = 1u << 12;
+constexpr std::size_t kCacheSize = 1u << 16;
+}  // namespace
+
+BddManager::BddManager(std::uint32_t num_vars) : num_vars_(num_vars) {
+    UCP_REQUIRE(num_vars < kBddTermVar, "variable count out of range");
+    nodes_.resize(2);
+    nodes_[0] = {kBddTermVar, 0, 0};
+    nodes_[1] = {kBddTermVar, 1, 1};
+    table_.assign(kInitialTable, 0);
+    table_mask_ = kInitialTable - 1;
+    cache_.assign(kCacheSize, CacheEntry{});
+    cache_mask_ = kCacheSize - 1;
+}
+
+std::uint64_t BddManager::triple_hash(std::uint32_t v, BddId lo, BddId hi) noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(v) << 40) ^
+                      (static_cast<std::uint64_t>(lo) << 20) ^ hi;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 30;
+    return h;
+}
+
+BddId BddManager::make(std::uint32_t v, BddId lo, BddId hi) {
+    if (lo == hi) return lo;  // BDD reduction rule
+    UCP_ASSERT(v < num_vars_);
+    UCP_ASSERT(var_of(lo) > v && var_of(hi) > v);
+
+    std::size_t idx = triple_hash(v, lo, hi) & table_mask_;
+    while (true) {
+        const BddId slot = table_[idx];
+        if (slot == 0) break;
+        const Node& n = nodes_[slot];
+        if (n.var == v && n.lo == lo && n.hi == hi) return slot;
+        idx = (idx + 1) & table_mask_;
+    }
+    const BddId id = static_cast<BddId>(nodes_.size());
+    nodes_.push_back({v, lo, hi});
+    table_[idx] = id;
+    ++table_entries_;
+    if (table_entries_ * 4 > table_.size() * 3) rehash(table_.size() * 2);
+    return id;
+}
+
+void BddManager::rehash(std::size_t new_capacity) {
+    std::vector<BddId> old = std::move(table_);
+    table_.assign(new_capacity, 0);
+    table_mask_ = new_capacity - 1;
+    for (const BddId id : old) {
+        if (id == 0) continue;
+        const Node& n = nodes_[id];
+        std::size_t idx = triple_hash(n.var, n.lo, n.hi) & table_mask_;
+        while (table_[idx] != 0) idx = (idx + 1) & table_mask_;
+        table_[idx] = id;
+    }
+}
+
+std::uint64_t BddManager::cache_key(Op op, BddId a, BddId b) noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(op) << 58) ^
+                      (static_cast<std::uint64_t>(a) << 29) ^ b;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+BddId BddManager::var(std::uint32_t v) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    return make(v, kBddFalse, kBddTrue);
+}
+
+BddId BddManager::nvar(std::uint32_t v) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    return make(v, kBddTrue, kBddFalse);
+}
+
+BddId BddManager::and_(BddId a, BddId b) { return apply(Op::kAnd, a, b); }
+BddId BddManager::or_(BddId a, BddId b) { return apply(Op::kOr, a, b); }
+BddId BddManager::xor_(BddId a, BddId b) { return apply(Op::kXor, a, b); }
+
+BddId BddManager::apply(Op op, BddId a, BddId b) {
+    // Terminal cases.
+    switch (op) {
+        case Op::kAnd:
+            if (a == kBddFalse || b == kBddFalse) return kBddFalse;
+            if (a == kBddTrue) return b;
+            if (b == kBddTrue) return a;
+            if (a == b) return a;
+            break;
+        case Op::kOr:
+            if (a == kBddTrue || b == kBddTrue) return kBddTrue;
+            if (a == kBddFalse) return b;
+            if (b == kBddFalse) return a;
+            if (a == b) return a;
+            break;
+        case Op::kXor:
+            if (a == b) return kBddFalse;
+            if (a == kBddFalse) return b;
+            if (b == kBddFalse) return a;
+            if (a == kBddTrue) return not_(b);
+            if (b == kBddTrue) return not_(a);
+            break;
+        default:
+            UCP_ASSERT(false);
+    }
+    if (a > b) std::swap(a, b);  // all three ops are commutative
+
+    BddId cached;
+    const std::uint64_t key = cache_key(op, a, b);
+    const CacheEntry& e = cache_[key & cache_mask_];
+    if (e.key == key) return e.result;
+
+    const std::uint32_t va = var_of(a), vb = var_of(b);
+    const std::uint32_t v = std::min(va, vb);
+    const BddId a0 = va == v ? nodes_[a].lo : a;
+    const BddId a1 = va == v ? nodes_[a].hi : a;
+    const BddId b0 = vb == v ? nodes_[b].lo : b;
+    const BddId b1 = vb == v ? nodes_[b].hi : b;
+    cached = make(v, apply(op, a0, b0), apply(op, a1, b1));
+    cache_[key & cache_mask_] = {key, cached};
+    return cached;
+}
+
+BddId BddManager::not_(BddId a) { return not_rec(a); }
+
+BddId BddManager::not_rec(BddId a) {
+    if (a == kBddFalse) return kBddTrue;
+    if (a == kBddTrue) return kBddFalse;
+    const std::uint64_t key = cache_key(Op::kNot, a, a);
+    const CacheEntry& e = cache_[key & cache_mask_];
+    if (e.key == key) return e.result;
+    const BddId r =
+        make(nodes_[a].var, not_rec(nodes_[a].lo), not_rec(nodes_[a].hi));
+    cache_[key & cache_mask_] = {key, r};
+    return r;
+}
+
+BddId BddManager::cofactor(BddId f, std::uint32_t v, bool value) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    return cofactor_rec(f, v, value);
+}
+
+BddId BddManager::cofactor_rec(BddId f, std::uint32_t v, bool value) {
+    const std::uint32_t vf = var_of(f);
+    if (vf > v) return f;  // f does not depend on v above this point
+    if (vf == v) return value ? nodes_[f].hi : nodes_[f].lo;
+    const Op op = value ? Op::kCof1 : Op::kCof0;
+    const std::uint64_t key = cache_key(op, f, static_cast<BddId>(v));
+    const CacheEntry& e = cache_[key & cache_mask_];
+    if (e.key == key) return e.result;
+    const BddId r = make(vf, cofactor_rec(nodes_[f].lo, v, value),
+                         cofactor_rec(nodes_[f].hi, v, value));
+    cache_[key & cache_mask_] = {key, r};
+    return r;
+}
+
+double BddManager::sat_count(BddId f) const {
+    // count(n) = number of satisfying assignments of the sub-function over the
+    // variables strictly below var_of(n)'s level; scale at the root.
+    std::unordered_map<BddId, double> memo;
+    const std::function<double(BddId)> rec = [&](BddId n) -> double {
+        if (n == kBddFalse) return 0.0;
+        if (n == kBddTrue) return 1.0;
+        const auto it = memo.find(n);
+        if (it != memo.end()) return it->second;
+        const auto gap = [&](BddId child) {
+            const std::uint32_t cv =
+                child < 2 ? num_vars_ : nodes_[child].var;
+            return static_cast<double>(cv - nodes_[n].var - 1);
+        };
+        const double c = rec(nodes_[n].lo) * std::pow(2.0, gap(nodes_[n].lo)) +
+                         rec(nodes_[n].hi) * std::pow(2.0, gap(nodes_[n].hi));
+        memo.emplace(n, c);
+        return c;
+    };
+    const std::uint32_t root_var = f < 2 ? num_vars_ : nodes_[f].var;
+    return rec(f) * std::pow(2.0, static_cast<double>(root_var));
+}
+
+}  // namespace ucp::zdd

@@ -1,0 +1,93 @@
+// A compact BDD (reduced ordered binary decision diagram) engine.
+//
+// Used by the implicit prime-implicant generator: the Boolean function is built
+// as a BDD from its cover, then the Coudert–Madre recursion turns it into a ZDD
+// of prime cubes. The engine is deliberately small: no complement edges, no
+// dynamic reordering — the covering flow only needs AND/OR/NOT, cofactors and
+// satisfiability counting on functions of moderate support.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ucp::zdd {
+
+using BddId = std::uint32_t;
+inline constexpr BddId kBddFalse = 0;
+inline constexpr BddId kBddTrue = 1;
+inline constexpr std::uint32_t kBddTermVar = 0xFFFFFFFFu;
+
+/// BDD node manager. Unlike the ZDD manager it has no external-reference GC:
+/// a BddManager is created per prime-generation call and discarded afterwards,
+/// which matches the paper's usage (the function BDD is a transient artifact).
+class BddManager {
+public:
+    explicit BddManager(std::uint32_t num_vars);
+
+    BddManager(const BddManager&) = delete;
+    BddManager& operator=(const BddManager&) = delete;
+
+    [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+
+    // ---- constructors -------------------------------------------------------
+    [[nodiscard]] BddId bfalse() const noexcept { return kBddFalse; }
+    [[nodiscard]] BddId btrue() const noexcept { return kBddTrue; }
+    BddId var(std::uint32_t v);   ///< the function x_v
+    BddId nvar(std::uint32_t v);  ///< the function ¬x_v
+
+    // ---- operations ----------------------------------------------------------
+    BddId and_(BddId a, BddId b);
+    BddId or_(BddId a, BddId b);
+    BddId not_(BddId a);
+    BddId xor_(BddId a, BddId b);
+    /// f with x_v fixed to the given value.
+    BddId cofactor(BddId f, std::uint32_t v, bool value);
+
+    // ---- queries --------------------------------------------------------------
+    [[nodiscard]] std::uint32_t var_of(BddId n) const noexcept {
+        return n < 2 ? kBddTermVar : nodes_[n].var;
+    }
+    [[nodiscard]] BddId lo_of(BddId n) const noexcept { return nodes_[n].lo; }
+    [[nodiscard]] BddId hi_of(BddId n) const noexcept { return nodes_[n].hi; }
+    [[nodiscard]] bool is_const(BddId n) const noexcept { return n < 2; }
+
+    /// Number of satisfying assignments over all num_vars() variables.
+    double sat_count(BddId f) const;
+    /// Total allocated nodes (a size/debug metric).
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+    BddId make(std::uint32_t v, BddId lo, BddId hi);
+
+private:
+    enum class Op : std::uint8_t { kAnd = 1, kOr, kXor, kNot, kCof0, kCof1 };
+
+    struct Node {
+        std::uint32_t var;
+        BddId lo;
+        BddId hi;
+    };
+    struct CacheEntry {
+        std::uint64_t key = ~0ULL;
+        BddId result = 0;
+    };
+
+    BddId apply(Op op, BddId a, BddId b);
+    BddId not_rec(BddId a);
+    BddId cofactor_rec(BddId f, std::uint32_t v, bool value);
+
+    void rehash(std::size_t new_capacity);
+    static std::uint64_t triple_hash(std::uint32_t v, BddId lo, BddId hi) noexcept;
+    static std::uint64_t cache_key(Op op, BddId a, BddId b) noexcept;
+
+    std::uint32_t num_vars_;
+    std::vector<Node> nodes_;
+    std::vector<BddId> table_;
+    std::size_t table_mask_ = 0;
+    std::size_t table_entries_ = 0;
+    std::vector<CacheEntry> cache_;
+    std::size_t cache_mask_ = 0;
+};
+
+}  // namespace ucp::zdd

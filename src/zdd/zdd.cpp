@@ -1,0 +1,656 @@
+#include "zdd/zdd.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/bignum.hpp"
+
+namespace ucp::zdd {
+
+// ---------------------------------------------------------------------------
+// Zdd handle
+// ---------------------------------------------------------------------------
+
+Zdd::Zdd(ZddManager* mgr, NodeId id) : mgr_(mgr), id_(id) {
+    if (mgr_ != nullptr) mgr_->ref_external(id_);
+}
+
+Zdd::Zdd(const Zdd& other) : mgr_(other.mgr_), id_(other.id_) {
+    if (mgr_ != nullptr) mgr_->ref_external(id_);
+}
+
+Zdd::Zdd(Zdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+    other.mgr_ = nullptr;
+    other.id_ = kEmpty;
+}
+
+Zdd& Zdd::operator=(const Zdd& other) {
+    if (this != &other) {
+        Zdd tmp(other);
+        std::swap(mgr_, tmp.mgr_);
+        std::swap(id_, tmp.id_);
+    }
+    return *this;
+}
+
+Zdd& Zdd::operator=(Zdd&& other) noexcept {
+    if (this != &other) {
+        release();
+        mgr_ = other.mgr_;
+        id_ = other.id_;
+        other.mgr_ = nullptr;
+        other.id_ = kEmpty;
+    }
+    return *this;
+}
+
+Zdd::~Zdd() { release(); }
+
+void Zdd::release() noexcept {
+    if (mgr_ != nullptr) {
+        mgr_->unref_external(id_);
+        mgr_ = nullptr;
+        id_ = kEmpty;
+    }
+}
+
+Zdd Zdd::operator|(const Zdd& rhs) const { return mgr_->union_(*this, rhs); }
+Zdd Zdd::operator&(const Zdd& rhs) const { return mgr_->intersect(*this, rhs); }
+Zdd Zdd::operator-(const Zdd& rhs) const { return mgr_->diff(*this, rhs); }
+Zdd Zdd::operator*(const Zdd& rhs) const { return mgr_->product(*this, rhs); }
+
+double Zdd::count() const { return mgr_ == nullptr ? 0.0 : mgr_->count(*this); }
+
+std::size_t Zdd::node_count() const {
+    return mgr_ == nullptr ? 0 : mgr_->node_count(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Manager: construction, unique table, cache
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kInitialTable = 1u << 12;
+constexpr std::size_t kCacheSize = 1u << 16;
+}  // namespace
+
+ZddManager::ZddManager(Var num_vars) : num_vars_(num_vars) {
+    UCP_REQUIRE(num_vars < kTermVar, "variable count out of range");
+    nodes_.resize(2);  // terminals; var/lo/hi of terminals are never read
+    nodes_[0] = {kTermVar, 0, 0};
+    nodes_[1] = {kTermVar, 1, 1};
+    extref_.resize(2, 0);
+    table_.assign(kInitialTable, 0);
+    table_mask_ = kInitialTable - 1;
+    cache_.assign(kCacheSize, CacheEntry{});
+    cache_mask_ = kCacheSize - 1;
+}
+
+std::uint64_t ZddManager::triple_hash(Var v, NodeId lo, NodeId hi) noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(v) << 40) ^
+                      (static_cast<std::uint64_t>(lo) << 20) ^ hi;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return h;
+}
+
+NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
+    if (hi == kEmpty) return lo;  // zero-suppression rule
+    UCP_ASSERT(v < num_vars_);
+    UCP_ASSERT(var_of(lo) > v && var_of(hi) > v);
+
+    std::size_t idx = triple_hash(v, lo, hi) & table_mask_;
+    while (true) {
+        const NodeId slot = table_[idx];
+        if (slot == 0) break;
+        const Node& n = nodes_[slot];
+        if (n.var == v && n.lo == lo && n.hi == hi) return slot;
+        idx = (idx + 1) & table_mask_;
+    }
+
+    NodeId id;
+    if (!free_.empty()) {
+        id = free_.back();
+        free_.pop_back();
+        nodes_[id] = {v, lo, hi};
+        extref_[id] = 0;
+    } else {
+        id = static_cast<NodeId>(nodes_.size());
+        nodes_.push_back({v, lo, hi});
+        extref_.push_back(0);
+    }
+    table_[idx] = id;
+    ++table_entries_;
+    if (table_entries_ * 4 > table_.size() * 3) rehash(table_.size() * 2);
+    return id;
+}
+
+void ZddManager::rehash(std::size_t new_capacity) {
+    std::vector<NodeId> old = std::move(table_);
+    table_.assign(new_capacity, 0);
+    table_mask_ = new_capacity - 1;
+    for (const NodeId id : old) {
+        if (id == 0) continue;
+        const Node& n = nodes_[id];
+        std::size_t idx = triple_hash(n.var, n.lo, n.hi) & table_mask_;
+        while (table_[idx] != 0) idx = (idx + 1) & table_mask_;
+        table_[idx] = id;
+    }
+}
+
+std::uint64_t ZddManager::cache_key(Op op, NodeId a, NodeId b) noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(op) << 58) ^
+                      (static_cast<std::uint64_t>(a) << 29) ^ b;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+bool ZddManager::cache_lookup(Op op, NodeId a, NodeId b, NodeId& out) const noexcept {
+    const std::uint64_t key = cache_key(op, a, b);
+    const CacheEntry& e = cache_[key & cache_mask_];
+    if (e.key == key) {
+        out = e.result;
+        return true;
+    }
+    return false;
+}
+
+void ZddManager::cache_store(Op op, NodeId a, NodeId b, NodeId result) noexcept {
+    const std::uint64_t key = cache_key(op, a, b);
+    cache_[key & cache_mask_] = {key, result};
+}
+
+void ZddManager::ref_external(NodeId n) {
+    UCP_ASSERT(n < extref_.size());
+    ++extref_[n];
+}
+
+void ZddManager::unref_external(NodeId n) noexcept {
+    if (n < extref_.size() && extref_[n] > 0) --extref_[n];
+}
+
+void ZddManager::maybe_gc() {
+    if (gc_enabled_ && live_nodes() > gc_threshold_) {
+        const std::size_t reclaimed = gc();
+        // Grow the threshold if the working set is genuinely large, so GC
+        // doesn't thrash.
+        if (reclaimed < gc_threshold_ / 4) gc_threshold_ *= 2;
+    }
+}
+
+std::size_t ZddManager::gc() {
+    std::vector<bool> mark(nodes_.size(), false);
+    mark[0] = mark[1] = true;
+
+    std::vector<NodeId> stack;
+    for (NodeId n = 2; n < nodes_.size(); ++n)
+        if (extref_[n] > 0) stack.push_back(n);
+
+    while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        if (mark[n]) continue;
+        mark[n] = true;
+        if (!mark[nodes_[n].lo]) stack.push_back(nodes_[n].lo);
+        if (!mark[nodes_[n].hi]) stack.push_back(nodes_[n].hi);
+    }
+
+    // Sweep: everything unmarked and not already free goes to the free list.
+    std::vector<bool> is_free(nodes_.size(), false);
+    for (const NodeId f : free_) is_free[f] = true;
+    std::size_t reclaimed = 0;
+    for (NodeId n = 2; n < nodes_.size(); ++n) {
+        if (!mark[n] && !is_free[n]) {
+            free_.push_back(n);
+            ++reclaimed;
+        }
+    }
+
+    // Rebuild the unique table from live nodes and drop the cache (it may
+    // reference dead nodes).
+    std::fill(table_.begin(), table_.end(), 0);
+    table_entries_ = 0;
+    for (NodeId n = 2; n < nodes_.size(); ++n) {
+        if (!mark[n]) continue;
+        const Node& nd = nodes_[n];
+        std::size_t idx = triple_hash(nd.var, nd.lo, nd.hi) & table_mask_;
+        while (table_[idx] != 0) idx = (idx + 1) & table_mask_;
+        table_[idx] = n;
+        ++table_entries_;
+    }
+    std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+    return reclaimed;
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+Zdd ZddManager::single(Var v) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    return handle(make(v, kEmpty, kBase));
+}
+
+Zdd ZddManager::set_of(const std::vector<Var>& vars) {
+    std::vector<Var> sorted = vars;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    NodeId cur = kBase;
+    for (const Var v : sorted) {
+        UCP_REQUIRE(v < num_vars_, "variable out of range");
+        UCP_REQUIRE(cur == kBase || v < var_of(cur), "duplicate variable in set");
+        cur = make(v, kEmpty, cur);
+    }
+    return handle(cur);
+}
+
+Zdd ZddManager::power_set(const std::vector<Var>& vars) {
+    std::vector<Var> sorted = vars;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    NodeId cur = kBase;
+    for (const Var v : sorted) {
+        UCP_REQUIRE(v < num_vars_, "variable out of range");
+        cur = make(v, cur, cur);
+    }
+    return handle(cur);
+}
+
+// ---------------------------------------------------------------------------
+// Core set operations
+// ---------------------------------------------------------------------------
+
+Zdd ZddManager::union_(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(union_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::union_rec(NodeId a, NodeId b) {
+    if (a == b || b == kEmpty) return a;
+    if (a == kEmpty) return b;
+    if (a > b) std::swap(a, b);  // commutative: canonicalise the cache key
+    NodeId cached;
+    if (cache_lookup(Op::kUnion, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    NodeId r;
+    if (va < vb) {
+        r = make(va, union_rec(nodes_[a].lo, b), nodes_[a].hi);
+    } else if (vb < va) {
+        r = make(vb, union_rec(a, nodes_[b].lo), nodes_[b].hi);
+    } else {
+        r = make(va, union_rec(nodes_[a].lo, nodes_[b].lo),
+                 union_rec(nodes_[a].hi, nodes_[b].hi));
+    }
+    cache_store(Op::kUnion, a, b, r);
+    return r;
+}
+
+Zdd ZddManager::intersect(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(intersect_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::intersect_rec(NodeId a, NodeId b) {
+    if (a == b) return a;
+    if (a == kEmpty || b == kEmpty) return kEmpty;
+    if (a > b) std::swap(a, b);
+    // One operand terminal-1: keep ∅ if the other family contains it.
+    if (a == kBase) return contains_empty(b) ? kBase : kEmpty;
+    NodeId cached;
+    if (cache_lookup(Op::kIntersect, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    NodeId r;
+    if (va < vb) {
+        r = intersect_rec(nodes_[a].lo, b);
+    } else if (vb < va) {
+        r = intersect_rec(a, nodes_[b].lo);
+    } else {
+        r = make(va, intersect_rec(nodes_[a].lo, nodes_[b].lo),
+                 intersect_rec(nodes_[a].hi, nodes_[b].hi));
+    }
+    cache_store(Op::kIntersect, a, b, r);
+    return r;
+}
+
+Zdd ZddManager::diff(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(diff_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::diff_rec(NodeId a, NodeId b) {
+    if (a == kEmpty || a == b) return kEmpty;
+    if (b == kEmpty) return a;
+    if (a == kBase) return contains_empty(b) ? kEmpty : kBase;
+    NodeId cached;
+    if (cache_lookup(Op::kDiff, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    NodeId r;
+    if (va < vb) {
+        r = make(va, diff_rec(nodes_[a].lo, b), nodes_[a].hi);
+    } else if (vb < va) {
+        r = diff_rec(a, nodes_[b].lo);
+    } else {
+        r = make(va, diff_rec(nodes_[a].lo, nodes_[b].lo),
+                 diff_rec(nodes_[a].hi, nodes_[b].hi));
+    }
+    cache_store(Op::kDiff, a, b, r);
+    return r;
+}
+
+bool ZddManager::contains_empty(NodeId a) const noexcept {
+    while (a >= 2) a = nodes_[a].lo;
+    return a == kBase;
+}
+
+Zdd ZddManager::subset0(const Zdd& a, Var v) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    Zdd r = handle(subset0_rec(a.id(), v));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::subset0_rec(NodeId a, Var v) {
+    const Var va = var_of(a);
+    if (va > v) return a;  // v cannot occur below (ordering) — includes terminals
+    if (va == v) return nodes_[a].lo;
+    NodeId cached;
+    if (cache_lookup(Op::kSubset0, a, static_cast<NodeId>(v), cached)) return cached;
+    const NodeId r =
+        make(va, subset0_rec(nodes_[a].lo, v), subset0_rec(nodes_[a].hi, v));
+    cache_store(Op::kSubset0, a, static_cast<NodeId>(v), r);
+    return r;
+}
+
+Zdd ZddManager::subset1(const Zdd& a, Var v) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    Zdd r = handle(subset1_rec(a.id(), v));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::subset1_rec(NodeId a, Var v) {
+    const Var va = var_of(a);
+    if (va > v) return kEmpty;
+    if (va == v) return nodes_[a].hi;
+    NodeId cached;
+    if (cache_lookup(Op::kSubset1, a, static_cast<NodeId>(v), cached)) return cached;
+    const NodeId r =
+        make(va, subset1_rec(nodes_[a].lo, v), subset1_rec(nodes_[a].hi, v));
+    cache_store(Op::kSubset1, a, static_cast<NodeId>(v), r);
+    return r;
+}
+
+Zdd ZddManager::change(const Zdd& a, Var v) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    Zdd r = handle(change_rec(a.id(), v));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::change_rec(NodeId a, Var v) {
+    const Var va = var_of(a);
+    if (va > v) return make(v, kEmpty, a);
+    if (va == v) return make(v, nodes_[a].hi, nodes_[a].lo);
+    NodeId cached;
+    if (cache_lookup(Op::kChange, a, static_cast<NodeId>(v), cached)) return cached;
+    const NodeId r = make(va, change_rec(nodes_[a].lo, v), change_rec(nodes_[a].hi, v));
+    cache_store(Op::kChange, a, static_cast<NodeId>(v), r);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Cube-set operations
+// ---------------------------------------------------------------------------
+
+Zdd ZddManager::product(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(product_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::product_rec(NodeId a, NodeId b) {
+    if (a == kEmpty || b == kEmpty) return kEmpty;
+    if (a == kBase) return b;
+    if (b == kBase) return a;
+    if (a > b) std::swap(a, b);  // commutative
+    NodeId cached;
+    if (cache_lookup(Op::kProduct, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    const Var v = std::min(va, vb);
+    const NodeId a0 = va == v ? nodes_[a].lo : a;
+    const NodeId a1 = va == v ? nodes_[a].hi : kEmpty;
+    const NodeId b0 = vb == v ? nodes_[b].lo : b;
+    const NodeId b1 = vb == v ? nodes_[b].hi : kEmpty;
+
+    // (v·a1 + a0)(v·b1 + b0) = v·(a1 b1 + a1 b0 + a0 b1) + a0 b0
+    const NodeId p11 = product_rec(a1, b1);
+    const NodeId p10 = product_rec(a1, b0);
+    const NodeId p01 = product_rec(a0, b1);
+    const NodeId p00 = product_rec(a0, b0);
+    const NodeId hi = union_rec(p11, union_rec(p10, p01));
+    const NodeId r = make(v, p00, hi);
+    cache_store(Op::kProduct, a, b, r);
+    return r;
+}
+
+Zdd ZddManager::sup_set(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(sup_set_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::sup_set_rec(NodeId a, NodeId b) {
+    if (a == kEmpty || b == kEmpty) return kEmpty;
+    if (b == kBase) return a;  // every set contains ∅
+    if (a == kBase) return contains_empty(b) ? kBase : kEmpty;  // ∅ ⊇ g iff g = ∅
+    if (a == b) return a;
+    NodeId cached;
+    if (cache_lookup(Op::kSupSet, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    NodeId r;
+    if (va < vb) {
+        // v ∈ a-sets only: f = {v}∪f' ⊇ g iff f' ⊇ g (v ∉ g).
+        r = make(va, sup_set_rec(nodes_[a].lo, b), sup_set_rec(nodes_[a].hi, b));
+    } else if (vb < va) {
+        // g containing v cannot be ⊆ any f (v ∉ f): only g ∈ b.lo matter.
+        r = sup_set_rec(a, nodes_[b].lo);
+    } else {
+        const NodeId hi = union_rec(sup_set_rec(nodes_[a].hi, nodes_[b].hi),
+                                    sup_set_rec(nodes_[a].hi, nodes_[b].lo));
+        r = make(va, sup_set_rec(nodes_[a].lo, nodes_[b].lo), hi);
+    }
+    cache_store(Op::kSupSet, a, b, r);
+    return r;
+}
+
+Zdd ZddManager::sub_set(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(sub_set_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::sub_set_rec(NodeId a, NodeId b) {
+    if (a == kEmpty || b == kEmpty) return kEmpty;
+    if (a == kBase) return kBase;  // ∅ ⊆ any g, and b ≠ ∅ here
+    if (a == b) return a;
+    if (b == kBase) return contains_empty(a) ? kBase : kEmpty;
+    NodeId cached;
+    if (cache_lookup(Op::kSubSet, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    NodeId r;
+    if (va < vb) {
+        // f containing v cannot be ⊆ any g (v ∉ g).
+        r = sub_set_rec(nodes_[a].lo, b);
+    } else if (vb < va) {
+        // g = {v}∪g': f ⊆ g iff f ⊆ g' (v ∉ f).
+        r = sub_set_rec(a, union_rec(nodes_[b].lo, nodes_[b].hi));
+    } else {
+        const NodeId lo = sub_set_rec(nodes_[a].lo,
+                                      union_rec(nodes_[b].lo, nodes_[b].hi));
+        r = make(va, lo, sub_set_rec(nodes_[a].hi, nodes_[b].hi));
+    }
+    cache_store(Op::kSubSet, a, b, r);
+    return r;
+}
+
+Zdd ZddManager::maximal(const Zdd& a) {
+    Zdd r = handle(maximal_rec(a.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::maximal_rec(NodeId a) {
+    if (a <= kBase) return a;
+    NodeId cached;
+    if (cache_lookup(Op::kMaximal, a, a, cached)) return cached;
+    const Var v = nodes_[a].var;
+    const NodeId max_hi = maximal_rec(nodes_[a].hi);
+    const NodeId max_lo = maximal_rec(nodes_[a].lo);
+    // A set without v is maximal iff maximal in the lo-branch and not contained
+    // in any set of the hi-branch (which would strictly contain it via v).
+    const NodeId dominated = sub_set_rec(max_lo, nodes_[a].hi);
+    const NodeId r = make(v, diff_rec(max_lo, dominated), max_hi);
+    cache_store(Op::kMaximal, a, a, r);
+    return r;
+}
+
+Zdd ZddManager::minimal(const Zdd& a) {
+    Zdd r = handle(minimal_rec(a.id()));
+    maybe_gc();
+    return r;
+}
+
+NodeId ZddManager::minimal_rec(NodeId a) {
+    if (a <= kBase) return a;
+    NodeId cached;
+    if (cache_lookup(Op::kMinimal, a, a, cached)) return cached;
+    const Var v = nodes_[a].var;
+    const NodeId min_lo = minimal_rec(nodes_[a].lo);
+    const NodeId min_hi = minimal_rec(nodes_[a].hi);
+    // A set containing v is minimal iff minimal in the hi-branch and not a
+    // superset of any set in the lo-branch.
+    const NodeId dominating = sup_set_rec(min_hi, nodes_[a].lo);
+    const NodeId r = make(v, min_lo, diff_rec(min_hi, dominating));
+    cache_store(Op::kMinimal, a, a, r);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+double ZddManager::count(const Zdd& a) {
+    std::unordered_map<NodeId, double> memo;
+    const std::function<double(NodeId)> rec = [&](NodeId n) -> double {
+        if (n == kEmpty) return 0.0;
+        if (n == kBase) return 1.0;
+        const auto it = memo.find(n);
+        if (it != memo.end()) return it->second;
+        const double c = rec(nodes_[n].lo) + rec(nodes_[n].hi);
+        memo.emplace(n, c);
+        return c;
+    };
+    return rec(a.id());
+}
+
+std::string ZddManager::count_exact(const Zdd& a) const {
+    std::unordered_map<NodeId, BigUint> memo;
+    const std::function<BigUint(NodeId)> rec = [&](NodeId n) -> BigUint {
+        if (n == kEmpty) return BigUint(0);
+        if (n == kBase) return BigUint(1);
+        const auto it = memo.find(n);
+        if (it != memo.end()) return it->second;
+        BigUint c = rec(nodes_[n].lo) + rec(nodes_[n].hi);
+        memo.emplace(n, c);
+        return c;
+    };
+    return rec(a.id()).to_string();
+}
+
+std::size_t ZddManager::node_count(const Zdd& a) const {
+    std::unordered_set<NodeId> seen;
+    std::vector<NodeId> stack{a.id()};
+    while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        if (n < 2 || !seen.insert(n).second) continue;
+        stack.push_back(nodes_[n].lo);
+        stack.push_back(nodes_[n].hi);
+    }
+    return seen.size();
+}
+
+void ZddManager::for_each_set(
+    const Zdd& a, const std::function<void(const std::vector<Var>&)>& fn) const {
+    std::vector<Var> path;
+    const std::function<void(NodeId)> rec = [&](NodeId n) {
+        if (n == kEmpty) return;
+        if (n == kBase) {
+            fn(path);
+            return;
+        }
+        path.push_back(nodes_[n].var);
+        rec(nodes_[n].hi);
+        path.pop_back();
+        rec(nodes_[n].lo);
+    };
+    rec(a.id());
+}
+
+std::vector<Var> ZddManager::any_set(const Zdd& a) const {
+    UCP_REQUIRE(!a.is_empty(), "any_set on empty family");
+    std::vector<Var> out;
+    NodeId n = a.id();
+    while (n >= 2) {
+        // Follow the lo-branch when possible (lexicographically smallest set);
+        // take the hi-branch when lo is empty.
+        if (nodes_[n].lo != kEmpty) {
+            n = nodes_[n].lo;
+        } else {
+            out.push_back(nodes_[n].var);
+            n = nodes_[n].hi;
+        }
+    }
+    return out;
+}
+
+std::string ZddManager::to_dot(const Zdd& a, const std::string& name) const {
+    std::ostringstream os;
+    os << "digraph " << name << " {\n";
+    os << "  t0 [shape=box,label=\"0\"]; t1 [shape=box,label=\"1\"];\n";
+    std::unordered_set<NodeId> seen;
+    const std::function<void(NodeId)> rec = [&](NodeId n) {
+        if (n < 2 || !seen.insert(n).second) return;
+        os << "  n" << n << " [label=\"x" << nodes_[n].var << "\"];\n";
+        auto edge = [&](NodeId child, const char* style) {
+            os << "  n" << n << " -> "
+               << (child < 2 ? (child == 0 ? "t0" : "t1")
+                             : "n" + std::to_string(child))
+               << " [style=" << style << "];\n";
+        };
+        edge(nodes_[n].lo, "dashed");
+        edge(nodes_[n].hi, "solid");
+        rec(nodes_[n].lo);
+        rec(nodes_[n].hi);
+    };
+    rec(a.id());
+    if (a.id() < 2) {
+        // Nothing else to draw for a terminal root.
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace ucp::zdd

@@ -1,0 +1,234 @@
+// Zero-suppressed Binary Decision Diagram (ZDD) package.
+//
+// This is the substrate that replaces the CUDD library [21] used by the paper.
+// A ZDD canonically represents a family of sets over variables 0..num_vars-1
+// (Minato, DAC'93 [18]). The covering algorithms use ZDDs for:
+//   * sets of cubes (prime implicants), with two ZDD variables per input
+//     variable (positive / negative literal) — see zdd_cubes.hpp;
+//   * sets of minterms (one ZDD variable per input variable, a minterm being
+//     the set of variables assigned 1) — used by the implicit covering phase.
+//
+// Design notes
+//   * Nodes live in a flat arena (std::vector). NodeId 0 is the empty family
+//     (terminal 0) and NodeId 1 is the unit family {∅} (terminal 1).
+//   * Canonicity: hi == 0 is never materialised (zero-suppression rule) and a
+//     unique table guarantees structural sharing.
+//   * A lossy direct-mapped computed cache memoises binary operations.
+//   * External references are RAII handles (class Zdd). Garbage collection is
+//     mark-and-sweep from the externally referenced roots; it runs only
+//     between top-level operations, never during a recursion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ucp::zdd {
+
+using NodeId = std::uint32_t;
+using Var = std::uint32_t;
+
+inline constexpr NodeId kEmpty = 0;  ///< terminal 0: the empty family {}
+inline constexpr NodeId kBase = 1;   ///< terminal 1: the unit family {∅}
+inline constexpr Var kTermVar = 0xFFFFFFFFu;
+
+class ZddManager;
+
+/// RAII handle to a ZDD root. Keeps the referenced subgraph alive across GC.
+/// Cheap to copy (bumps a per-node external refcount).
+class Zdd {
+public:
+    Zdd() noexcept : mgr_(nullptr), id_(kEmpty) {}
+    Zdd(ZddManager* mgr, NodeId id);
+    Zdd(const Zdd& other);
+    Zdd(Zdd&& other) noexcept;
+    Zdd& operator=(const Zdd& other);
+    Zdd& operator=(Zdd&& other) noexcept;
+    ~Zdd();
+
+    [[nodiscard]] NodeId id() const noexcept { return id_; }
+    [[nodiscard]] ZddManager* manager() const noexcept { return mgr_; }
+    [[nodiscard]] bool is_empty() const noexcept { return id_ == kEmpty; }
+    [[nodiscard]] bool is_base() const noexcept { return id_ == kBase; }
+
+    // Canonical representation: structural equality is id equality.
+    friend bool operator==(const Zdd& a, const Zdd& b) noexcept {
+        return a.id_ == b.id_ && a.mgr_ == b.mgr_;
+    }
+    friend bool operator!=(const Zdd& a, const Zdd& b) noexcept { return !(a == b); }
+
+    // Set-algebra convenience operators (delegate to the manager).
+    Zdd operator|(const Zdd& rhs) const;  ///< union
+    Zdd operator&(const Zdd& rhs) const;  ///< intersection
+    Zdd operator-(const Zdd& rhs) const;  ///< difference
+    Zdd operator*(const Zdd& rhs) const;  ///< cube-set (unate) product
+
+    /// Number of sets in the family (saturating at ~1e18 as uint64, exact as double
+    /// up to 2^53).
+    [[nodiscard]] double count() const;
+    /// Number of DAG nodes reachable from this root (excluding terminals).
+    [[nodiscard]] std::size_t node_count() const;
+
+private:
+    friend class ZddManager;
+    void release() noexcept;
+
+    ZddManager* mgr_;
+    NodeId id_;
+};
+
+/// The node arena, unique table, computed cache and operation implementations.
+class ZddManager {
+public:
+    explicit ZddManager(Var num_vars);
+
+    ZddManager(const ZddManager&) = delete;
+    ZddManager& operator=(const ZddManager&) = delete;
+
+    [[nodiscard]] Var num_vars() const noexcept { return num_vars_; }
+
+    // ---- constructors -------------------------------------------------------
+    Zdd empty() { return Zdd(this, kEmpty); }
+    Zdd base() { return Zdd(this, kBase); }
+    /// The family {{v}} containing the single set {v}.
+    Zdd single(Var v);
+    /// The family containing exactly the given set of variables (one set).
+    Zdd set_of(const std::vector<Var>& vars);
+    /// Family of all 2^k subsets of the given variables.
+    Zdd power_set(const std::vector<Var>& vars);
+
+    // ---- core set operations ------------------------------------------------
+    Zdd union_(const Zdd& a, const Zdd& b);
+    Zdd intersect(const Zdd& a, const Zdd& b);
+    Zdd diff(const Zdd& a, const Zdd& b);
+    /// Subsets of `a` not containing v (a.k.a. offset / subset0).
+    Zdd subset0(const Zdd& a, Var v);
+    /// Subsets of `a` containing v, with v removed (a.k.a. onset / subset1).
+    Zdd subset1(const Zdd& a, Var v);
+    /// Toggle membership of v in every set of `a`.
+    Zdd change(const Zdd& a, Var v);
+
+    // ---- cube-set operations (Minato / Coudert operators) -------------------
+    /// All pairwise unions of a set from `a` and a set from `b`.
+    Zdd product(const Zdd& a, const Zdd& b);
+    /// { f ∈ a : ∃ g ∈ b, f ⊇ g }.
+    Zdd sup_set(const Zdd& a, const Zdd& b);
+    /// { f ∈ a : ∃ g ∈ b, f ⊆ g }.
+    Zdd sub_set(const Zdd& a, const Zdd& b);
+    /// Sets of `a` that are maximal under inclusion within `a`.
+    Zdd maximal(const Zdd& a);
+    /// Sets of `a` that are minimal under inclusion within `a`.
+    Zdd minimal(const Zdd& a);
+
+    // ---- queries -------------------------------------------------------------
+    double count(const Zdd& a);
+    /// Exact cardinality as a decimal string (families beyond 2^53 overflow
+    /// the double count; this never does).
+    std::string count_exact(const Zdd& a) const;
+    std::size_t node_count(const Zdd& a) const;
+    /// Invokes fn once per set in the family, with the sorted member variables.
+    void for_each_set(const Zdd& a,
+                      const std::function<void(const std::vector<Var>&)>& fn) const;
+    /// One arbitrary set of the family (the lexicographically first path).
+    /// Precondition: a is not empty.
+    std::vector<Var> any_set(const Zdd& a) const;
+
+    /// Graphviz dump for debugging / documentation.
+    std::string to_dot(const Zdd& a, const std::string& name = "zdd") const;
+
+    // ---- resource management --------------------------------------------------
+    /// Live (allocated, non-freed) node count, excluding terminals.
+    [[nodiscard]] std::size_t live_nodes() const noexcept {
+        return nodes_.size() - 2 - free_.size();
+    }
+    /// Mark-and-sweep collection from externally referenced roots.
+    /// Returns the number of nodes reclaimed.
+    std::size_t gc();
+
+    // Internal node accessors — used by the BDD/prime layers which share the
+    // recursion style; exposed as public-but-low-level API.
+    struct Node {
+        Var var;
+        NodeId lo;
+        NodeId hi;
+    };
+    [[nodiscard]] Var var_of(NodeId n) const noexcept {
+        return n < 2 ? kTermVar : nodes_[n].var;
+    }
+    [[nodiscard]] NodeId lo_of(NodeId n) const noexcept { return nodes_[n].lo; }
+    [[nodiscard]] NodeId hi_of(NodeId n) const noexcept { return nodes_[n].hi; }
+    /// Hash-consed node constructor enforcing the zero-suppression rule.
+    NodeId make(Var v, NodeId lo, NodeId hi);
+
+    /// Wraps a raw node id into an owning handle.
+    Zdd handle(NodeId n) { return Zdd(this, n); }
+
+private:
+    friend class Zdd;
+
+    enum class Op : std::uint8_t {
+        kUnion = 1,
+        kIntersect,
+        kDiff,
+        kProduct,
+        kSupSet,
+        kSubSet,
+        kMaximal,
+        kMinimal,
+        kSubset0,
+        kSubset1,
+        kChange,
+    };
+
+    // Recursive cores (operate on NodeIds).
+    NodeId union_rec(NodeId a, NodeId b);
+    NodeId intersect_rec(NodeId a, NodeId b);
+    NodeId diff_rec(NodeId a, NodeId b);
+    NodeId product_rec(NodeId a, NodeId b);
+    NodeId sup_set_rec(NodeId a, NodeId b);
+    NodeId sub_set_rec(NodeId a, NodeId b);
+    NodeId maximal_rec(NodeId a);
+    NodeId minimal_rec(NodeId a);
+    NodeId subset0_rec(NodeId a, Var v);
+    NodeId subset1_rec(NodeId a, Var v);
+    NodeId change_rec(NodeId a, Var v);
+    bool contains_empty(NodeId a) const noexcept;
+
+    // External reference bookkeeping (for GC roots).
+    void ref_external(NodeId n);
+    void unref_external(NodeId n) noexcept;
+    void maybe_gc();
+
+    // Unique table.
+    void rehash(std::size_t new_capacity);
+    static std::uint64_t triple_hash(Var v, NodeId lo, NodeId hi) noexcept;
+
+    // Computed cache.
+    struct CacheEntry {
+        std::uint64_t key = ~0ULL;
+        NodeId result = kEmpty;
+    };
+    static std::uint64_t cache_key(Op op, NodeId a, NodeId b) noexcept;
+    bool cache_lookup(Op op, NodeId a, NodeId b, NodeId& out) const noexcept;
+    void cache_store(Op op, NodeId a, NodeId b, NodeId result) noexcept;
+
+    Var num_vars_;
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> extref_;  // external reference counts, per node
+    std::vector<NodeId> free_;           // freed node slots available for reuse
+
+    std::vector<NodeId> table_;  // open-addressing unique table (0 = empty slot)
+    std::size_t table_mask_ = 0;
+    std::size_t table_entries_ = 0;
+
+    std::vector<CacheEntry> cache_;
+    std::size_t cache_mask_ = 0;
+
+    std::size_t gc_threshold_ = 1u << 18;
+    bool gc_enabled_ = true;
+};
+
+}  // namespace ucp::zdd

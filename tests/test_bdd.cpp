@@ -1,0 +1,117 @@
+// BDD engine: reduction/canonicity, boolean algebra vs truth tables,
+// cofactors, sat counting.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "zdd/bdd.hpp"
+
+namespace {
+
+using ucp::Rng;
+using ucp::zdd::BddId;
+using ucp::zdd::BddManager;
+
+/// Truth-table evaluation of a BDD on an assignment.
+bool eval(const BddManager& mgr, BddId f, std::uint32_t assignment) {
+    while (!mgr.is_const(f)) {
+        const std::uint32_t v = mgr.var_of(f);
+        f = ((assignment >> v) & 1) != 0 ? mgr.hi_of(f) : mgr.lo_of(f);
+    }
+    return f == ucp::zdd::kBddTrue;
+}
+
+TEST(Bdd, VarAndConstants) {
+    BddManager mgr(4);
+    EXPECT_TRUE(mgr.is_const(mgr.btrue()));
+    const BddId x1 = mgr.var(1);
+    EXPECT_TRUE(eval(mgr, x1, 0b0010));
+    EXPECT_FALSE(eval(mgr, x1, 0b0000));
+    const BddId nx1 = mgr.nvar(1);
+    EXPECT_FALSE(eval(mgr, nx1, 0b0010));
+}
+
+TEST(Bdd, ReductionRuleCanonical) {
+    BddManager mgr(4);
+    // x OR NOT x == true; built structurally this must hit the terminal.
+    const BddId f = mgr.or_(mgr.var(2), mgr.nvar(2));
+    EXPECT_EQ(f, mgr.btrue());
+    const BddId g = mgr.and_(mgr.var(2), mgr.nvar(2));
+    EXPECT_EQ(g, mgr.bfalse());
+}
+
+TEST(Bdd, HashConsingSharesNodes) {
+    BddManager mgr(4);
+    const BddId a = mgr.and_(mgr.var(0), mgr.var(1));
+    const BddId b = mgr.and_(mgr.var(1), mgr.var(0));
+    EXPECT_EQ(a, b);
+}
+
+TEST(Bdd, RandomExpressionsMatchTruthTables) {
+    Rng rng(2024);
+    const std::uint32_t n = 5;
+    for (int trial = 0; trial < 25; ++trial) {
+        BddManager mgr(n);
+        // Random function as truth table; build BDD as OR of minterms.
+        std::vector<bool> tt(1u << n);
+        BddId f = mgr.bfalse();
+        for (std::uint32_t a = 0; a < (1u << n); ++a) {
+            tt[a] = rng.chance(0.4);
+            if (!tt[a]) continue;
+            BddId m = mgr.btrue();
+            for (std::uint32_t v = n; v-- > 0;)
+                m = mgr.and_(((a >> v) & 1) != 0 ? mgr.var(v) : mgr.nvar(v), m);
+            f = mgr.or_(f, m);
+        }
+        for (std::uint32_t a = 0; a < (1u << n); ++a)
+            ASSERT_EQ(eval(mgr, f, a), tt[a]) << "assignment " << a;
+
+        // NOT, XOR against the table.
+        const BddId nf = mgr.not_(f);
+        const BddId x = mgr.xor_(f, mgr.var(0));
+        for (std::uint32_t a = 0; a < (1u << n); ++a) {
+            ASSERT_EQ(eval(mgr, nf, a), !tt[a]);
+            ASSERT_EQ(eval(mgr, x, a), tt[a] != (((a >> 0) & 1) != 0));
+        }
+        // Sat count.
+        const double ones =
+            static_cast<double>(std::count(tt.begin(), tt.end(), true));
+        EXPECT_DOUBLE_EQ(mgr.sat_count(f), ones);
+        EXPECT_DOUBLE_EQ(mgr.sat_count(nf), (1u << n) - ones);
+    }
+}
+
+TEST(Bdd, CofactorMatchesSemantics) {
+    Rng rng(5);
+    const std::uint32_t n = 5;
+    BddManager mgr(n);
+    BddId f = mgr.bfalse();
+    for (int c = 0; c < 8; ++c) {
+        BddId cube = mgr.btrue();
+        for (std::uint32_t v = n; v-- > 0;) {
+            const auto r = rng.below(3);
+            if (r == 0) cube = mgr.and_(mgr.var(v), cube);
+            if (r == 1) cube = mgr.and_(mgr.nvar(v), cube);
+        }
+        f = mgr.or_(f, cube);
+    }
+    for (std::uint32_t v = 0; v < n; ++v) {
+        const BddId f0 = mgr.cofactor(f, v, false);
+        const BddId f1 = mgr.cofactor(f, v, true);
+        for (std::uint32_t a = 0; a < (1u << n); ++a) {
+            ASSERT_EQ(eval(mgr, f0, a & ~(1u << v)), eval(mgr, f, a & ~(1u << v)));
+            ASSERT_EQ(eval(mgr, f1, a | (1u << v)), eval(mgr, f, a | (1u << v)));
+            // The cofactor must not depend on v.
+            ASSERT_EQ(eval(mgr, f0, a), eval(mgr, f0, a ^ (1u << v)));
+        }
+    }
+}
+
+TEST(Bdd, SatCountParity) {
+    const std::uint32_t n = 10;
+    BddManager mgr(n);
+    BddId f = mgr.bfalse();
+    for (std::uint32_t v = 0; v < n; ++v) f = mgr.xor_(f, mgr.var(v));
+    EXPECT_DOUBLE_EQ(mgr.sat_count(f), 512.0);  // half of 2^10
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// BigUint and exact ZDD counting.
+#include <gtest/gtest.h>
+
+#include "util/bignum.hpp"
+#include "util/rng.hpp"
+#include "zdd/zdd.hpp"
+
+namespace {
+
+using ucp::BigUint;
+using ucp::zdd::Var;
+using ucp::zdd::ZddManager;
+
+TEST(BigUint, BasicArithmeticAndPrinting) {
+    EXPECT_EQ(BigUint(0).to_string(), "0");
+    EXPECT_EQ(BigUint(42).to_string(), "42");
+    EXPECT_EQ(BigUint(1000000000ULL).to_string(), "1000000000");
+    EXPECT_EQ(BigUint(0xFFFFFFFFFFFFFFFFULL).to_string(),
+              "18446744073709551615");
+    EXPECT_EQ((BigUint(0xFFFFFFFFFFFFFFFFULL) + BigUint(1)).to_string(),
+              "18446744073709551616");
+    EXPECT_TRUE(BigUint(0).is_zero());
+    EXPECT_FALSE(BigUint(1).is_zero());
+    EXPECT_EQ(BigUint(7) + BigUint(8), BigUint(15));
+}
+
+TEST(BigUint, RepeatedDoublingMatchesKnownPowers) {
+    // 2^100 = 1267650600228229401496703205376.
+    BigUint v(1);
+    for (int i = 0; i < 100; ++i) v += v;
+    EXPECT_EQ(v.to_string(), "1267650600228229401496703205376");
+    EXPECT_NEAR(v.to_double(), 1.2676506002282294e30, 1e16);
+}
+
+TEST(BigUint, AccumulationAgainstDouble) {
+    ucp::Rng rng(5);
+    BigUint total(0);
+    double ref = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.below(1u << 30);
+        total += BigUint(v);
+        ref += static_cast<double>(v);
+    }
+    EXPECT_NEAR(total.to_double(), ref, 1.0);
+}
+
+TEST(ZddCountExact, MatchesDoubleOnSmallFamilies) {
+    ZddManager mgr(10);
+    ucp::Rng rng(9);
+    auto fam = mgr.empty();
+    for (int i = 0; i < 40; ++i) {
+        std::vector<Var> s;
+        for (Var v = 0; v < 10; ++v)
+            if (rng.chance(0.4)) s.push_back(v);
+        fam = mgr.union_(fam, mgr.set_of(s));
+    }
+    EXPECT_EQ(mgr.count_exact(fam), std::to_string(
+                  static_cast<long long>(mgr.count(fam))));
+    EXPECT_EQ(mgr.count_exact(mgr.empty()), "0");
+    EXPECT_EQ(mgr.count_exact(mgr.base()), "1");
+}
+
+TEST(ZddCountExact, HugePowerSets) {
+    // 2^120 sets: far beyond double's exact range.
+    const Var n = 120;
+    ZddManager mgr(n);
+    std::vector<Var> all(n);
+    for (Var v = 0; v < n; ++v) all[v] = v;
+    const auto ps = mgr.power_set(all);
+    EXPECT_EQ(mgr.count_exact(ps),
+              "1329227995784915872903807060280344576");  // 2^120
+}
+
+}  // namespace

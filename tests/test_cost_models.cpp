@@ -1,0 +1,113 @@
+// Cost models of the covering table (§5: products primary, literals
+// secondary): the lexicographic model must keep the product optimum and
+// minimise literals among the minimum-product covers.
+#include <gtest/gtest.h>
+
+#include "cover/table_builder.hpp"
+#include "gen/pla_gen.hpp"
+#include "solver/two_level.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cover::CostModel;
+using ucp::pla::Pla;
+using ucp::solver::CoverSolver;
+using ucp::solver::minimize_two_level;
+using ucp::solver::TwoLevelOptions;
+
+Pla random_pla(std::uint64_t seed) {
+    ucp::gen::RandomPlaOptions opt;
+    opt.num_inputs = 5;
+    opt.num_outputs = 2;
+    opt.num_cubes = 12;
+    opt.literal_prob = 0.55;
+    opt.dc_fraction = 0.15;
+    opt.seed = seed;
+    return ucp::gen::random_pla(opt);
+}
+
+TEST(CostModels, LexicographicKeepsProductOptimum) {
+    ucp::Rng seeds(111);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Pla p = random_pla(seeds());
+        TwoLevelOptions unit, lex;
+        unit.cover_solver = CoverSolver::kExact;
+        lex.cover_solver = CoverSolver::kExact;
+        lex.table.cost_model = CostModel::kProductsThenLiterals;
+        const auto ru = minimize_two_level(p, unit);
+        const auto rl = minimize_two_level(p, lex);
+        ASSERT_TRUE(ru.proved_optimal && rl.proved_optimal);
+        EXPECT_TRUE(ru.verified && rl.verified);
+        // Same (optimal) number of products...
+        EXPECT_EQ(rl.cost, ru.cost) << p.name;
+        // ...and no more literals than the unit-cost pick.
+        EXPECT_LE(rl.literals, ru.literals) << p.name;
+    }
+}
+
+TEST(CostModels, LexicographicLiteralCountIsExactSecondaryOptimum) {
+    ucp::Rng seeds(113);
+    for (int trial = 0; trial < 6; ++trial) {
+        const Pla p = random_pla(seeds());
+        TwoLevelOptions lex;
+        lex.cover_solver = CoverSolver::kExact;
+        lex.table.cost_model = CostModel::kProductsThenLiterals;
+        const auto rl = minimize_two_level(p, lex);
+        ASSERT_TRUE(rl.proved_optimal);
+
+        // Brute-force the secondary optimum over the covering table.
+        const auto table = ucp::cover::build_covering_table(p, lex.table);
+        const auto& m = table.matrix;
+        if (m.num_cols() > 18) continue;  // keep the exhaustive check cheap
+        std::size_t best_products = SIZE_MAX;
+        long best_literals = -1;
+        for (std::uint32_t mask = 0; mask < (1u << m.num_cols()); ++mask) {
+            std::vector<ucp::cov::Index> sol;
+            long lits = 0;
+            for (ucp::cov::Index j = 0; j < m.num_cols(); ++j)
+                if ((mask >> j) & 1) {
+                    sol.push_back(j);
+                    lits += static_cast<long>(
+                        table.primes[j].input_literal_count(p.space()));
+                }
+            if (!m.is_feasible(sol)) continue;
+            if (sol.size() < best_products ||
+                (sol.size() == best_products && lits < best_literals)) {
+                best_products = sol.size();
+                best_literals = lits;
+            }
+        }
+        EXPECT_EQ(static_cast<std::size_t>(rl.cost), best_products);
+        EXPECT_EQ(static_cast<long>(rl.literals), best_literals);
+    }
+}
+
+TEST(CostModels, PureLiteralModelUsesLiteralCosts) {
+    const Pla p = random_pla(7);
+    ucp::cover::TableBuildOptions opt;
+    opt.cost_model = CostModel::kLiterals;
+    const auto table = ucp::cover::build_covering_table(p, opt);
+    for (ucp::cov::Index j = 0; j < table.matrix.num_cols(); ++j) {
+        const auto lits = table.primes[j].input_literal_count(p.space());
+        EXPECT_EQ(table.matrix.cost(j),
+                  std::max<ucp::cov::Cost>(1, lits));
+    }
+    EXPECT_EQ(table.weight_scale, 1);
+}
+
+TEST(CostModels, WeightedBoundsAreConsistent) {
+    const Pla p = random_pla(9);
+    TwoLevelOptions lex;
+    lex.table.cost_model = CostModel::kProductsThenLiterals;
+    const auto r = minimize_two_level(p, lex);
+    EXPECT_TRUE(r.verified);
+    EXPECT_LE(r.weighted_lower_bound, r.weighted_cost);
+    EXPECT_LE(r.lower_bound, r.cost);
+    // weighted cost decomposes as W·products + literals.
+    const auto table = ucp::cover::build_covering_table(p, lex.table);
+    EXPECT_EQ(r.weighted_cost,
+              table.weight_scale * r.cost + static_cast<long>(r.literals));
+}
+
+}  // namespace

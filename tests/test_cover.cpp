@@ -1,0 +1,108 @@
+// Cover container: structural transforms, evaluation, projections.
+#include <gtest/gtest.h>
+
+#include "pla/cover.hpp"
+
+namespace {
+
+using ucp::pla::Cover;
+using ucp::pla::Cube;
+using ucp::pla::CubeSpace;
+
+const CubeSpace kS{4, 2};
+
+Cover sample() {
+    return Cover::from_strings(kS, {
+                                       {"1---", "10"},
+                                       {"11--", "10"},  // contained in the first
+                                       {"0-1-", "01"},
+                                       {"0-1-", "01"},  // duplicate
+                                       {"--00", "11"},
+                                   });
+}
+
+TEST(Cover, AddRejectsInvalidCube) {
+    Cover c(kS);
+    Cube bad = Cube::full_inputs(kS);  // no outputs asserted, m > 0
+    EXPECT_THROW(c.add(bad), std::invalid_argument);
+    EXPECT_FALSE(c.add_if_valid(bad));
+    EXPECT_TRUE(c.add_if_valid(Cube::full(kS)));
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Cover, RemoveSingleCubeContained) {
+    Cover c = sample();
+    c.remove_single_cube_contained();
+    EXPECT_EQ(c.size(), 3u);  // "11--" absorbed, duplicate removed
+}
+
+TEST(Cover, RemoveDuplicatesKeepsOrder) {
+    Cover c = sample();
+    c.remove_duplicates();
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_EQ(c[0].to_string(kS), "1--- 10");
+    EXPECT_EQ(c[2].to_string(kS), "0-1- 01");
+}
+
+TEST(Cover, RestrictedToOutput) {
+    const Cover c = sample();
+    const Cover f0 = c.restricted_to_output(0);
+    EXPECT_EQ(f0.space().num_outputs, 0u);
+    EXPECT_EQ(f0.size(), 3u);  // cubes asserting output 0
+    const Cover f1 = c.restricted_to_output(1);
+    EXPECT_EQ(f1.size(), 3u);
+    EXPECT_THROW(c.restricted_to_output(5), std::invalid_argument);
+}
+
+TEST(Cover, EvalMatchesCubeSemantics) {
+    const Cover c = sample();
+    // 1000: output 0 via "1---", output 1 via "--00".
+    EXPECT_TRUE(c.eval({0b0001}, 0));
+    EXPECT_TRUE(c.eval({0b0001}, 1));
+    // Assignment x1=1, x2=1 (bit i = input i): "0-1-" covers (x0=0, x2=1)
+    // and asserts output 1 only; "--00" needs x2=0 and does not apply.
+    EXPECT_FALSE(c.eval({0b0110}, 0));
+    EXPECT_TRUE(c.eval({0b0110}, 1));
+}
+
+TEST(Cover, AppendRequiresSameSpace) {
+    Cover a(kS), b(CubeSpace{3, 1});
+    EXPECT_THROW(a.append(b), std::invalid_argument);
+    Cover c = sample();
+    const std::size_t n = c.size();
+    Cover d = sample();
+    d.append(c);
+    EXPECT_EQ(d.size(), 2 * n);
+}
+
+TEST(Cover, LiteralCount) {
+    const Cover c = sample();
+    EXPECT_EQ(c.literal_count(), 1u + 2u + 2u + 2u + 2u);
+}
+
+TEST(Cover, HasUniversalInputCube) {
+    Cover c(kS);
+    c.add(Cube::parse(kS, "1---", "10"));
+    EXPECT_FALSE(c.has_universal_input_cube());
+    c.add(Cube::parse(kS, "----", "01"));
+    EXPECT_TRUE(c.has_universal_input_cube());
+}
+
+TEST(Cover, RemoveAt) {
+    Cover c = sample();
+    const std::size_t n = c.size();
+    c.remove_at(1);
+    EXPECT_EQ(c.size(), n - 1);
+    EXPECT_THROW(c.remove_at(99), std::invalid_argument);
+}
+
+TEST(Cover, ForEachAssignmentGuard) {
+    Cover wide(CubeSpace{30, 0});
+    EXPECT_THROW(wide.for_each_assignment([](std::uint64_t) {}),
+                 std::invalid_argument);
+    int count = 0;
+    sample().for_each_assignment([&](std::uint64_t) { ++count; });
+    EXPECT_EQ(count, 16);
+}
+
+}  // namespace

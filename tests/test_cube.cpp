@@ -1,0 +1,209 @@
+// Cube algebra: literal access, containment/intersection/consensus semantics
+// checked against explicit point sets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pla/cube.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::Rng;
+using ucp::pla::Cube;
+using ucp::pla::CubeSpace;
+using ucp::pla::Lit;
+
+/// All (minterm, output) points of a cube, for brute-force comparison.
+std::set<std::pair<std::uint32_t, std::uint32_t>> points(const CubeSpace& s,
+                                                         const Cube& c) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> out;
+    for (std::uint32_t a = 0; a < (1u << s.num_inputs); ++a) {
+        if (!c.covers_assignment(s, {a})) continue;
+        if (s.num_outputs == 0) {
+            out.insert({a, 0});
+        } else {
+            for (std::uint32_t k = 0; k < s.num_outputs; ++k)
+                if (c.out(s, k)) out.insert({a, k});
+        }
+    }
+    return out;
+}
+
+Cube random_cube(Rng& rng, const CubeSpace& s) {
+    Cube c = Cube::full_inputs(s);
+    for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+        const auto r = rng.below(3);
+        if (r == 0) c.set_in(s, i, Lit::kZero);
+        if (r == 1) c.set_in(s, i, Lit::kOne);
+    }
+    bool any = false;
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k)
+        if (rng.chance(0.6)) {
+            c.set_out(s, k, true);
+            any = true;
+        }
+    if (!any && s.num_outputs > 0)
+        c.set_out(s, static_cast<std::uint32_t>(rng.below(s.num_outputs)), true);
+    return c;
+}
+
+TEST(Cube, LiteralRoundTrip) {
+    const CubeSpace s{70, 3};  // spans multiple words
+    Cube c = Cube::full(s);
+    EXPECT_TRUE(c.valid(s));
+    c.set_in(s, 0, Lit::kZero);
+    c.set_in(s, 63, Lit::kOne);
+    c.set_in(s, 64, Lit::kZero);
+    c.set_in(s, 69, Lit::kOne);
+    EXPECT_EQ(c.in(s, 0), Lit::kZero);
+    EXPECT_EQ(c.in(s, 63), Lit::kOne);
+    EXPECT_EQ(c.in(s, 64), Lit::kZero);
+    EXPECT_EQ(c.in(s, 69), Lit::kOne);
+    EXPECT_EQ(c.in(s, 10), Lit::kDontCare);
+    EXPECT_EQ(c.input_literal_count(s), 4u);
+    EXPECT_EQ(c.free_input_count(s), 66u);
+    c.set_out(s, 2, false);
+    EXPECT_FALSE(c.out(s, 2));
+    EXPECT_TRUE(c.out(s, 0));
+    EXPECT_EQ(c.output_count(s), 2u);
+}
+
+TEST(Cube, ParseAndToString) {
+    const CubeSpace s{4, 2};
+    const Cube c = Cube::parse(s, "01-0", "10");
+    EXPECT_EQ(c.to_string(s), "01-0 10");
+    EXPECT_EQ(c.in(s, 0), Lit::kZero);
+    EXPECT_EQ(c.in(s, 1), Lit::kOne);
+    EXPECT_EQ(c.in(s, 2), Lit::kDontCare);
+    EXPECT_TRUE(c.out(s, 0));
+    EXPECT_FALSE(c.out(s, 1));
+    EXPECT_THROW(Cube::parse(s, "01-", "10"), std::invalid_argument);
+}
+
+TEST(Cube, EmptyLiteralInvalidates) {
+    const CubeSpace s{3, 1};
+    Cube c = Cube::full(s);
+    EXPECT_TRUE(c.inputs_valid(s));
+    c.set_in(s, 1, Lit::kEmpty);
+    EXPECT_FALSE(c.inputs_valid(s));
+    EXPECT_FALSE(c.valid(s));
+}
+
+TEST(Cube, ContainmentMatchesPointSets) {
+    Rng rng(77);
+    const CubeSpace s{6, 2};
+    for (int trial = 0; trial < 200; ++trial) {
+        const Cube a = random_cube(rng, s);
+        const Cube b = random_cube(rng, s);
+        const auto pa = points(s, a);
+        const auto pb = points(s, b);
+        const bool brute = std::includes(pa.begin(), pa.end(), pb.begin(), pb.end());
+        EXPECT_EQ(a.contains(s, b), brute);
+    }
+}
+
+TEST(Cube, IntersectionMatchesPointSets) {
+    Rng rng(78);
+    const CubeSpace s{6, 2};
+    for (int trial = 0; trial < 200; ++trial) {
+        const Cube a = random_cube(rng, s);
+        const Cube b = random_cube(rng, s);
+        const Cube i = a.intersect(s, b);
+        std::set<std::pair<std::uint32_t, std::uint32_t>> expected;
+        const auto pa = points(s, a);
+        const auto pb = points(s, b);
+        std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
+                              std::inserter(expected, expected.end()));
+        if (i.valid(s)) {
+            EXPECT_EQ(points(s, i), expected);
+        } else {
+            EXPECT_TRUE(expected.empty());
+        }
+        EXPECT_EQ(a.intersects_inputs(s, b),
+                  a.intersect(s, b).inputs_valid(s));
+    }
+}
+
+TEST(Cube, SupercubeIsSmallestContainer) {
+    Rng rng(79);
+    const CubeSpace s{5, 2};
+    for (int trial = 0; trial < 100; ++trial) {
+        const Cube a = random_cube(rng, s);
+        const Cube b = random_cube(rng, s);
+        const Cube sc = a.supercube(s, b);
+        EXPECT_TRUE(sc.contains(s, a));
+        EXPECT_TRUE(sc.contains(s, b));
+    }
+}
+
+TEST(Cube, DistanceAndConsensusSemantics) {
+    const CubeSpace s{4, 1};
+    // Classic consensus: ab + a'c → bc on the conflicting var.
+    Cube x = Cube::parse(s, "11--", "1");
+    Cube y = Cube::parse(s, "0-1-", "1");
+    EXPECT_EQ(x.distance(s, y), 1u);
+    const auto cons = x.consensus(s, y);
+    ASSERT_TRUE(cons.has_value());
+    EXPECT_EQ(cons->to_string(s), "-11- 1");
+
+    // Distance 0: no consensus.
+    Cube z = Cube::parse(s, "1---", "1");
+    EXPECT_EQ(x.distance(s, z), 0u);
+    EXPECT_FALSE(x.consensus(s, z).has_value());
+
+    // Distance 2: no consensus.
+    Cube w = Cube::parse(s, "00--", "1");
+    EXPECT_EQ(x.distance(s, w), 2u);
+    EXPECT_FALSE(x.consensus(s, w).has_value());
+}
+
+TEST(Cube, OutputConsensus) {
+    const CubeSpace s{3, 2};
+    // Same literal conflict only in the output part: union the outputs.
+    const Cube a = Cube::parse(s, "1--", "10");
+    const Cube b = Cube::parse(s, "1-0", "01");
+    EXPECT_EQ(a.distance(s, b), 1u);
+    const auto cons = a.consensus(s, b);
+    ASSERT_TRUE(cons.has_value());
+    EXPECT_EQ(cons->to_string(s), "1-0 11");
+}
+
+TEST(Cube, ConsensusIsImplicantOfUnion) {
+    // Consensus(a,b) point set ⊆ points(a) ∪ points(b) for input conflicts.
+    Rng rng(80);
+    const CubeSpace s{5, 2};
+    int found = 0;
+    for (int trial = 0; trial < 400 && found < 50; ++trial) {
+        const Cube a = random_cube(rng, s);
+        const Cube b = random_cube(rng, s);
+        const auto cons = a.consensus(s, b);
+        if (!cons.has_value()) continue;
+        ++found;
+        auto pu = points(s, a);
+        const auto pb = points(s, b);
+        pu.insert(pb.begin(), pb.end());
+        for (const auto& pt : points(s, *cons)) EXPECT_TRUE(pu.count(pt) == 1);
+    }
+    EXPECT_GT(found, 10);
+}
+
+TEST(Cube, PointCount) {
+    const CubeSpace s{6, 3};
+    Cube c = Cube::full(s);
+    EXPECT_DOUBLE_EQ(c.point_count(s), 64.0 * 3);
+    c.set_in(s, 0, Lit::kOne);
+    c.set_in(s, 5, Lit::kZero);
+    c.set_out(s, 1, false);
+    EXPECT_DOUBLE_EQ(c.point_count(s), 16.0 * 2);
+}
+
+TEST(Cube, HashDiffersForDifferentCubes) {
+    const CubeSpace s{8, 1};
+    const Cube a = Cube::parse(s, "1-------", "1");
+    const Cube b = Cube::parse(s, "0-------", "1");
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_EQ(a.hash(), Cube::parse(s, "1-------", "1").hash());
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Dual ascent + MIS bound: feasibility of the dual solution, bound ordering
+// vs the LP optimum, behaviour on the hand-built separation examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "gen/scp_gen.hpp"
+#include "lagrangian/dual_ascent.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::CoverMatrix;
+using ucp::cov::Index;
+using ucp::lagr::dual_ascent;
+using ucp::lagr::mis_lower_bound;
+
+/// Checks A'm ≤ c and m ≥ 0.
+void expect_dual_feasible(const CoverMatrix& a, const std::vector<double>& m) {
+    for (Index j = 0; j < a.num_cols(); ++j) {
+        double load = 0;
+        for (const Index i : a.col(j)) load += m[i];
+        EXPECT_LE(load, static_cast<double>(a.cost(j)) + 1e-9) << "col " << j;
+    }
+    for (const double v : m) EXPECT_GE(v, -1e-12);
+}
+
+TEST(DualAscent, FeasibleOnRandomInstances) {
+    ucp::Rng seeds(11);
+    for (int trial = 0; trial < 30; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 25;
+        opt.cols = 40;
+        opt.density = 0.12;
+        opt.min_cost = 1;
+        opt.max_cost = 1 + trial % 5;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const auto r = dual_ascent(m);
+        expect_dual_feasible(m, r.m);
+        EXPECT_GE(r.value, 0.0);
+    }
+}
+
+TEST(DualAscent, BoundedByLpOptimum) {
+    ucp::Rng seeds(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 12;
+        opt.cols = 18;
+        opt.density = 0.2;
+        opt.min_cost = 1;
+        opt.max_cost = 3;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const auto da = dual_ascent(m);
+        const auto lp = ucp::lp::solve_covering_lp(m);
+        ASSERT_EQ(lp.status, ucp::lp::LpStatus::kOptimal);
+        EXPECT_LE(da.value, lp.objective + 1e-6) << "seed " << opt.seed;
+    }
+}
+
+TEST(DualAscent, MisVsDualSeparation) {
+    // The §3.4 example: MIS = 1 < dual ascent = 2.
+    const CoverMatrix m = ucp::gen::mis_vs_dual_example();
+    const auto mis = mis_lower_bound(m);
+    EXPECT_EQ(mis.bound, 1);
+    EXPECT_EQ(mis.rows.size(), 1u);
+    const auto da = dual_ascent(m);
+    expect_dual_feasible(m, da.m);
+    EXPECT_NEAR(da.value, 2.0, 1e-9);
+}
+
+TEST(DualAscent, TriangleExample) {
+    // Costs (1,2,2): dual ascent reaches 2; LP is 2.5.
+    const CoverMatrix m = ucp::gen::dual_vs_lp_example();
+    const auto da = dual_ascent(m);
+    expect_dual_feasible(m, da.m);
+    EXPECT_NEAR(da.value, 2.0, 1e-9);
+}
+
+TEST(DualAscent, WarmStartIsRepaired) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(6, 3);
+    // A wildly infeasible warm start must be repaired to feasibility.
+    const auto r = dual_ascent(m, std::vector<double>(6, 10.0));
+    expect_dual_feasible(m, r.m);
+    EXPECT_GE(r.value, 1.0);
+}
+
+TEST(DualAscent, CostOverrideInfinity) {
+    // With every column at +∞ except one per row... use the glue example:
+    // relaxing the glue column (cost ∞) lets the dual grow to ≥ 4.
+    const CoverMatrix m = ucp::gen::mis_vs_dual_example();
+    std::vector<double> costs{1, 1, 1, 1,
+                              std::numeric_limits<double>::infinity()};
+    const auto r = dual_ascent(m, {}, costs);
+    EXPECT_GE(r.value, 4.0 - 1e-9);  // each row pays its private column
+}
+
+TEST(DualAscent, CostOverrideZero) {
+    const CoverMatrix m = ucp::gen::mis_vs_dual_example();
+    std::vector<double> costs{1, 1, 1, 1, 0.0};
+    const auto r = dual_ascent(m, {}, costs);
+    // The glue column at cost 0 forces all its rows' variables to 0.
+    EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(MisBound, OnCyclicMatrix) {
+    // C(9,3): rows 0,3,6 are pairwise disjoint in columns → MIS ≥ 3.
+    const auto mis = mis_lower_bound(ucp::gen::cyclic_matrix(9, 3));
+    EXPECT_GE(mis.bound, 3);
+    EXPECT_LE(mis.bound, 3);  // LP bound is n/k = 3
+}
+
+TEST(MisBound, RowsAreIndependent) {
+    ucp::Rng seeds(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 20;
+        opt.cols = 30;
+        opt.density = 0.15;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const auto mis = mis_lower_bound(m);
+        // Pairwise column-disjoint.
+        for (std::size_t a = 0; a < mis.rows.size(); ++a)
+            for (std::size_t b = a + 1; b < mis.rows.size(); ++b) {
+                const auto& ra = m.row(mis.rows[a]);
+                const auto& rb = m.row(mis.rows[b]);
+                for (const Index j : ra)
+                    EXPECT_FALSE(std::binary_search(rb.begin(), rb.end(), j));
+            }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Espresso-like minimiser: functional equivalence after every phase,
+// primality after EXPAND, irredundancy, cost monotonicity, strong mode.
+#include <gtest/gtest.h>
+
+#include "espresso/espresso.hpp"
+#include "gen/pla_gen.hpp"
+#include "solver/two_level.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::esp::EspressoOptions;
+using ucp::gen::RandomPlaOptions;
+using ucp::pla::Cover;
+using ucp::pla::Pla;
+
+Pla random_pla(std::uint64_t seed, std::uint32_t n = 6, std::uint32_t m = 2) {
+    RandomPlaOptions opt;
+    opt.num_inputs = n;
+    opt.num_outputs = m;
+    opt.num_cubes = 14;
+    opt.literal_prob = 0.55;
+    opt.dc_fraction = 0.2;
+    opt.seed = seed;
+    return ucp::gen::random_pla(opt);
+}
+
+TEST(Espresso, OffsetsAreComplements) {
+    const Pla p = random_pla(1);
+    const auto offsets = ucp::esp::compute_offsets(p);
+    ASSERT_EQ(offsets.size(), p.space().num_outputs);
+    for (std::uint32_t k = 0; k < p.space().num_outputs; ++k) {
+        Cover care = p.on.restricted_to_output(k);
+        care.append(p.dc.restricted_to_output(k));
+        care.for_each_assignment([&](std::uint64_t a) {
+            EXPECT_NE(care.eval({a}), offsets[k].eval({a}));
+        });
+    }
+}
+
+TEST(Espresso, ExpandPreservesFunctionAndGrowsCubes) {
+    ucp::Rng seeds(71);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Pla p = random_pla(seeds());
+        const auto offsets = ucp::esp::compute_offsets(p);
+        const Cover expanded = ucp::esp::expand(p.on, offsets);
+        // Equivalence modulo dc.
+        EXPECT_TRUE(ucp::solver::verify_equivalence(p, expanded));
+        // No cube shrank: every original cube is covered by some expanded one.
+        for (const auto& c : p.on) {
+            bool covered = false;
+            for (const auto& e : expanded)
+                covered |= e.contains(p.space(), c);
+            EXPECT_TRUE(covered);
+        }
+        EXPECT_LE(expanded.size(), p.on.size());
+    }
+}
+
+TEST(Espresso, ExpandedCubesAreMaximalOnInputs) {
+    // Raising any bound literal of an expanded cube must hit the off-set.
+    const Pla p = random_pla(123, 5, 1);
+    const auto offsets = ucp::esp::compute_offsets(p);
+    const Cover expanded = ucp::esp::expand(p.on, offsets);
+    const auto& s = p.space();
+    for (const auto& c : expanded) {
+        for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+            if (c.in(s, i) == ucp::pla::Lit::kDontCare) continue;
+            ucp::pla::Cube raised = c;
+            raised.set_in(s, i, ucp::pla::Lit::kDontCare);
+            // The raised cube must intersect the off-set of some asserted
+            // output (otherwise expand would have raised it).
+            bool blocked = false;
+            for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+                if (!c.out(s, k)) continue;
+                for (const auto& r : offsets[k]) {
+                    ucp::pla::Cube ri = ucp::pla::Cube::full_inputs(
+                        ucp::pla::CubeSpace{s.num_inputs, 0});
+                    // compare input parts in the input-only space
+                    ucp::pla::Cube ci = ri;
+                    for (std::uint32_t v = 0; v < s.num_inputs; ++v) {
+                        ri.set_in({s.num_inputs, 0}, v, r.in({s.num_inputs, 0}, v));
+                        ci.set_in({s.num_inputs, 0}, v, raised.in(s, v));
+                    }
+                    blocked |= ci.intersects_inputs({s.num_inputs, 0}, ri);
+                }
+            }
+            EXPECT_TRUE(blocked);
+        }
+    }
+}
+
+TEST(Espresso, IrredundantKeepsEquivalenceAndIsIrredundant) {
+    ucp::Rng seeds(73);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Pla p = random_pla(seeds());
+        const auto offsets = ucp::esp::compute_offsets(p);
+        const Cover expanded = ucp::esp::expand(p.on, offsets);
+        const Cover irred = ucp::esp::irredundant(expanded, p.dc);
+        EXPECT_TRUE(ucp::solver::verify_equivalence(p, irred));
+        EXPECT_LE(irred.size(), expanded.size());
+        // Removing any cube breaks coverage.
+        for (std::size_t drop = 0; drop < irred.size(); ++drop) {
+            Cover rest(irred.space());
+            for (std::size_t i = 0; i < irred.size(); ++i)
+                if (i != drop) rest.add(irred[i]);
+            rest.append(p.dc);
+            EXPECT_FALSE(ucp::pla::cover_contains_cube(rest, irred[drop]));
+        }
+    }
+}
+
+TEST(Espresso, IrredundantExactIsMinimumSubset) {
+    ucp::Rng seeds(74);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Pla p = random_pla(seeds(), 5, 2);
+        const auto offsets = ucp::esp::compute_offsets(p);
+        const Cover expanded = ucp::esp::expand(p.on, offsets);
+        const Cover exact = ucp::esp::irredundant_exact(expanded, p);
+        EXPECT_TRUE(ucp::solver::verify_equivalence(p, exact));
+        // Never worse than the greedy removal.
+        const Cover greedy = ucp::esp::irredundant(expanded, p.dc);
+        EXPECT_LE(exact.size(), greedy.size());
+        // Brute-force minimality over the expanded pool (small pools only).
+        if (expanded.size() <= 16) {
+            std::size_t best = expanded.size();
+            for (std::uint32_t mask = 0; mask < (1u << expanded.size());
+                 ++mask) {
+                Cover subset(p.space());
+                for (std::size_t i = 0; i < expanded.size(); ++i)
+                    if ((mask >> i) & 1) subset.add(expanded[i]);
+                if (subset.size() >= best) continue;
+                if (ucp::solver::verify_equivalence(p, subset))
+                    best = subset.size();
+            }
+            EXPECT_EQ(exact.size(), best) << "seed trial " << trial;
+        }
+    }
+}
+
+TEST(Espresso, ReducePreservesFunction) {
+    ucp::Rng seeds(75);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Pla p = random_pla(seeds());
+        const auto offsets = ucp::esp::compute_offsets(p);
+        Cover f = ucp::esp::expand(p.on, offsets);
+        f = ucp::esp::irredundant(f, p.dc);
+        const Cover reduced = ucp::esp::reduce_cover(f, p.dc);
+        EXPECT_TRUE(ucp::solver::verify_equivalence(p, reduced));
+        EXPECT_LE(reduced.size(), f.size());
+    }
+}
+
+TEST(Espresso, FullLoopEquivalentAndNoWorseThanInput) {
+    ucp::Rng seeds(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Pla p = random_pla(seeds());
+        const auto r = ucp::esp::espresso(p);
+        EXPECT_TRUE(ucp::solver::verify_equivalence(p, r.cover));
+        EXPECT_LE(r.final_cubes, r.initial_cubes + 0u);
+        EXPECT_GE(r.loops, 1);
+    }
+}
+
+TEST(Espresso, StrongModeNeverWorse) {
+    ucp::Rng seeds(79);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Pla p = random_pla(seeds(), 7, 2);
+        EspressoOptions normal, strong;
+        strong.strong = true;
+        const auto rn = ucp::esp::espresso(p, normal);
+        const auto rs = ucp::esp::espresso(p, strong);
+        EXPECT_TRUE(ucp::solver::verify_equivalence(p, rs.cover));
+        EXPECT_LE(rs.cover.size(), rn.cover.size());
+    }
+}
+
+TEST(Espresso, SingleOutputKnownMinimum) {
+    // f = Σm(0,1,2,3) over 2 vars = tautology: one universal cube.
+    const ucp::pla::CubeSpace s{2, 1};
+    ucp::pla::Pla p;
+    p.on = Cover::from_strings(s, {{"00", "1"}, {"01", "1"}, {"10", "1"}, {"11", "1"}});
+    p.dc = Cover(s);
+    p.off = Cover(s);
+    const auto r = ucp::esp::espresso(p);
+    EXPECT_EQ(r.cover.size(), 1u);
+    EXPECT_EQ(r.cover[0].input_literal_count(s), 0u);
+}
+
+TEST(Espresso, DontCaresEnableMerging) {
+    // ON = {00}, DC = {01, 10, 11}: one universal cube suffices.
+    const ucp::pla::CubeSpace s{2, 1};
+    ucp::pla::Pla p;
+    p.on = Cover::from_strings(s, {{"00", "1"}});
+    p.dc = Cover::from_strings(s, {{"01", "1"}, {"1-", "1"}});
+    p.off = Cover(s);
+    const auto r = ucp::esp::espresso(p);
+    EXPECT_EQ(r.cover.size(), 1u);
+}
+
+}  // namespace

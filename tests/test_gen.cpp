@@ -1,0 +1,127 @@
+// Workload generators: structural properties and determinism of the PLA
+// families and benchmark suites.
+#include <gtest/gtest.h>
+
+#include "gen/pla_gen.hpp"
+#include "gen/suites.hpp"
+#include "pla/urp.hpp"
+
+namespace {
+
+using ucp::gen::RandomPlaOptions;
+using ucp::pla::Pla;
+
+TEST(PlaGen, RandomPlaDeterministic) {
+    RandomPlaOptions opt;
+    opt.seed = 42;
+    const Pla a = ucp::gen::random_pla(opt);
+    const Pla b = ucp::gen::random_pla(opt);
+    EXPECT_EQ(a.on.to_string(), b.on.to_string());
+    EXPECT_EQ(a.dc.to_string(), b.dc.to_string());
+    EXPECT_FALSE(a.on.empty());
+}
+
+TEST(PlaGen, RandomPlaRespectsDimensions) {
+    RandomPlaOptions opt;
+    opt.num_inputs = 11;
+    opt.num_outputs = 3;
+    opt.num_cubes = 25;
+    opt.seed = 9;
+    const Pla p = ucp::gen::random_pla(opt);
+    EXPECT_EQ(p.space().num_inputs, 11u);
+    EXPECT_EQ(p.space().num_outputs, 3u);
+    EXPECT_EQ(p.on.size() + p.dc.size(), 25u);
+    for (const auto& c : p.on) EXPECT_TRUE(c.any_output(p.space()));
+}
+
+TEST(PlaGen, AdderComputesSums) {
+    const Pla p = ucp::gen::adder_pla(2);
+    EXPECT_EQ(p.space().num_inputs, 4u);
+    EXPECT_EQ(p.space().num_outputs, 3u);
+    // 2 + 3 = 5 = 101: a=10(bits a0=0,a1=1 → value 2), b=11 (3).
+    // assignment bits: inputs 0..1 = a, 2..3 = b.
+    const std::uint64_t assignment = 0b1110;  // a=2 (bit1), b=3 (bits 2,3)
+    EXPECT_TRUE(p.on.eval({assignment}, 0));   // sum bit 0 = 1
+    EXPECT_FALSE(p.on.eval({assignment}, 1));  // sum bit 1 = 0
+    EXPECT_TRUE(p.on.eval({assignment}, 2));   // carry = 1
+}
+
+TEST(PlaGen, MuxSelectsDataLine) {
+    const Pla p = ucp::gen::mux_pla(2);  // inputs: sel0, sel1, d0..d3
+    EXPECT_EQ(p.space().num_inputs, 6u);
+    // sel = 2 (sel0=0, sel1=1), d2 = 1 → output 1.
+    EXPECT_TRUE(p.on.eval({0b010010}, 0));
+    // sel = 2, d2 = 0, others 1 → output 0.
+    EXPECT_FALSE(p.on.eval({0b101110 & ~(1ULL << 4)}, 0));
+}
+
+TEST(PlaGen, MajorityAndParityOnsets) {
+    const Pla maj = ucp::gen::majority_pla(5);
+    EXPECT_EQ(maj.on.size(), 16u);  // half of 32
+    const Pla par = ucp::gen::parity_pla(5);
+    EXPECT_EQ(par.on.size(), 16u);
+    EXPECT_TRUE(par.on.eval({0b00001}, 0));
+    EXPECT_FALSE(par.on.eval({0b00011}, 0));
+}
+
+TEST(PlaGen, IntervalThresholds) {
+    const Pla p = ucp::gen::interval_pla(6, 2);
+    EXPECT_EQ(p.space().num_outputs, 2u);
+    // Output k fires iff value ≥ 64(k+1)/3.
+    EXPECT_FALSE(p.on.eval({20}, 0));
+    EXPECT_TRUE(p.on.eval({22}, 0));   // ≥ 21
+    EXPECT_FALSE(p.on.eval({41}, 1));
+    EXPECT_TRUE(p.on.eval({43}, 1));   // ≥ 42
+    EXPECT_TRUE(p.on.eval({63}, 0));
+}
+
+TEST(PlaGen, ArgumentValidation) {
+    EXPECT_THROW(ucp::gen::adder_pla(9), std::invalid_argument);
+    EXPECT_THROW(ucp::gen::mux_pla(0), std::invalid_argument);
+    EXPECT_THROW(ucp::gen::majority_pla(2), std::invalid_argument);
+    EXPECT_THROW(ucp::gen::parity_pla(1), std::invalid_argument);
+    EXPECT_THROW(ucp::gen::interval_pla(1, 1), std::invalid_argument);
+}
+
+TEST(Suites, SizesMatchPaperCategories) {
+    EXPECT_EQ(ucp::gen::easy_cyclic_suite().size(), 49u);
+    EXPECT_EQ(ucp::gen::difficult_cyclic_suite().size(), 7u);
+    EXPECT_EQ(ucp::gen::challenging_suite().size(), 16u);
+}
+
+TEST(Suites, NamesMatchPaperTables) {
+    const auto diff = ucp::gen::difficult_cyclic_suite();
+    const std::vector<std::string> expected{"bench1", "ex5",   "exam", "max1024",
+                                            "prom2",  "t1",    "test4"};
+    ASSERT_EQ(diff.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(diff[i].name, expected[i]);
+
+    const auto chal = ucp::gen::challenging_suite();
+    EXPECT_EQ(chal[0].name, "ex1010");
+    EXPECT_EQ(chal[10].name, "test2");
+    EXPECT_EQ(chal[15].name, "xparc");
+}
+
+TEST(Suites, InstanceByName) {
+    const Pla p = ucp::gen::instance_by_name("max1024");
+    EXPECT_FALSE(p.on.empty());
+    EXPECT_THROW(ucp::gen::instance_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Suites, AllInstancesNonEmptyAndDeterministic) {
+    for (auto maker : {ucp::gen::easy_cyclic_suite,
+                       ucp::gen::difficult_cyclic_suite,
+                       ucp::gen::challenging_suite}) {
+        const auto a = maker();
+        const auto b = maker();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_FALSE(a[i].pla.on.empty()) << a[i].name;
+            EXPECT_EQ(a[i].pla.on.to_string(), b[i].pla.on.to_string())
+                << a[i].name;
+        }
+    }
+}
+
+}  // namespace

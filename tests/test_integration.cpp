@@ -1,0 +1,101 @@
+// Cross-module integration: the full ZDD_SCG pipeline against the Espresso
+// baseline and the exact solver on the benchmark suites (scaled-down runs),
+// plus end-to-end PLA text round trips through minimisation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "espresso/espresso.hpp"
+#include "gen/suites.hpp"
+#include "pla/pla_io.hpp"
+#include "pla/urp.hpp"
+#include "solver/two_level.hpp"
+
+namespace {
+
+using ucp::gen::SuiteEntry;
+using ucp::pla::Pla;
+using ucp::solver::CoverSolver;
+using ucp::solver::minimize_two_level;
+using ucp::solver::TwoLevelOptions;
+
+TEST(Integration, EasyCyclicSubsetAllProvedOptimalAndVerified) {
+    // A slice of the easy-cyclic suite (full sweep lives in the bench).
+    const auto suite = ucp::gen::easy_cyclic_suite();
+    int proved = 0, total = 0;
+    for (std::size_t i = 0; i < suite.size(); i += 5) {
+        const auto& entry = suite[i];
+        const auto r = minimize_two_level(entry.pla);
+        EXPECT_TRUE(r.verified) << entry.name;
+        EXPECT_LE(r.lower_bound, r.cost) << entry.name;
+        ++total;
+        if (r.proved_optimal) ++proved;
+    }
+    // The paper solves all easy-cyclic problems to proven optimality.
+    EXPECT_GE(proved * 10, total * 7);
+}
+
+TEST(Integration, ScgBeatsOrMatchesEspressoOnDifficultInstances) {
+    // Paper Table 1: ZDD_SCG never loses to heuristic Espresso on quality.
+    const auto suite = ucp::gen::difficult_cyclic_suite();
+    int wins = 0, ties = 0, losses = 0;
+    for (const auto& entry : suite) {
+        if (entry.pla.space().num_inputs > 9) continue;  // keep the test fast
+        const auto scg = minimize_two_level(entry.pla);
+        EXPECT_TRUE(scg.verified) << entry.name;
+        const auto esp = ucp::esp::espresso(entry.pla);
+        EXPECT_TRUE(ucp::solver::verify_equivalence(entry.pla, esp.cover))
+            << entry.name;
+        const auto ec = static_cast<ucp::cov::Cost>(esp.cover.size());
+        if (scg.cost < ec) ++wins;
+        else if (scg.cost == ec) ++ties;
+        else ++losses;
+    }
+    EXPECT_EQ(losses, 0) << "wins=" << wins << " ties=" << ties;
+}
+
+TEST(Integration, RoundTripThroughPlaText) {
+    // minimise → write → re-read → verify equivalence with the original.
+    const Pla original = ucp::gen::instance_by_name("t1");
+    const auto r = minimize_two_level(original);
+    ASSERT_TRUE(r.verified);
+
+    Pla minimized;
+    minimized.name = "t1.min";
+    minimized.on = r.cover;
+    minimized.dc = ucp::pla::Cover(original.space());
+    minimized.off = ucp::pla::Cover(original.space());
+
+    std::stringstream ss;
+    ucp::pla::write_pla(ss, minimized);
+    const Pla reread = ucp::pla::read_pla(ss, "reread");
+    EXPECT_TRUE(ucp::pla::covers_equal(reread.on, r.cover));
+}
+
+TEST(Integration, ChallengingStructuredInstancesProvedOptimal) {
+    // The structured members mirror the paper's starred Table 2 rows.
+    for (const char* name : {"misj", "ts10", "ex4"}) {
+        const Pla p = ucp::gen::instance_by_name(name);
+        const auto r = minimize_two_level(p);
+        EXPECT_TRUE(r.verified) << name;
+        TwoLevelOptions exact;
+        exact.cover_solver = CoverSolver::kExact;
+        const auto re = minimize_two_level(p, exact);
+        ASSERT_TRUE(re.proved_optimal) << name;
+        EXPECT_EQ(r.cost, re.cost) << name;
+    }
+}
+
+TEST(Integration, GreedySolverUpperBoundsScg) {
+    for (const char* name : {"t1", "exam"}) {
+        const Pla p = ucp::gen::instance_by_name(name);
+        TwoLevelOptions greedy;
+        greedy.cover_solver = CoverSolver::kGreedy;
+        const auto rg = minimize_two_level(p, greedy);
+        const auto rs = minimize_two_level(p);
+        EXPECT_TRUE(rg.verified && rs.verified) << name;
+        EXPECT_LE(rs.cost, rg.cost) << name;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Sparse covering matrix: construction invariants, feasibility, irredundancy,
+// column stripping, text IO.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/scp_gen.hpp"
+#include "matrix/sparse_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::CoverMatrix;
+using ucp::cov::Index;
+
+CoverMatrix sample() {
+    // rows: {0,1}, {1,2}, {2,3}, {0,3}; costs 1,2,1,3
+    return CoverMatrix::from_rows(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+                                  {1, 2, 1, 3});
+}
+
+TEST(CoverMatrix, ConstructionAndAccessors) {
+    const CoverMatrix m = sample();
+    EXPECT_EQ(m.num_rows(), 4u);
+    EXPECT_EQ(m.num_cols(), 4u);
+    EXPECT_EQ(m.num_entries(), 8u);
+    EXPECT_TRUE(m.entry(0, 1));
+    EXPECT_FALSE(m.entry(0, 2));
+    EXPECT_EQ(m.cost(3), 3);
+    EXPECT_DOUBLE_EQ(m.density(), 0.5);
+    EXPECT_EQ(m.col(1).size(), 2u);
+    m.validate();
+}
+
+TEST(CoverMatrix, RowsDeduplicatedAndSorted) {
+    const CoverMatrix m = CoverMatrix::from_rows(3, {{2, 0, 2, 1}});
+    EXPECT_EQ(m.row(0), (std::vector<Index>{0, 1, 2}));
+}
+
+TEST(CoverMatrix, ConstructionErrors) {
+    EXPECT_THROW(CoverMatrix::from_rows(2, {{}}), std::invalid_argument);
+    EXPECT_THROW(CoverMatrix::from_rows(2, {{5}}), std::invalid_argument);
+    EXPECT_THROW(CoverMatrix::from_rows(2, {{0}}, {1, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(CoverMatrix::from_rows(2, {{0}}, {1}), std::invalid_argument);
+}
+
+TEST(CoverMatrix, FeasibilityAndCost) {
+    const CoverMatrix m = sample();
+    EXPECT_TRUE(m.is_feasible({0, 2}));   // {0,1} ∪ {1,2}... col0 rows {0,3}, col2 rows {1,2}
+    EXPECT_FALSE(m.is_feasible({0}));
+    EXPECT_FALSE(m.is_feasible({}));
+    EXPECT_EQ(m.solution_cost({0, 2}), 2);
+    EXPECT_EQ(m.solution_cost({0, 1, 2, 3}), 7);
+    EXPECT_THROW((void)m.is_feasible({9}), std::invalid_argument);
+}
+
+TEST(CoverMatrix, MakeIrredundantDropsExpensiveFirst) {
+    const CoverMatrix m = sample();
+    const auto sol = m.make_irredundant({0, 1, 2, 3});
+    EXPECT_TRUE(m.is_feasible(sol));
+    // {0,2} covers everything at cost 2: cols 1 (cost 2) and 3 (cost 3) drop.
+    EXPECT_EQ(sol, (std::vector<Index>{0, 2}));
+    EXPECT_THROW(m.make_irredundant({0}), std::invalid_argument);
+}
+
+TEST(CoverMatrix, MakeIrredundantHandlesDuplicates) {
+    const CoverMatrix m = sample();
+    const auto sol = m.make_irredundant({0, 0, 2, 2});
+    EXPECT_EQ(sol, (std::vector<Index>{0, 2}));
+}
+
+TEST(CoverMatrix, StripColumns) {
+    const CoverMatrix m = sample();
+    CoverMatrix out;
+    std::vector<Index> map;
+    ASSERT_TRUE(ucp::cov::strip_columns(m, {false, true, false, false}, out, map));
+    EXPECT_EQ(out.num_cols(), 3u);
+    EXPECT_EQ(map, (std::vector<Index>{0, 2, 3}));
+    EXPECT_EQ(out.row(0), (std::vector<Index>{0}));  // row {0,1} lost col 1
+
+    // Removing both columns of a row is rejected.
+    CoverMatrix out2;
+    EXPECT_FALSE(
+        ucp::cov::strip_columns(m, {true, true, false, false}, out2, map));
+}
+
+TEST(CoverMatrix, TextRoundTrip) {
+    const CoverMatrix m = sample();
+    std::stringstream ss;
+    ucp::cov::write_matrix(ss, m);
+    const CoverMatrix m2 = ucp::cov::read_matrix(ss);
+    EXPECT_EQ(m2.num_rows(), m.num_rows());
+    EXPECT_EQ(m2.num_cols(), m.num_cols());
+    for (Index i = 0; i < m.num_rows(); ++i) EXPECT_EQ(m2.row(i), m.row(i));
+    for (Index j = 0; j < m.num_cols(); ++j) EXPECT_EQ(m2.cost(j), m.cost(j));
+}
+
+TEST(CoverMatrix, ReadErrors) {
+    std::stringstream ss("2");
+    EXPECT_THROW(ucp::cov::read_matrix(ss), std::invalid_argument);
+}
+
+TEST(ScpGen, RandomScpIsWellFormed) {
+    ucp::gen::RandomScpOptions opt;
+    opt.rows = 40;
+    opt.cols = 60;
+    opt.density = 0.05;
+    opt.min_cost = 1;
+    opt.max_cost = 5;
+    opt.seed = 3;
+    const CoverMatrix m = ucp::gen::random_scp(opt);
+    m.validate();
+    EXPECT_EQ(m.num_rows(), 40u);
+    EXPECT_EQ(m.num_cols(), 60u);
+    for (Index i = 0; i < m.num_rows(); ++i) EXPECT_GE(m.row(i).size(), 2u);
+    for (Index j = 0; j < m.num_cols(); ++j) {
+        EXPECT_GE(m.cost(j), 1);
+        EXPECT_LE(m.cost(j), 5);
+    }
+    // Determinism.
+    const CoverMatrix m2 = ucp::gen::random_scp(opt);
+    for (Index i = 0; i < m.num_rows(); ++i) EXPECT_EQ(m2.row(i), m.row(i));
+}
+
+TEST(ScpGen, SteinerCoverStructure) {
+    // AG(2,3): 9 points, 12 lines; every pair of points on exactly one line.
+    const CoverMatrix m = ucp::gen::steiner_cover(2);
+    m.validate();
+    EXPECT_EQ(m.num_cols(), 9u);
+    EXPECT_EQ(m.num_rows(), 12u);
+    for (Index i = 0; i < m.num_rows(); ++i) EXPECT_EQ(m.row(i).size(), 3u);
+    for (Index j = 0; j < m.num_cols(); ++j) EXPECT_EQ(m.col(j).size(), 4u);
+    std::size_t pair_count = 0;
+    for (Index p = 0; p < 9; ++p)
+        for (Index q = static_cast<Index>(p + 1); q < 9; ++q) {
+            int on_lines = 0;
+            for (Index i = 0; i < m.num_rows(); ++i)
+                if (m.entry(i, p) && m.entry(i, q)) ++on_lines;
+            EXPECT_EQ(on_lines, 1) << "pair " << p << "," << q;
+            ++pair_count;
+        }
+    EXPECT_EQ(pair_count, 36u);
+
+    // AG(3,3): 27 points, 117 lines.
+    const CoverMatrix m3 = ucp::gen::steiner_cover(3);
+    EXPECT_EQ(m3.num_cols(), 27u);
+    EXPECT_EQ(m3.num_rows(), 117u);
+    EXPECT_THROW(ucp::gen::steiner_cover(4), std::invalid_argument);
+}
+
+TEST(ScpGen, SteinerCoverKnownOptima) {
+    // STS(9): integer optimum 5, LP bound 3 — the canonical LP–IP gap.
+    const CoverMatrix m = ucp::gen::steiner_cover(2);
+    // brute force over 2^9 subsets
+    ucp::cov::Cost best = 9;
+    for (std::uint32_t mask = 0; mask < (1u << 9); ++mask) {
+        std::vector<Index> sol;
+        for (Index j = 0; j < 9; ++j)
+            if ((mask >> j) & 1) sol.push_back(j);
+        if (m.is_feasible(sol))
+            best = std::min(best, static_cast<ucp::cov::Cost>(sol.size()));
+    }
+    EXPECT_EQ(best, 5);
+}
+
+TEST(ScpGen, CyclicMatrixStructure) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(7, 3);
+    m.validate();
+    EXPECT_EQ(m.num_rows(), 7u);
+    EXPECT_EQ(m.num_cols(), 7u);
+    EXPECT_EQ(m.row(5), (std::vector<Index>{0, 5, 6}));
+    for (Index j = 0; j < 7; ++j) EXPECT_EQ(m.col(j).size(), 3u);
+    EXPECT_THROW(ucp::gen::cyclic_matrix(3, 1), std::invalid_argument);
+}
+
+}  // namespace

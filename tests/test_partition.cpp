@@ -1,0 +1,107 @@
+// Partitioning reduction (paper §2): block decomposition of the covering
+// matrix, and its transparent use by the solvers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/scp_gen.hpp"
+#include "matrix/reductions.hpp"
+#include "solver/bnb.hpp"
+#include "solver/scg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::Cost;
+using ucp::cov::CoverMatrix;
+using ucp::cov::Index;
+using ucp::cov::partition_blocks;
+
+/// Builds a block-diagonal matrix from the given blocks (no interaction).
+CoverMatrix block_diagonal(const std::vector<CoverMatrix>& blocks) {
+    std::vector<std::vector<Index>> rows;
+    std::vector<Cost> costs;
+    Index col_base = 0;
+    for (const auto& b : blocks) {
+        for (Index i = 0; i < b.num_rows(); ++i) {
+            std::vector<Index> r;
+            for (const Index j : b.row(i)) r.push_back(col_base + j);
+            rows.push_back(std::move(r));
+        }
+        for (Index j = 0; j < b.num_cols(); ++j) costs.push_back(b.cost(j));
+        col_base += b.num_cols();
+    }
+    return CoverMatrix::from_rows(col_base, std::move(rows), std::move(costs));
+}
+
+TEST(Partition, SingleConnectedMatrixIsOneBlock) {
+    const auto blocks = partition_blocks(ucp::gen::cyclic_matrix(8, 3));
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].matrix.num_rows(), 8u);
+    EXPECT_EQ(blocks[0].matrix.num_cols(), 8u);
+}
+
+TEST(Partition, BlockDiagonalSplitsExactly) {
+    const CoverMatrix m = block_diagonal(
+        {ucp::gen::cyclic_matrix(5, 2), ucp::gen::cyclic_matrix(7, 3),
+         ucp::gen::dual_vs_lp_example()});
+    const auto blocks = partition_blocks(m);
+    ASSERT_EQ(blocks.size(), 3u);
+    std::size_t rows = 0, cols = 0;
+    for (const auto& b : blocks) {
+        rows += b.matrix.num_rows();
+        cols += b.matrix.num_cols();
+        b.matrix.validate();
+        // Maps point back to real entries.
+        for (Index i = 0; i < b.matrix.num_rows(); ++i)
+            for (const Index j : b.matrix.row(i))
+                EXPECT_TRUE(m.entry(b.row_map[i], b.col_map[j]));
+    }
+    EXPECT_EQ(rows, m.num_rows());
+    EXPECT_EQ(cols, m.num_cols());
+}
+
+TEST(Partition, UselessColumnsAreDropped) {
+    // Column 2 covers nothing.
+    const CoverMatrix m = CoverMatrix::from_rows(3, {{0, 1}});
+    const auto blocks = partition_blocks(m);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].matrix.num_cols(), 2u);
+}
+
+TEST(Partition, SolversAgreeOnBlockDiagonalInstances) {
+    ucp::Rng seeds(301);
+    for (int trial = 0; trial < 8; ++trial) {
+        ucp::gen::RandomScpOptions g;
+        g.rows = 8;
+        g.cols = 10;
+        g.density = 0.3;
+        g.max_cost = 3;
+        g.seed = seeds();
+        const CoverMatrix a = ucp::gen::random_scp(g);
+        g.seed = seeds();
+        const CoverMatrix b = ucp::gen::random_scp(g);
+        const CoverMatrix m = block_diagonal({a, b});
+
+        const auto whole = ucp::solver::solve_exact(m);
+        const auto pa = ucp::solver::solve_exact(a);
+        const auto pb = ucp::solver::solve_exact(b);
+        ASSERT_TRUE(whole.optimal && pa.optimal && pb.optimal);
+        EXPECT_EQ(whole.cost, pa.cost + pb.cost) << "seed " << g.seed;
+
+        const auto scg = ucp::solver::solve_scg(m);
+        EXPECT_TRUE(m.is_feasible(scg.solution));
+        EXPECT_GE(scg.cost, whole.cost);
+        EXPECT_LE(scg.lower_bound, whole.cost);
+    }
+}
+
+TEST(Partition, ScgProvesBlockInstancesOptimal) {
+    const CoverMatrix m = block_diagonal(
+        {ucp::gen::mis_vs_dual_example(), ucp::gen::cyclic_matrix(9, 3)});
+    const auto r = ucp::solver::solve_scg(m);
+    EXPECT_EQ(r.cost, 2 + 3);
+    EXPECT_TRUE(r.proved_optimal);
+}
+
+}  // namespace

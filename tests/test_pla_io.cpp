@@ -1,0 +1,103 @@
+// PLA reader/writer: directives, plane dispatch, round-tripping, errors.
+#include <gtest/gtest.h>
+
+#include "pla/pla_io.hpp"
+#include "pla/urp.hpp"
+
+namespace {
+
+using ucp::pla::Pla;
+using ucp::pla::read_pla_string;
+using ucp::pla::write_pla_string;
+
+TEST(PlaIo, BasicFdParse) {
+    const Pla p = read_pla_string(R"(.i 3
+.o 2
+.type fd
+# a comment
+110 1-
+0-1 01
+--- ~~
+.e
+)");
+    EXPECT_EQ(p.space().num_inputs, 3u);
+    EXPECT_EQ(p.space().num_outputs, 2u);
+    // Line 1 contributes on(out0) + dc(out1); line 2 contributes on(out1);
+    // line 3 ('~~') contributes nothing.
+    EXPECT_EQ(p.on.size(), 2u);
+    EXPECT_EQ(p.dc.size(), 1u);
+    EXPECT_EQ(p.type, "fd");
+}
+
+TEST(PlaIo, OutputPlaneDispatch) {
+    const Pla p = read_pla_string(R"(.i 2
+.o 3
+.type fdr
+11 10-
+00 0~1
+)");
+    ASSERT_EQ(p.on.size(), 2u);
+    EXPECT_TRUE(p.on[0].out(p.space(), 0));
+    EXPECT_FALSE(p.on[0].out(p.space(), 1));
+    ASSERT_EQ(p.off.size(), 2u);
+    EXPECT_TRUE(p.off[0].out(p.space(), 1));
+    EXPECT_TRUE(p.off[1].out(p.space(), 0));
+    ASSERT_EQ(p.dc.size(), 1u);
+    EXPECT_TRUE(p.dc[0].out(p.space(), 2));
+}
+
+TEST(PlaIo, MissingOutputDirectiveDefaultsToOne) {
+    const Pla p = read_pla_string(".i 3\n101\n111\n");
+    EXPECT_EQ(p.space().num_outputs, 1u);
+    EXPECT_EQ(p.on.size(), 2u);
+}
+
+TEST(PlaIo, LabelsParsed) {
+    const Pla p = read_pla_string(R"(.i 2
+.o 1
+.ilb a b
+.ob f
+11 1
+)");
+    ASSERT_EQ(p.input_labels.size(), 2u);
+    EXPECT_EQ(p.input_labels[1], "b");
+    ASSERT_EQ(p.output_labels.size(), 1u);
+}
+
+TEST(PlaIo, WhitespaceInCubeLines) {
+    const Pla p = read_pla_string(".i 4\n.o 2\n1 0 - 1  1 0\n");
+    ASSERT_EQ(p.on.size(), 1u);
+    EXPECT_EQ(p.on[0].to_string(p.space()), "10-1 10");
+}
+
+TEST(PlaIo, Errors) {
+    EXPECT_THROW(read_pla_string(".i 2\n.o 1\n111 1\n"), std::invalid_argument);
+    EXPECT_THROW(read_pla_string(".i 2\n.o 1\n1z 1\n"), std::invalid_argument);
+    EXPECT_THROW(read_pla_string(".i 2\n.o 1\n11 7\n"), std::invalid_argument);
+    EXPECT_THROW(read_pla_string(".i 0\n"), std::invalid_argument);
+    EXPECT_THROW(read_pla_string("11 1\n"), std::invalid_argument);
+    EXPECT_THROW(ucp::pla::read_pla_file("/nonexistent/x.pla"),
+                 std::invalid_argument);
+}
+
+TEST(PlaIo, RoundTripPreservesFunction) {
+    const std::string text = R"(.i 4
+.o 2
+.type fd
+01-- 1~
+--11 -1
+1-0- 11
+.e
+)";
+    const Pla p1 = read_pla_string(text, "rt");
+    const Pla p2 = read_pla_string(write_pla_string(p1), "rt2");
+    EXPECT_TRUE(ucp::pla::covers_equal(p1.on, p2.on));
+    EXPECT_EQ(p1.dc.size(), p2.dc.size());
+}
+
+TEST(PlaIo, StopsAtEndDirective) {
+    const Pla p = read_pla_string(".i 2\n.o 1\n11 1\n.e\n00 1\n");
+    EXPECT_EQ(p.on.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Parameterised property sweeps across the whole stack (TEST_P): URP
+// semantics, Espresso equivalence, SCG validity and the end-to-end pipeline,
+// each swept over a grid of workload shapes.
+#include <gtest/gtest.h>
+
+#include "espresso/espresso.hpp"
+#include "gen/pla_gen.hpp"
+#include "gen/scp_gen.hpp"
+#include "pla/urp.hpp"
+#include "solver/bnb.hpp"
+#include "solver/scg.hpp"
+#include "solver/two_level.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::Rng;
+using ucp::pla::Cover;
+using ucp::pla::Cube;
+using ucp::pla::CubeSpace;
+using ucp::pla::Lit;
+using ucp::pla::Pla;
+
+// ---------------------------------------------------------------------------
+// URP sweep
+// ---------------------------------------------------------------------------
+
+struct UrpConfig {
+    std::uint32_t n;
+    std::size_t cubes;
+    double lit_prob;
+};
+
+class UrpSweep : public ::testing::TestWithParam<UrpConfig> {};
+
+TEST_P(UrpSweep, TautologyAndComplementMatchBruteForce) {
+    const UrpConfig cfg = GetParam();
+    Rng rng(cfg.n * 1000 + cfg.cubes);
+    const CubeSpace s{cfg.n, 0};
+    for (int trial = 0; trial < 12; ++trial) {
+        Cover f(s);
+        for (std::size_t c = 0; c < cfg.cubes; ++c) {
+            Cube cube = Cube::full_inputs(s);
+            for (std::uint32_t i = 0; i < cfg.n; ++i)
+                if (rng.chance(cfg.lit_prob))
+                    cube.set_in(s, i, rng.chance(0.5) ? Lit::kOne : Lit::kZero);
+            f.add(std::move(cube));
+        }
+        bool brute_taut = true;
+        f.for_each_assignment([&](std::uint64_t a) {
+            if (!f.eval({a})) brute_taut = false;
+        });
+        EXPECT_EQ(ucp::pla::is_tautology(f), brute_taut);
+
+        const Cover fc = ucp::pla::complement(f);
+        f.for_each_assignment([&](std::uint64_t a) {
+            ASSERT_NE(f.eval({a}), fc.eval({a}));
+        });
+        // complement is involutive up to function equality
+        EXPECT_TRUE(ucp::pla::covers_equal(ucp::pla::complement(fc), f));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UrpSweep,
+    ::testing::Values(UrpConfig{4, 3, 0.6}, UrpConfig{5, 5, 0.5},
+                      UrpConfig{6, 8, 0.4}, UrpConfig{6, 4, 0.7},
+                      UrpConfig{7, 10, 0.35}, UrpConfig{8, 6, 0.5},
+                      UrpConfig{8, 12, 0.3}));
+
+// ---------------------------------------------------------------------------
+// Espresso sweep
+// ---------------------------------------------------------------------------
+
+struct EspConfig {
+    std::uint32_t n;
+    std::uint32_t m;
+    double dc;
+    bool strong;
+};
+
+class EspressoSweep : public ::testing::TestWithParam<EspConfig> {};
+
+TEST_P(EspressoSweep, EquivalentAndNoLargerThanInput) {
+    const EspConfig cfg = GetParam();
+    Rng seeds(cfg.n * 131 + cfg.m * 17 + (cfg.strong ? 7 : 0));
+    for (int trial = 0; trial < 5; ++trial) {
+        ucp::gen::RandomPlaOptions g;
+        g.num_inputs = cfg.n;
+        g.num_outputs = cfg.m;
+        g.num_cubes = cfg.n * 3;
+        g.literal_prob = 0.55;
+        g.dc_fraction = cfg.dc;
+        g.seed = seeds();
+        const Pla p = ucp::gen::random_pla(g);
+        ucp::esp::EspressoOptions opt;
+        opt.strong = cfg.strong;
+        const auto r = ucp::esp::espresso(p, opt);
+        EXPECT_TRUE(ucp::solver::verify_equivalence(p, r.cover))
+            << "seed " << g.seed;
+        EXPECT_LE(r.cover.size(), p.on.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EspressoSweep,
+    ::testing::Values(EspConfig{5, 1, 0.0, false}, EspConfig{5, 2, 0.2, false},
+                      EspConfig{6, 1, 0.3, false}, EspConfig{6, 3, 0.1, false},
+                      EspConfig{7, 2, 0.2, false}, EspConfig{5, 2, 0.2, true},
+                      EspConfig{6, 2, 0.0, true}, EspConfig{7, 1, 0.3, true}));
+
+// ---------------------------------------------------------------------------
+// SCG sweep
+// ---------------------------------------------------------------------------
+
+struct ScgConfig {
+    ucp::cov::Index rows, cols;
+    double density;
+    ucp::cov::Cost max_cost;
+};
+
+class ScgSweep : public ::testing::TestWithParam<ScgConfig> {};
+
+TEST_P(ScgSweep, FeasibleBoundedNearOptimal) {
+    const ScgConfig cfg = GetParam();
+    Rng seeds(cfg.rows * 7919 + cfg.cols);
+    for (int trial = 0; trial < 5; ++trial) {
+        ucp::gen::RandomScpOptions g;
+        g.rows = cfg.rows;
+        g.cols = cfg.cols;
+        g.density = cfg.density;
+        g.min_cost = 1;
+        g.max_cost = cfg.max_cost;
+        g.seed = seeds();
+        const auto m = ucp::gen::random_scp(g);
+        const auto r = ucp::solver::solve_scg(m);
+        EXPECT_TRUE(m.is_feasible(r.solution));
+        EXPECT_LE(r.lower_bound, r.cost);
+        if (cfg.rows <= 16) {
+            const auto exact = ucp::solver::solve_exact(m);
+            ASSERT_TRUE(exact.optimal);
+            EXPECT_LE(r.cost, exact.cost + 1) << "seed " << g.seed;
+            EXPECT_LE(r.lower_bound, exact.cost);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScgSweep,
+    ::testing::Values(ScgConfig{12, 16, 0.2, 1}, ScgConfig{12, 16, 0.2, 5},
+                      ScgConfig{16, 24, 0.15, 1}, ScgConfig{16, 24, 0.3, 3},
+                      ScgConfig{40, 60, 0.08, 1}, ScgConfig{40, 60, 0.08, 4},
+                      ScgConfig{80, 120, 0.04, 1}, ScgConfig{60, 40, 0.1, 2}));
+
+// ---------------------------------------------------------------------------
+// End-to-end sweep over the structured PLA families
+// ---------------------------------------------------------------------------
+
+class FamilySweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FamilySweep, PipelineVerifiedWithValidBound) {
+    const Pla p = [&] {
+        const std::string name = GetParam();
+        if (name == "adder3") return ucp::gen::adder_pla(3);
+        if (name == "mux3") return ucp::gen::mux_pla(3);
+        if (name == "maj7") return ucp::gen::majority_pla(7);
+        if (name == "parity6") return ucp::gen::parity_pla(6);
+        if (name == "cmp8x3") return ucp::gen::interval_pla(8, 3);
+        return ucp::gen::parity_pla(4);
+    }();
+    const auto r = ucp::solver::minimize_two_level(p);
+    EXPECT_TRUE(r.verified) << GetParam();
+    EXPECT_LE(r.lower_bound, r.cost);
+    EXPECT_GT(r.num_primes, 0u);
+    // A second run is identical (the whole pipeline is deterministic).
+    const auto r2 = ucp::solver::minimize_two_level(p);
+    EXPECT_EQ(r.cost, r2.cost);
+    EXPECT_EQ(r.literals, r2.literals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilySweep,
+                         ::testing::Values("adder3", "mux3", "maj7", "parity6",
+                                           "cmp8x3"));
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Explicit reductions: essentials, row/column dominance, cyclic cores, and
+// the optimum-preservation property checked against exhaustive search.
+#include <gtest/gtest.h>
+
+#include "gen/scp_gen.hpp"
+#include "matrix/reductions.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::Cost;
+using ucp::cov::CoverMatrix;
+using ucp::cov::Index;
+using ucp::cov::reduce;
+using ucp::cov::ReduceResult;
+
+/// Exhaustive optimum for tiny matrices.
+Cost brute_optimum(const CoverMatrix& m) {
+    const Index C = m.num_cols();
+    Cost best = 0;
+    for (Index j = 0; j < C; ++j) best += m.cost(j);
+    for (std::uint32_t mask = 0; mask < (1u << C); ++mask) {
+        std::vector<Index> sol;
+        for (Index j = 0; j < C; ++j)
+            if ((mask >> j) & 1) sol.push_back(j);
+        if (m.is_feasible(sol)) best = std::min(best, m.solution_cost(sol));
+    }
+    return best;
+}
+
+TEST(Reductions, EssentialColumnDetection) {
+    // Row 0 covered only by col 0 → essential; its rows vanish.
+    const CoverMatrix m =
+        CoverMatrix::from_rows(3, {{0}, {0, 1}, {1, 2}}, {1, 1, 1});
+    const ReduceResult r = reduce(m);
+    ASSERT_EQ(r.essential_cols.size(), 2u);  // col0 essential, then col1 or 2
+    EXPECT_EQ(r.essential_cols[0], 0u);
+    EXPECT_EQ(r.fixed_cost, 2);
+    EXPECT_TRUE(r.solved());
+}
+
+TEST(Reductions, RowDominanceRemovesSuperset) {
+    // Row 1 ⊇ row 0 → row 1 removed; then col 2 covers nothing and col1
+    // equals col0... with unit costs col domination leaves one.
+    const CoverMatrix m =
+        CoverMatrix::from_rows(3, {{0, 1}, {0, 1, 2}}, {1, 1, 1});
+    const ReduceResult r = reduce(m);
+    EXPECT_GE(r.rows_removed_dominance, 1u);
+    // After removing row 1, row 0 has cols {0,1}; dominance keeps col 0.
+    EXPECT_TRUE(r.solved() || r.core.num_rows() <= 1);
+}
+
+TEST(Reductions, ColumnDominanceRespectsCost) {
+    // Equal column supports, different costs: the cheap one must win.
+    const CoverMatrix m =
+        CoverMatrix::from_rows(2, {{0, 1}, {0, 1}}, {2, 1});
+    const ReduceResult r = reduce(m);
+    EXPECT_TRUE(r.solved());
+    ASSERT_EQ(r.essential_cols.size(), 1u);
+    EXPECT_EQ(r.essential_cols[0], 1u);
+    EXPECT_EQ(r.fixed_cost, 1);
+
+    // Cheaper column with a smaller support must NOT be removed by an
+    // expensive superset column.
+    const CoverMatrix m2 = CoverMatrix::from_rows(
+        3, {{0, 1}, {1, 2}, {0, 2}}, {1, 5, 1});
+    const ReduceResult r2 = reduce(m2);
+    bool col0_alive = false;
+    for (const Index j : r2.core_col_map) col0_alive |= (j == 0);
+    for (const Index j : r2.essential_cols) col0_alive |= (j == 0);
+    EXPECT_TRUE(col0_alive);
+}
+
+TEST(Reductions, DominatedColumnRemoved) {
+    // col 0 rows {0}; col 1 rows {0,1} same cost: col 0 dominated.
+    const CoverMatrix m =
+        CoverMatrix::from_rows(3, {{0, 1, 2}, {1, 2}}, {1, 1, 1});
+    const ReduceResult r = reduce(m);
+    EXPECT_TRUE(r.solved());
+    ASSERT_EQ(r.essential_cols.size(), 1u);
+    EXPECT_EQ(r.essential_cols[0], 1u);  // cheapest dominator covers all
+}
+
+TEST(Reductions, CyclicCoreIsStable) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(9, 3);
+    const ReduceResult r = reduce(m);
+    // The circulant has no essentials and no dominance: it IS the core.
+    EXPECT_TRUE(r.essential_cols.empty());
+    EXPECT_EQ(r.core.num_rows(), 9u);
+    EXPECT_EQ(r.core.num_cols(), 9u);
+    EXPECT_EQ(r.rows_removed_dominance, 0u);
+    EXPECT_EQ(r.cols_removed_dominance, 0u);
+}
+
+TEST(Reductions, FixedColumnsRemoveRows) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(6, 2);
+    const ReduceResult r = reduce(m, {0});  // fix col 0: rows 5, 0 covered
+    EXPECT_LE(r.core.num_rows(), 4u);
+    // fixed columns never appear in essentials
+    for (const Index j : r.essential_cols) EXPECT_NE(j, 0u);
+}
+
+TEST(Reductions, PreservesOptimumOnRandomInstances) {
+    ucp::Rng seeds(2025);
+    for (int trial = 0; trial < 40; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 8;
+        opt.cols = 10;
+        opt.density = 0.25;
+        opt.min_cost = 1;
+        opt.max_cost = 1 + trial % 4;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const Cost opt_cost = brute_optimum(m);
+
+        const ReduceResult r = reduce(m);
+        Cost reduced_opt = r.fixed_cost;
+        if (!r.solved()) reduced_opt += brute_optimum(r.core);
+        EXPECT_EQ(reduced_opt, opt_cost) << "seed " << opt.seed;
+    }
+}
+
+TEST(Reductions, MapsAreConsistent) {
+    ucp::gen::RandomScpOptions opt;
+    opt.rows = 12;
+    opt.cols = 15;
+    opt.density = 0.2;
+    opt.seed = 99;
+    const CoverMatrix m = ucp::gen::random_scp(opt);
+    const ReduceResult r = reduce(m);
+    r.core.validate();
+    for (Index j = 0; j < r.core.num_cols(); ++j) {
+        EXPECT_LT(r.core_col_map[j], m.num_cols());
+        EXPECT_EQ(r.core.cost(j), m.cost(r.core_col_map[j]));
+    }
+    for (Index i = 0; i < r.core.num_rows(); ++i) {
+        EXPECT_LT(r.core_row_map[i], m.num_rows());
+        // Each core entry exists in the original matrix.
+        for (const Index j : r.core.row(i))
+            EXPECT_TRUE(m.entry(r.core_row_map[i], r.core_col_map[j]));
+    }
+}
+
+TEST(Reductions, SolvedProblemGivesFeasibleEssentials) {
+    ucp::Rng seeds(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 10;
+        opt.cols = 8;
+        opt.density = 0.35;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const ReduceResult r = reduce(m);
+        if (r.solved()) {
+            EXPECT_TRUE(m.is_feasible(r.essential_cols));
+        }
+    }
+}
+
+}  // namespace

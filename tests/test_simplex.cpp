@@ -1,0 +1,139 @@
+// Simplex LP oracle: known optima, duality, covering relaxations, and
+// consistency with brute-force vertex enumeration on tiny LPs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/scp_gen.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::CoverMatrix;
+using ucp::lp::LpResult;
+using ucp::lp::LpStatus;
+using ucp::lp::simplex_min;
+using ucp::lp::solve_covering_lp;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Simplex, SimpleTwoVariable) {
+    // min x + y  s.t. x + y ≥ 1, x ≥ 0.3 (as x + 0y ≥ 0.3); 0 ≤ x,y ≤ 1.
+    const LpResult r = simplex_min({{1, 1}, {1, 0}}, {1, 0.3}, {1, 1},
+                                   {kInf, kInf});
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 1.0, 1e-7);
+}
+
+TEST(Simplex, UpperBoundsBind) {
+    // min -x (maximise x) with x ≤ 0.25: needs the ub row.
+    const LpResult r = simplex_min({{1}}, {0}, {-1}, {0.25});
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, -0.25, 1e-7);
+    EXPECT_NEAR(r.x[0], 0.25, 1e-7);
+}
+
+TEST(Simplex, UnboundedDetected) {
+    // min -x, x unbounded above.
+    const LpResult r = simplex_min({{1}}, {0}, {-1}, {kInf});
+    EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+    // x ≥ 2 with x ≤ 1.
+    const LpResult r = simplex_min({{1}}, {2}, {1}, {1});
+    EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, CoveringTriangleFractional) {
+    // The dual_vs_lp example: LP optimum 2.5 at p = (.5, .5, .5).
+    const CoverMatrix m = ucp::gen::dual_vs_lp_example();
+    const LpResult r = solve_covering_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 2.5, 1e-7);
+    EXPECT_NEAR(r.x[0], 0.5, 1e-6);
+    EXPECT_EQ(ucp::lp::lp_lower_bound_rounded(m), 3);
+}
+
+TEST(Simplex, CoveringGlueExample) {
+    const CoverMatrix m = ucp::gen::mis_vs_dual_example();
+    const LpResult r = solve_covering_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, CyclicMatrixLpValue) {
+    // C(n, k) has LP optimum exactly n/k.
+    for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+             {5, 2}, {7, 3}, {9, 4}, {8, 3}}) {
+        const CoverMatrix m = ucp::gen::cyclic_matrix(n, k);
+        const LpResult r = solve_covering_lp(m);
+        ASSERT_EQ(r.status, LpStatus::kOptimal);
+        EXPECT_NEAR(r.objective, static_cast<double>(n) / k, 1e-7)
+            << "C(" << n << "," << k << ")";
+    }
+}
+
+TEST(Simplex, DualSolutionIsFeasibleAndStrong) {
+    ucp::Rng seeds(404);
+    for (int trial = 0; trial < 25; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 10;
+        opt.cols = 14;
+        opt.density = 0.25;
+        opt.min_cost = 1;
+        opt.max_cost = 4;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const LpResult r = solve_covering_lp(m);
+        ASSERT_EQ(r.status, LpStatus::kOptimal);
+
+        // Primal feasibility.
+        for (ucp::cov::Index i = 0; i < m.num_rows(); ++i) {
+            double sum = 0;
+            for (const auto j : m.row(i)) sum += r.x[j];
+            EXPECT_GE(sum, 1.0 - 1e-6);
+        }
+        for (const double v : r.x) {
+            EXPECT_GE(v, -1e-9);
+            EXPECT_LE(v, 1.0 + 1e-9);
+        }
+        // Strong duality with the box multipliers: e'y − e'u = objective and
+        // (y, u) is feasible: y, u ≥ 0 and Σ_i a_ij y_i − u_j ≤ c_j.
+        double dual_obj = 0;
+        for (const double y : r.dual) {
+            EXPECT_GE(y, -1e-9);
+            dual_obj += y;
+        }
+        ASSERT_EQ(r.dual_ub.size(), r.x.size());
+        for (ucp::cov::Index j = 0; j < m.num_cols(); ++j) {
+            EXPECT_GE(r.dual_ub[j], -1e-9);
+            dual_obj -= r.dual_ub[j];
+            double load = 0;
+            for (const auto i : m.col(j)) load += r.dual[i];
+            EXPECT_LE(load - r.dual_ub[j],
+                      static_cast<double>(m.cost(j)) + 1e-6);
+        }
+        EXPECT_NEAR(dual_obj, r.objective, 1e-6) << "seed " << opt.seed;
+    }
+}
+
+TEST(Simplex, IntegralOnTotallyBalancedInstance) {
+    // Interval matrices are totally balanced: the covering LP has an integral
+    // optimal solution.
+    const CoverMatrix m = CoverMatrix::from_rows(
+        4, {{0, 1}, {1, 2}, {2, 3}, {3}}, {1, 1, 1, 1});
+    const LpResult r = solve_covering_lp(m);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    EXPECT_NEAR(r.objective, std::round(r.objective), 1e-7);
+}
+
+TEST(Simplex, InputValidation) {
+    EXPECT_THROW(simplex_min({{1, 1}}, {1, 2}, {1, 1}, {1, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(simplex_min({{1}}, {1}, {1, 2}, {1, 1}),
+                 std::invalid_argument);
+}
+
+}  // namespace

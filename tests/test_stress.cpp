@@ -1,0 +1,90 @@
+// End-to-end randomized stress: many random functions through the whole
+// pipeline (primes → table → reductions → SCG / exact / Espresso) with full
+// cross-verification on every one. This is the safety net that would catch
+// an interaction bug none of the per-module suites sees.
+#include <gtest/gtest.h>
+
+#include "espresso/espresso.hpp"
+#include "gen/pla_gen.hpp"
+#include "solver/two_level.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::pla::Pla;
+using ucp::solver::CoverSolver;
+using ucp::solver::minimize_two_level;
+using ucp::solver::TwoLevelOptions;
+
+TEST(Stress, RandomFunctionsFullPipeline) {
+    ucp::Rng seeds(0xC0FFEE);
+    int scg_optimal = 0;
+    const int runs = 30;
+    for (int trial = 0; trial < runs; ++trial) {
+        ucp::gen::RandomPlaOptions g;
+        g.num_inputs = 4 + trial % 4;        // 4..7 inputs
+        g.num_outputs = 1 + trial % 3;       // 1..3 outputs
+        g.num_cubes = g.num_inputs * (2 + trial % 3);
+        g.literal_prob = 0.4 + 0.05 * (trial % 5);
+        g.dc_fraction = 0.1 * (trial % 4);
+        g.seed = seeds();
+        const Pla p = ucp::gen::random_pla(g);
+
+        // SCG pipeline.
+        const auto scg = minimize_two_level(p);
+        ASSERT_TRUE(scg.verified) << "seed " << g.seed;
+        ASSERT_LE(scg.lower_bound, scg.cost) << "seed " << g.seed;
+
+        // Exact pipeline: optimum, never above SCG.
+        TwoLevelOptions eopt;
+        eopt.cover_solver = CoverSolver::kExact;
+        const auto exact = minimize_two_level(p, eopt);
+        ASSERT_TRUE(exact.verified) << "seed " << g.seed;
+        ASSERT_TRUE(exact.proved_optimal) << "seed " << g.seed;
+        ASSERT_LE(exact.cost, scg.cost) << "seed " << g.seed;
+        ASSERT_LE(scg.cost, exact.cost + 1) << "seed " << g.seed;
+        if (scg.cost == exact.cost) ++scg_optimal;
+
+        // Espresso (both modes): equivalent, bounded below by the optimum.
+        const auto esp = ucp::esp::espresso(p);
+        ASSERT_TRUE(ucp::solver::verify_equivalence(p, esp.cover))
+            << "seed " << g.seed;
+        ASSERT_GE(static_cast<ucp::cov::Cost>(esp.cover.size()), exact.cost)
+            << "seed " << g.seed;
+        ucp::esp::EspressoOptions strong;
+        strong.strong = true;
+        const auto str = ucp::esp::espresso(p, strong);
+        ASSERT_TRUE(ucp::solver::verify_equivalence(p, str.cover))
+            << "seed " << g.seed;
+        ASSERT_LE(str.cover.size(), esp.cover.size()) << "seed " << g.seed;
+        ASSERT_GE(static_cast<ucp::cov::Cost>(str.cover.size()), exact.cost)
+            << "seed " << g.seed;
+    }
+    // The paper's headline: the heuristic nearly always hits the optimum.
+    EXPECT_GE(scg_optimal * 10, runs * 9) << scg_optimal << "/" << runs;
+}
+
+TEST(Stress, LexicographicModelAcrossRandomFunctions) {
+    ucp::Rng seeds(0xFACADE);
+    for (int trial = 0; trial < 10; ++trial) {
+        ucp::gen::RandomPlaOptions g;
+        g.num_inputs = 5;
+        g.num_outputs = 2;
+        g.num_cubes = 12;
+        g.literal_prob = 0.5;
+        g.dc_fraction = 0.15;
+        g.seed = seeds();
+        const Pla p = ucp::gen::random_pla(g);
+        TwoLevelOptions unit, lex;
+        unit.cover_solver = CoverSolver::kExact;
+        lex.cover_solver = CoverSolver::kExact;
+        lex.table.cost_model = ucp::cover::CostModel::kProductsThenLiterals;
+        const auto ru = minimize_two_level(p, unit);
+        const auto rl = minimize_two_level(p, lex);
+        ASSERT_TRUE(ru.verified && rl.verified) << "seed " << g.seed;
+        ASSERT_EQ(rl.cost, ru.cost) << "seed " << g.seed;
+        ASSERT_LE(rl.literals, ru.literals) << "seed " << g.seed;
+    }
+}
+
+}  // namespace

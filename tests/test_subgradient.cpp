@@ -1,0 +1,133 @@
+// Subgradient ascent: bound validity (≤ LP optimum), convergence on known
+// instances, warm starts, optimality proofs, primal/dual coupling.
+#include <gtest/gtest.h>
+
+#include "gen/scp_gen.hpp"
+#include "lagrangian/subgradient.hpp"
+#include "lp/simplex.hpp"
+#include "solver/bnb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::CoverMatrix;
+using ucp::cov::Index;
+using ucp::lagr::subgradient_ascent;
+using ucp::lagr::SubgradientOptions;
+
+TEST(Subgradient, BoundNeverExceedsLpOptimum) {
+    ucp::Rng seeds(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 15;
+        opt.cols = 25;
+        opt.density = 0.18;
+        opt.min_cost = 1;
+        opt.max_cost = 3;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const auto lp = ucp::lp::solve_covering_lp(m);
+        ASSERT_EQ(lp.status, ucp::lp::LpStatus::kOptimal);
+
+        const auto sub = subgradient_ascent(m);
+        EXPECT_LE(sub.lb_fractional, lp.objective + 1e-6) << "seed " << opt.seed;
+        EXPECT_TRUE(m.is_feasible(sub.best_solution));
+        EXPECT_EQ(m.solution_cost(sub.best_solution), sub.best_cost);
+        EXPECT_LE(sub.lb, sub.best_cost);
+        // The dual-Lagrangian value bounds z*_P from above.
+        EXPECT_GE(sub.w_ld_best, lp.objective - 1e-6) << "seed " << opt.seed;
+    }
+}
+
+TEST(Subgradient, ConvergesNearLpOnCyclicCores) {
+    // On C(n,k) the LP bound is n/k; the subgradient should get close.
+    const CoverMatrix m = ucp::gen::cyclic_matrix(12, 5);  // LP = 2.4
+    SubgradientOptions opt;
+    opt.max_iterations = 1500;
+    const auto sub = subgradient_ascent(m, opt);
+    // The subgradient bound approaches (but rarely attains) the LP value.
+    EXPECT_GE(sub.lb_fractional, 2.4 - 0.25);
+    EXPECT_EQ(sub.lb, 3);  // ⌈2.4⌉
+    EXPECT_EQ(sub.best_cost, 3);  // optimum is 3 columns
+    EXPECT_TRUE(sub.proved_optimal);
+}
+
+TEST(Subgradient, ProvesOptimalityOnTriangle) {
+    const CoverMatrix m = ucp::gen::dual_vs_lp_example();
+    const auto sub = subgradient_ascent(m);
+    // LP = 2.5 → the Lagrangian bound approaches it; ⌈LB⌉ = 3 = optimum.
+    EXPECT_EQ(sub.best_cost, 3);
+    EXPECT_GE(sub.lb_fractional, 2.0);
+    if (sub.lb_fractional > 2.0 + 1e-9) {
+        EXPECT_EQ(sub.lb, 3);
+        EXPECT_TRUE(sub.proved_optimal);
+    }
+}
+
+TEST(Subgradient, LagrangianCostsMatchBestLambda) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(9, 3);
+    const auto sub = subgradient_ascent(m);
+    ASSERT_EQ(sub.lagrangian_costs.size(), m.num_cols());
+    ASSERT_EQ(sub.lambda.size(), m.num_rows());
+    for (Index j = 0; j < m.num_cols(); ++j) {
+        double expected = static_cast<double>(m.cost(j));
+        for (const Index i : m.col(j)) expected -= sub.lambda[i];
+        EXPECT_NEAR(sub.lagrangian_costs[j], expected, 1e-9);
+    }
+    for (const double l : sub.lambda) EXPECT_GE(l, 0.0);
+    for (const double u : sub.mu) {
+        EXPECT_GE(u, -1e-12);
+        EXPECT_LE(u, 1.0 + 1e-12);
+    }
+}
+
+TEST(Subgradient, WarmStartAccepted) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(10, 3);
+    const auto cold = subgradient_ascent(m);
+    const auto warm = subgradient_ascent(m, {}, cold.lambda, cold.mu,
+                                         cold.best_solution);
+    EXPECT_GE(warm.lb_fractional, cold.lb_fractional - 0.2);
+    EXPECT_LE(warm.best_cost, cold.best_cost);
+}
+
+TEST(Subgradient, EmptyMatrixTriviallyOptimal) {
+    const CoverMatrix m = CoverMatrix::from_rows(3, {});
+    const auto sub = subgradient_ascent(m);
+    EXPECT_TRUE(sub.proved_optimal);
+    EXPECT_TRUE(sub.best_solution.empty());
+    EXPECT_EQ(sub.lb, 0);
+}
+
+TEST(Subgradient, BoundIsValidVsExactOptimum) {
+    ucp::Rng seeds(37);
+    for (int trial = 0; trial < 12; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 12;
+        opt.cols = 16;
+        opt.density = 0.22;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+        const auto exact = ucp::solver::solve_exact(m);
+        ASSERT_TRUE(exact.optimal);
+        const auto sub = subgradient_ascent(m);
+        EXPECT_LE(sub.lb, exact.cost) << "seed " << opt.seed;
+        EXPECT_GE(sub.best_cost, exact.cost);
+    }
+}
+
+TEST(Subgradient, PrimalOnlyModeWorks) {
+    SubgradientOptions opt;
+    opt.use_dual_lagrangian = false;
+    const CoverMatrix m = ucp::gen::cyclic_matrix(8, 3);
+    const auto sub = subgradient_ascent(m, opt);
+    EXPECT_TRUE(m.is_feasible(sub.best_solution));
+    EXPECT_GE(sub.lb_fractional, 1.0);
+}
+
+TEST(Subgradient, RejectsBadWarmStartSizes) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(5, 2);
+    EXPECT_THROW(subgradient_ascent(m, {}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(subgradient_ascent(m, {}, {}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Implicit covering-table construction: rows are signature classes of onset
+// minterms; validated against an explicit minterm-by-minterm table.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cover/table_builder.hpp"
+#include "gen/pla_gen.hpp"
+#include "solver/bnb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::Index;
+using ucp::cover::build_covering_table;
+using ucp::cover::CoveringTable;
+using ucp::cover::PrimeMethod;
+using ucp::cover::TableBuildOptions;
+using ucp::pla::Pla;
+
+Pla random_pla(std::uint64_t seed, std::uint32_t n, std::uint32_t m) {
+    ucp::gen::RandomPlaOptions opt;
+    opt.num_inputs = n;
+    opt.num_outputs = m;
+    opt.num_cubes = 12;
+    opt.literal_prob = 0.55;
+    opt.dc_fraction = 0.2;
+    opt.seed = seed;
+    return ucp::gen::random_pla(opt);
+}
+
+/// Explicit reference: one row per (output, onset minterm), distinct
+/// signatures only. Returns the multiset of row signatures (as sets of
+/// prime indices).
+std::set<std::vector<Index>> explicit_signatures(const Pla& pla,
+                                                 const ucp::pla::Cover& primes) {
+    const auto& s = pla.space();
+    std::set<std::vector<Index>> rows;
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+        for (std::uint64_t a = 0; a < (1ULL << s.num_inputs); ++a) {
+            if (!pla.on.eval({a}, k)) continue;
+            if (pla.dc.eval({a}, k)) continue;  // care semantics
+            std::vector<Index> sig;
+            for (std::size_t j = 0; j < primes.size(); ++j) {
+                if (primes[j].out(s, k) &&
+                    primes[j].covers_assignment(s, {a}))
+                    sig.push_back(static_cast<Index>(j));
+            }
+            EXPECT_FALSE(sig.empty());
+            rows.insert(std::move(sig));
+        }
+    }
+    return rows;
+}
+
+TEST(TableBuilder, SignatureClassesMatchExplicitEnumeration) {
+    ucp::Rng seeds(81);
+    for (int trial = 0; trial < 12; ++trial) {
+        const Pla p = random_pla(seeds(), 6, 1 + trial % 3);
+        const CoveringTable t = build_covering_table(p);
+        const auto expected = explicit_signatures(p, t.primes);
+
+        std::set<std::vector<Index>> got;
+        for (Index i = 0; i < t.matrix.num_rows(); ++i)
+            got.insert(t.matrix.row(i));
+        EXPECT_EQ(got, expected) << p.name;
+        EXPECT_EQ(t.matrix.num_rows(), expected.size());
+    }
+}
+
+TEST(TableBuilder, OnsetMintermCountMatches) {
+    const Pla p = random_pla(7, 6, 2);
+    const CoveringTable t = build_covering_table(p);
+    double count = 0;
+    const auto& s = p.space();
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k)
+        for (std::uint64_t a = 0; a < (1ULL << s.num_inputs); ++a)
+            if (p.on.eval({a}, k) && !p.dc.eval({a}, k)) count += 1;
+    EXPECT_DOUBLE_EQ(t.onset_minterms, count);
+}
+
+TEST(TableBuilder, ImplicitAndConsensusAgreeSingleOutput) {
+    ucp::Rng seeds(83);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Pla p = random_pla(seeds(), 7, 1);
+        TableBuildOptions a, b;
+        a.method = PrimeMethod::kImplicit;
+        b.method = PrimeMethod::kConsensus;
+        const CoveringTable ta = build_covering_table(p, a);
+        const CoveringTable tb = build_covering_table(p, b);
+        EXPECT_TRUE(ta.used_implicit_primes);
+        EXPECT_FALSE(tb.used_implicit_primes);
+        EXPECT_EQ(ta.primes.size(), tb.primes.size());
+        EXPECT_EQ(ta.matrix.num_rows(), tb.matrix.num_rows());
+        // Same optimal covering cost either way.
+        if (ta.matrix.num_rows() > 0 && ta.matrix.num_rows() < 40) {
+            EXPECT_EQ(ucp::solver::solve_exact(ta.matrix).cost,
+                      ucp::solver::solve_exact(tb.matrix).cost);
+        }
+    }
+}
+
+TEST(TableBuilder, ImplicitRejectsMultiOutput) {
+    const Pla p = random_pla(1, 5, 2);
+    TableBuildOptions opt;
+    opt.method = PrimeMethod::kImplicit;
+    EXPECT_THROW(build_covering_table(p, opt), std::invalid_argument);
+}
+
+TEST(TableBuilder, EssentialPrimesDetected) {
+    // Parity: every onset minterm is its own prime → all essential.
+    const Pla p = ucp::gen::parity_pla(4);
+    const CoveringTable t = build_covering_table(p);
+    EXPECT_EQ(t.num_essential_primes, 8u);
+    EXPECT_EQ(t.primes.size(), 8u);
+    EXPECT_EQ(t.matrix.num_rows(), 8u);
+}
+
+TEST(TableBuilder, SolutionToCoverMapsColumns) {
+    const Pla p = random_pla(5, 5, 1);
+    const CoveringTable t = build_covering_table(p);
+    ASSERT_GT(t.matrix.num_cols(), 0u);
+    const auto cover = ucp::cover::solution_to_cover(t, {0});
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover[0], t.primes[0]);
+    EXPECT_THROW(ucp::cover::solution_to_cover(t, {static_cast<Index>(
+                     t.primes.size() + 5)}),
+                 std::invalid_argument);
+}
+
+TEST(TableBuilder, GuardsFire) {
+    const Pla p = ucp::gen::majority_pla(7);
+    TableBuildOptions opt;
+    opt.max_cols = 3;
+    EXPECT_THROW(build_covering_table(p, opt), std::runtime_error);
+    TableBuildOptions opt2;
+    opt2.max_rows = 2;
+    EXPECT_THROW(build_covering_table(p, opt2), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// URP algorithms: tautology, complement and containment validated against
+// exhaustive evaluation on random covers.
+#include <gtest/gtest.h>
+
+#include "pla/urp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::Rng;
+using ucp::pla::Cover;
+using ucp::pla::Cube;
+using ucp::pla::CubeSpace;
+using ucp::pla::Lit;
+
+Cover random_input_cover(Rng& rng, std::uint32_t n, std::size_t cubes,
+                         double lit_prob) {
+    const CubeSpace s{n, 0};
+    Cover f(s);
+    for (std::size_t c = 0; c < cubes; ++c) {
+        Cube cube = Cube::full_inputs(s);
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (rng.chance(lit_prob))
+                cube.set_in(s, i, rng.chance(0.5) ? Lit::kOne : Lit::kZero);
+        f.add(std::move(cube));
+    }
+    return f;
+}
+
+bool brute_tautology(const Cover& f) {
+    bool taut = true;
+    f.for_each_assignment([&](std::uint64_t a) {
+        if (!f.eval({a})) taut = false;
+    });
+    return taut;
+}
+
+TEST(Urp, TautologyBaseCases) {
+    const CubeSpace s{3, 0};
+    Cover empty(s);
+    EXPECT_FALSE(ucp::pla::is_tautology(empty));
+    Cover uni(s);
+    uni.add(Cube::full_inputs(s));
+    EXPECT_TRUE(ucp::pla::is_tautology(uni));
+}
+
+TEST(Urp, TautologyXPlusNotX) {
+    const CubeSpace s{2, 0};
+    const Cover f = Cover::from_strings(s, {{"1-", ""}, {"0-", ""}});
+    EXPECT_TRUE(ucp::pla::is_tautology(f));
+    const Cover g = Cover::from_strings(s, {{"1-", ""}, {"00", ""}});
+    EXPECT_FALSE(ucp::pla::is_tautology(g));
+}
+
+TEST(Urp, TautologyMatchesBruteForce) {
+    Rng rng(321);
+    for (int trial = 0; trial < 60; ++trial) {
+        // Low literal probability produces near-tautologies, exercising both
+        // outcomes.
+        const Cover f = random_input_cover(rng, 6, 6 + trial % 5, 0.3);
+        EXPECT_EQ(ucp::pla::is_tautology(f), brute_tautology(f));
+    }
+}
+
+TEST(Urp, ComplementMatchesBruteForce) {
+    Rng rng(654);
+    for (int trial = 0; trial < 40; ++trial) {
+        const Cover f = random_input_cover(rng, 6, 1 + trial % 6, 0.45);
+        const Cover fc = ucp::pla::complement(f);
+        f.for_each_assignment([&](std::uint64_t a) {
+            ASSERT_NE(f.eval({a}), fc.eval({a})) << "assignment " << a;
+        });
+    }
+}
+
+TEST(Urp, ComplementOfEmptyAndUniversal) {
+    const CubeSpace s{4, 0};
+    Cover empty(s);
+    const Cover ce = ucp::pla::complement(empty);
+    EXPECT_TRUE(ucp::pla::is_tautology(ce));
+    const Cover cu = ucp::pla::complement(ce);
+    EXPECT_TRUE(cu.empty());
+}
+
+TEST(Urp, CofactorSemantics) {
+    // (F cofactor p)(x) == F(x) for all x ∈ p.
+    Rng rng(111);
+    const CubeSpace s{5, 0};
+    for (int trial = 0; trial < 30; ++trial) {
+        const Cover f = random_input_cover(rng, 5, 5, 0.5);
+        Cube p = Cube::full_inputs(s);
+        p.set_in(s, 1, Lit::kOne);
+        p.set_in(s, 3, Lit::kZero);
+        const Cover fc = ucp::pla::cofactor(f, p);
+        f.for_each_assignment([&](std::uint64_t a) {
+            if (!p.covers_assignment(s, {a})) return;
+            ASSERT_EQ(f.eval({a}), fc.eval({a}));
+        });
+    }
+}
+
+TEST(Urp, CoverContainsCubeMatchesBruteForce) {
+    Rng rng(222);
+    const CubeSpace s{5, 2};
+    for (int trial = 0; trial < 60; ++trial) {
+        Cover f(s);
+        for (int c = 0; c < 6; ++c) {
+            Cube cube = Cube::full_inputs(s);
+            for (std::uint32_t i = 0; i < 5; ++i)
+                if (rng.chance(0.4))
+                    cube.set_in(s, i, rng.chance(0.5) ? Lit::kOne : Lit::kZero);
+            cube.set_out(s, 0, rng.chance(0.7));
+            cube.set_out(s, 1, rng.chance(0.7));
+            if (!cube.any_output(s)) cube.set_out(s, 0, true);
+            f.add(std::move(cube));
+        }
+        Cube probe = Cube::full_inputs(s);
+        for (std::uint32_t i = 0; i < 5; ++i)
+            if (rng.chance(0.5))
+                probe.set_in(s, i, rng.chance(0.5) ? Lit::kOne : Lit::kZero);
+        probe.set_out(s, 0, true);
+        probe.set_out(s, 1, rng.chance(0.5));
+
+        bool brute = true;
+        f.for_each_assignment([&](std::uint64_t a) {
+            if (!probe.covers_assignment(s, {a})) return;
+            for (std::uint32_t k = 0; k < 2; ++k)
+                if (probe.out(s, k) && !f.eval({a}, k)) brute = false;
+        });
+        EXPECT_EQ(ucp::pla::cover_contains_cube(f, probe), brute);
+    }
+}
+
+TEST(Urp, CoversEqualAndImplies) {
+    const CubeSpace s{3, 1};
+    // x0 + x0'x1  ==  x0 + x1
+    const Cover a = Cover::from_strings(s, {{"1--", "1"}, {"01-", "1"}});
+    const Cover b = Cover::from_strings(s, {{"1--", "1"}, {"-1-", "1"}});
+    EXPECT_TRUE(ucp::pla::covers_equal(a, b));
+    const Cover c = Cover::from_strings(s, {{"1--", "1"}});
+    EXPECT_TRUE(ucp::pla::cover_implies(c, a));
+    EXPECT_FALSE(ucp::pla::cover_implies(a, c));
+    EXPECT_FALSE(ucp::pla::covers_equal(a, c));
+}
+
+TEST(Urp, SelectSplitVarPrefersBinate) {
+    const CubeSpace s{4, 0};
+    // var 1 is binate; vars 0, 2 unate.
+    const Cover f =
+        Cover::from_strings(s, {{"11--", ""}, {"-0-1", ""}, {"--1-", ""}});
+    std::uint32_t v = 99;
+    ASSERT_TRUE(ucp::pla::select_split_var(f, v));
+    EXPECT_EQ(v, 1u);
+
+    Cover all_dc(s);
+    all_dc.add(ucp::pla::Cube::full_inputs(s));
+    EXPECT_FALSE(ucp::pla::select_split_var(all_dc, v));
+}
+
+}  // namespace

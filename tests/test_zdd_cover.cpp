@@ -1,0 +1,236 @@
+// Implicit (ZDD-based) covering operations: row dominance via `minimal`,
+// exhaustive minimal-cover enumeration, and min-cost extraction — all
+// validated against brute force and against the explicit machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cover/zdd_cover.hpp"
+#include "gen/scp_gen.hpp"
+#include "matrix/reductions.hpp"
+#include "solver/bnb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::Cost;
+using ucp::cov::CoverMatrix;
+using ucp::cov::Index;
+using ucp::zdd::Var;
+using ucp::zdd::ZddManager;
+
+/// Brute force: all irredundant covers of a tiny matrix as sorted col sets.
+std::set<std::vector<Index>> brute_minimal_covers(const CoverMatrix& m) {
+    const Index C = m.num_cols();
+    std::vector<std::vector<Index>> feasible;
+    for (std::uint32_t mask = 0; mask < (1u << C); ++mask) {
+        std::vector<Index> sol;
+        for (Index j = 0; j < C; ++j)
+            if ((mask >> j) & 1) sol.push_back(j);
+        if (m.is_feasible(sol)) feasible.push_back(std::move(sol));
+    }
+    std::set<std::vector<Index>> minimal;
+    for (const auto& a : feasible) {
+        bool is_min = true;
+        for (const auto& b : feasible) {
+            if (b.size() >= a.size() || b == a) continue;
+            if (std::includes(a.begin(), a.end(), b.begin(), b.end()))
+                is_min = false;
+        }
+        if (is_min) minimal.insert(a);
+    }
+    return minimal;
+}
+
+CoverMatrix random_small(ucp::Rng& rng, Index rows, Index cols, double density,
+                         Cost max_cost) {
+    ucp::gen::RandomScpOptions g;
+    g.rows = rows;
+    g.cols = cols;
+    g.density = density;
+    g.min_cost = 1;
+    g.max_cost = max_cost;
+    g.seed = rng();
+    return ucp::gen::random_scp(g);
+}
+
+TEST(ZddCover, RowsRoundTrip) {
+    const CoverMatrix m =
+        CoverMatrix::from_rows(4, {{0, 2}, {1, 3}, {0, 1, 2}}, {1, 2, 3, 4});
+    ZddManager mgr(4);
+    const auto z = ucp::cover::rows_as_zdd(mgr, m);
+    EXPECT_DOUBLE_EQ(z.count(), 3.0);
+    const CoverMatrix back = ucp::cover::zdd_to_rows(mgr, z, m);
+    EXPECT_EQ(back.num_rows(), 3u);
+    // Row order may differ; compare as sets.
+    std::set<std::vector<Index>> a, b;
+    for (Index i = 0; i < 3; ++i) {
+        a.insert(m.row(i));
+        b.insert(back.row(i));
+    }
+    EXPECT_EQ(a, b);
+    for (Index j = 0; j < 4; ++j) EXPECT_EQ(back.cost(j), m.cost(j));
+}
+
+TEST(ZddCover, DuplicateRowsCollapse) {
+    const CoverMatrix m =
+        CoverMatrix::from_rows(3, {{0, 1}, {0, 1}, {1, 2}});
+    const auto r = ucp::cover::implicit_row_dominance(m);
+    EXPECT_EQ(r.rows_in, 3u);
+    EXPECT_EQ(r.rows_out, 2u);
+}
+
+TEST(ZddCover, ImplicitRowDominanceMatchesBruteForce) {
+    ucp::Rng rng(101);
+    for (int trial = 0; trial < 25; ++trial) {
+        const CoverMatrix m = random_small(rng, 12, 10, 0.3, 1);
+        const auto impl = ucp::cover::implicit_row_dominance(m);
+
+        // Brute force: minimal row supports.
+        std::set<std::vector<Index>> expected;
+        for (Index i = 0; i < m.num_rows(); ++i) {
+            bool minimal = true;
+            for (Index k = 0; k < m.num_rows(); ++k) {
+                if (i == k) continue;
+                const auto& a = m.row(i);
+                const auto& b = m.row(k);
+                if (a == b ? k < i
+                           : std::includes(a.begin(), a.end(), b.begin(),
+                                           b.end()))
+                    minimal = false;
+            }
+            if (minimal) expected.insert(m.row(i));
+        }
+        std::set<std::vector<Index>> got;
+        for (Index i = 0; i < impl.matrix.num_rows(); ++i)
+            got.insert(impl.matrix.row(i));
+        EXPECT_EQ(got, expected);
+    }
+}
+
+TEST(ZddCover, MinimalCoversMatchBruteForce) {
+    ucp::Rng rng(103);
+    for (int trial = 0; trial < 25; ++trial) {
+        const CoverMatrix m = random_small(rng, 8, 9, 0.3, 1);
+        ZddManager mgr(m.num_cols());
+        const auto covers = ucp::cover::minimal_covers(mgr, m);
+        const auto expected = brute_minimal_covers(m);
+        EXPECT_DOUBLE_EQ(covers.count(), static_cast<double>(expected.size()));
+        std::set<std::vector<Index>> got;
+        mgr.for_each_set(covers, [&](const std::vector<Var>& s) {
+            std::vector<Index> sol(s.begin(), s.end());
+            std::sort(sol.begin(), sol.end());
+            got.insert(std::move(sol));
+        });
+        EXPECT_EQ(got, expected);
+    }
+}
+
+TEST(ZddCover, MinimalCoversOnCyclicMatrix) {
+    // C(5,2): minimal covers are well understood — each is an irredundant
+    // selection of ≥ ⌈5/2⌉ = 3 columns; verify every member is feasible and
+    // irredundant.
+    const CoverMatrix m = ucp::gen::cyclic_matrix(5, 2);
+    ZddManager mgr(5);
+    const auto covers = ucp::cover::minimal_covers(mgr, m);
+    EXPECT_GT(covers.count(), 0.0);
+    mgr.for_each_set(covers, [&](const std::vector<Var>& s) {
+        std::vector<Index> sol(s.begin(), s.end());
+        EXPECT_TRUE(m.is_feasible(sol));
+        for (std::size_t d = 0; d < sol.size(); ++d) {
+            std::vector<Index> reduced;
+            for (std::size_t t = 0; t < sol.size(); ++t)
+                if (t != d) reduced.push_back(sol[t]);
+            EXPECT_FALSE(m.is_feasible(reduced));
+        }
+        EXPECT_GE(sol.size(), 3u);
+    });
+}
+
+TEST(ZddCover, MinCostMemberMatchesExactSolver) {
+    ucp::Rng rng(107);
+    for (int trial = 0; trial < 25; ++trial) {
+        const CoverMatrix m = random_small(rng, 9, 10, 0.28, 4);
+        const auto best = ucp::cover::implicit_exact_cover(m);
+        const auto exact = ucp::solver::solve_exact(m);
+        ASSERT_TRUE(exact.optimal);
+        EXPECT_EQ(best.cost, exact.cost);
+        std::vector<Index> sol(best.members.begin(), best.members.end());
+        EXPECT_TRUE(m.is_feasible(sol));
+        EXPECT_EQ(m.solution_cost(sol), best.cost);
+    }
+}
+
+TEST(ZddCover, MinCostMemberOnHandFamily) {
+    ZddManager mgr(4);
+    const auto fam = mgr.union_(mgr.set_of({0, 1}), mgr.set_of({2}));
+    const auto best =
+        ucp::cover::min_cost_member(mgr, fam, {1, 1, 5, 1});
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->cost, 2);  // {0,1} costs 2 < {2} costs 5
+    EXPECT_EQ(best->members, (std::vector<Var>{0, 1}));
+    EXPECT_FALSE(
+        ucp::cover::min_cost_member(mgr, mgr.empty(), {1, 1, 1, 1}).has_value());
+}
+
+TEST(ZddCover, NodeGuardFires) {
+    // A dense random matrix with many columns can blow the guard.
+    ucp::gen::RandomScpOptions g;
+    g.rows = 40;
+    g.cols = 60;
+    g.density = 0.25;
+    g.seed = 5;
+    const CoverMatrix m = ucp::gen::random_scp(g);
+    ZddManager mgr(m.num_cols());
+    EXPECT_THROW(ucp::cover::minimal_covers(mgr, m, /*node_guard=*/500),
+                 std::runtime_error);
+}
+
+TEST(ZddCover, ImplicitColumnDominanceMatchesBruteForce) {
+    ucp::Rng rng(109);
+    for (int trial = 0; trial < 25; ++trial) {
+        const CoverMatrix m = random_small(rng, 10, 12, 0.3, 1);
+        const auto impl = ucp::cover::implicit_column_dominance(m);
+
+        // Brute force: column j removed iff some k has rows(j) ⊆ rows(k)
+        // (ties keep the lowest index).
+        std::vector<bool> keep(m.num_cols(), true);
+        for (Index j = 0; j < m.num_cols(); ++j) {
+            for (Index k = 0; k < m.num_cols() && keep[j]; ++k) {
+                if (j == k) continue;
+                const auto& a = m.col(j);
+                const auto& b = m.col(k);
+                if (a == b ? k < j
+                           : std::includes(b.begin(), b.end(), a.begin(),
+                                           a.end()))
+                    keep[j] = false;
+            }
+        }
+        std::vector<Index> expected;
+        for (Index j = 0; j < m.num_cols(); ++j)
+            if (keep[j]) expected.push_back(j);
+        EXPECT_EQ(impl.col_map, expected);
+        EXPECT_EQ(impl.cols_removed, m.num_cols() - expected.size());
+        // Optimum preserved (unit costs).
+        EXPECT_EQ(ucp::solver::solve_exact(impl.matrix).cost,
+                  ucp::solver::solve_exact(m).cost);
+    }
+}
+
+TEST(ZddCover, ImplicitColumnDominanceRejectsNonUniformCosts) {
+    const CoverMatrix m = CoverMatrix::from_rows(2, {{0, 1}}, {1, 2});
+    EXPECT_THROW(ucp::cover::implicit_column_dominance(m),
+                 std::invalid_argument);
+}
+
+TEST(ZddCover, AgreesWithExplicitReductionOnEssentialFreeCore) {
+    // On a matrix that IS its cyclic core, implicit row dominance is a no-op,
+    // like the explicit reducer.
+    const CoverMatrix m = ucp::gen::cyclic_matrix(9, 3);
+    const auto impl = ucp::cover::implicit_row_dominance(m);
+    EXPECT_EQ(impl.rows_out, 9u);
+    const auto expl = ucp::cov::reduce(m);
+    EXPECT_EQ(expl.core.num_rows(), 9u);
+}
+
+}  // namespace
