@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_easy_cyclic.dir/bench_easy_cyclic.cpp.o"
+  "CMakeFiles/bench_easy_cyclic.dir/bench_easy_cyclic.cpp.o.d"
+  "bench_easy_cyclic"
+  "bench_easy_cyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_easy_cyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

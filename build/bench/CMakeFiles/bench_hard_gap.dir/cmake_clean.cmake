@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hard_gap.dir/bench_hard_gap.cpp.o"
+  "CMakeFiles/bench_hard_gap.dir/bench_hard_gap.cpp.o.d"
+  "bench_hard_gap"
+  "bench_hard_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hard_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_zdd.dir/bench_micro_zdd.cpp.o"
+  "CMakeFiles/bench_micro_zdd.dir/bench_micro_zdd.cpp.o.d"
+  "bench_micro_zdd"
+  "bench_micro_zdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_zdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_difficult.dir/bench_table1_difficult.cpp.o"
+  "CMakeFiles/bench_table1_difficult.dir/bench_table1_difficult.cpp.o.d"
+  "bench_table1_difficult"
+  "bench_table1_difficult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_difficult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

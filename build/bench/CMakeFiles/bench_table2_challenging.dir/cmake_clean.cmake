@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_challenging.dir/bench_table2_challenging.cpp.o"
+  "CMakeFiles/bench_table2_challenging.dir/bench_table2_challenging.cpp.o.d"
+  "bench_table2_challenging"
+  "bench_table2_challenging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_challenging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

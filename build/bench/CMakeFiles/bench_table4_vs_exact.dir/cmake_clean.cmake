@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_vs_exact.dir/bench_table4_vs_exact.cpp.o"
+  "CMakeFiles/bench_table4_vs_exact.dir/bench_table4_vs_exact.cpp.o.d"
+  "bench_table4_vs_exact"
+  "bench_table4_vs_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_vs_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

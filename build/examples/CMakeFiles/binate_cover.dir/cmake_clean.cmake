@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binate_cover.dir/binate_cover.cpp.o"
+  "CMakeFiles/binate_cover.dir/binate_cover.cpp.o.d"
+  "binate_cover"
+  "binate_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binate_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

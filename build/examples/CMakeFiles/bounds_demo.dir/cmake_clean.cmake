@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_demo.dir/bounds_demo.cpp.o"
+  "CMakeFiles/bounds_demo.dir/bounds_demo.cpp.o.d"
+  "bounds_demo"
+  "bounds_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

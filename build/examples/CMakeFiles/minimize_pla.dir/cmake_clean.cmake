@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimize_pla.dir/minimize_pla.cpp.o"
+  "CMakeFiles/minimize_pla.dir/minimize_pla.cpp.o.d"
+  "minimize_pla"
+  "minimize_pla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimize_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_cover.dir/set_cover.cpp.o"
+  "CMakeFiles/set_cover.dir/set_cover.cpp.o.d"
+  "set_cover"
+  "set_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bcp/bcp.cpp" "src/CMakeFiles/ucp.dir/bcp/bcp.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/bcp/bcp.cpp.o.d"
+  "/root/repo/src/cover/table_builder.cpp" "src/CMakeFiles/ucp.dir/cover/table_builder.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/cover/table_builder.cpp.o.d"
+  "/root/repo/src/cover/zdd_cover.cpp" "src/CMakeFiles/ucp.dir/cover/zdd_cover.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/cover/zdd_cover.cpp.o.d"
+  "/root/repo/src/espresso/espresso.cpp" "src/CMakeFiles/ucp.dir/espresso/espresso.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/espresso/espresso.cpp.o.d"
+  "/root/repo/src/espresso/expand.cpp" "src/CMakeFiles/ucp.dir/espresso/expand.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/espresso/expand.cpp.o.d"
+  "/root/repo/src/espresso/irredundant.cpp" "src/CMakeFiles/ucp.dir/espresso/irredundant.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/espresso/irredundant.cpp.o.d"
+  "/root/repo/src/espresso/reduce.cpp" "src/CMakeFiles/ucp.dir/espresso/reduce.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/espresso/reduce.cpp.o.d"
+  "/root/repo/src/gen/pla_gen.cpp" "src/CMakeFiles/ucp.dir/gen/pla_gen.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/gen/pla_gen.cpp.o.d"
+  "/root/repo/src/gen/scp_gen.cpp" "src/CMakeFiles/ucp.dir/gen/scp_gen.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/gen/scp_gen.cpp.o.d"
+  "/root/repo/src/gen/suites.cpp" "src/CMakeFiles/ucp.dir/gen/suites.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/gen/suites.cpp.o.d"
+  "/root/repo/src/lagrangian/dual_ascent.cpp" "src/CMakeFiles/ucp.dir/lagrangian/dual_ascent.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/lagrangian/dual_ascent.cpp.o.d"
+  "/root/repo/src/lagrangian/greedy_heuristics.cpp" "src/CMakeFiles/ucp.dir/lagrangian/greedy_heuristics.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/lagrangian/greedy_heuristics.cpp.o.d"
+  "/root/repo/src/lagrangian/penalties.cpp" "src/CMakeFiles/ucp.dir/lagrangian/penalties.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/lagrangian/penalties.cpp.o.d"
+  "/root/repo/src/lagrangian/subgradient.cpp" "src/CMakeFiles/ucp.dir/lagrangian/subgradient.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/lagrangian/subgradient.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/ucp.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/matrix/reductions.cpp" "src/CMakeFiles/ucp.dir/matrix/reductions.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/matrix/reductions.cpp.o.d"
+  "/root/repo/src/matrix/sparse_matrix.cpp" "src/CMakeFiles/ucp.dir/matrix/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/matrix/sparse_matrix.cpp.o.d"
+  "/root/repo/src/pla/cover.cpp" "src/CMakeFiles/ucp.dir/pla/cover.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/pla/cover.cpp.o.d"
+  "/root/repo/src/pla/cube.cpp" "src/CMakeFiles/ucp.dir/pla/cube.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/pla/cube.cpp.o.d"
+  "/root/repo/src/pla/pla_io.cpp" "src/CMakeFiles/ucp.dir/pla/pla_io.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/pla/pla_io.cpp.o.d"
+  "/root/repo/src/pla/urp.cpp" "src/CMakeFiles/ucp.dir/pla/urp.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/pla/urp.cpp.o.d"
+  "/root/repo/src/primes/explicit_primes.cpp" "src/CMakeFiles/ucp.dir/primes/explicit_primes.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/primes/explicit_primes.cpp.o.d"
+  "/root/repo/src/primes/implicit_primes.cpp" "src/CMakeFiles/ucp.dir/primes/implicit_primes.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/primes/implicit_primes.cpp.o.d"
+  "/root/repo/src/solver/bnb.cpp" "src/CMakeFiles/ucp.dir/solver/bnb.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/solver/bnb.cpp.o.d"
+  "/root/repo/src/solver/greedy.cpp" "src/CMakeFiles/ucp.dir/solver/greedy.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/solver/greedy.cpp.o.d"
+  "/root/repo/src/solver/scg.cpp" "src/CMakeFiles/ucp.dir/solver/scg.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/solver/scg.cpp.o.d"
+  "/root/repo/src/solver/two_level.cpp" "src/CMakeFiles/ucp.dir/solver/two_level.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/solver/two_level.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/ucp.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ucp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/util/table.cpp.o.d"
+  "/root/repo/src/zdd/bdd.cpp" "src/CMakeFiles/ucp.dir/zdd/bdd.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/zdd/bdd.cpp.o.d"
+  "/root/repo/src/zdd/zdd.cpp" "src/CMakeFiles/ucp.dir/zdd/zdd.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/zdd/zdd.cpp.o.d"
+  "/root/repo/src/zdd/zdd_cubes.cpp" "src/CMakeFiles/ucp.dir/zdd/zdd_cubes.cpp.o" "gcc" "src/CMakeFiles/ucp.dir/zdd/zdd_cubes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

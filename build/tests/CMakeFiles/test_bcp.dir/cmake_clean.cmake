@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcp.dir/test_bcp.cpp.o"
+  "CMakeFiles/test_bcp.dir/test_bcp.cpp.o.d"
+  "test_bcp"
+  "test_bcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

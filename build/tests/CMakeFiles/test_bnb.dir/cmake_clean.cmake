@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bnb.dir/test_bnb.cpp.o"
+  "CMakeFiles/test_bnb.dir/test_bnb.cpp.o.d"
+  "test_bnb"
+  "test_bnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

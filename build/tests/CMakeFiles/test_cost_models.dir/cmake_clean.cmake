@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_models.dir/test_cost_models.cpp.o"
+  "CMakeFiles/test_cost_models.dir/test_cost_models.cpp.o.d"
+  "test_cost_models"
+  "test_cost_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_ascent.dir/test_dual_ascent.cpp.o"
+  "CMakeFiles/test_dual_ascent.dir/test_dual_ascent.cpp.o.d"
+  "test_dual_ascent"
+  "test_dual_ascent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_ascent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_heuristics.dir/test_greedy_heuristics.cpp.o"
+  "CMakeFiles/test_greedy_heuristics.dir/test_greedy_heuristics.cpp.o.d"
+  "test_greedy_heuristics"
+  "test_greedy_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

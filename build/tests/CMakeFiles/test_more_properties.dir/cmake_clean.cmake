@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_more_properties.dir/test_more_properties.cpp.o"
+  "CMakeFiles/test_more_properties.dir/test_more_properties.cpp.o.d"
+  "test_more_properties"
+  "test_more_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_more_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

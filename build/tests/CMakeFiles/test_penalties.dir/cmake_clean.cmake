@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_penalties.dir/test_penalties.cpp.o"
+  "CMakeFiles/test_penalties.dir/test_penalties.cpp.o.d"
+  "test_penalties"
+  "test_penalties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

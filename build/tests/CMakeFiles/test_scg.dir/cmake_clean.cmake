@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scg.dir/test_scg.cpp.o"
+  "CMakeFiles/test_scg.dir/test_scg.cpp.o.d"
+  "test_scg"
+  "test_scg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

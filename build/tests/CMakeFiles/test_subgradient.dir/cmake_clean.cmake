@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subgradient.dir/test_subgradient.cpp.o"
+  "CMakeFiles/test_subgradient.dir/test_subgradient.cpp.o.d"
+  "test_subgradient"
+  "test_subgradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subgradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

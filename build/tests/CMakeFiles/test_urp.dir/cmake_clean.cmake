@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_urp.dir/test_urp.cpp.o"
+  "CMakeFiles/test_urp.dir/test_urp.cpp.o.d"
+  "test_urp"
+  "test_urp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_urp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zdd.dir/test_zdd.cpp.o"
+  "CMakeFiles/test_zdd.dir/test_zdd.cpp.o.d"
+  "test_zdd"
+  "test_zdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zdd_cover.dir/test_zdd_cover.cpp.o"
+  "CMakeFiles/test_zdd_cover.dir/test_zdd_cover.cpp.o.d"
+  "test_zdd_cover"
+  "test_zdd_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zdd_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
