@@ -9,13 +9,19 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "espresso/espresso.hpp"
 #include "gen/suites.hpp"
 #include "solver/two_level.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace ucp::bench {
@@ -36,6 +42,101 @@ inline double peak_rss_mb() {
     return 0.0;
 }
 
+/// Machine-readable benchmark output: pass argc/argv and a bench name, call
+/// record() once per instance, and — when the binary was invoked with
+/// `--json[=path]` — the destructor writes a JSON document
+///
+///   {"bench": "...", "threads": N, "records": [
+///      {"instance": "...", "cost": c, "wall_ms": t, ..., "counters": {...}},
+///      ...]}
+///
+/// to `path` (default `BENCH_<name>.json`). The "counters" object holds the
+/// per-instance *delta* of the global stats registry (reduction passes,
+/// subgradient iterations, ZDD cache hits, phase timers, ...), so each record
+/// is self-contained and the perf trajectory can be tracked across commits.
+class JsonReporter {
+public:
+    JsonReporter(int argc, const char* const* argv, std::string bench_name)
+        : bench_(std::move(bench_name)), baseline_(stats::snapshot()) {
+        const Options opts(argc, argv);
+        if (opts.has("json")) {
+            path_ = opts.get("json");
+            if (path_.empty() || path_ == "true")
+                path_ = "BENCH_" + bench_ + ".json";
+        }
+        threads_ = static_cast<int>(
+            opts.get_int("threads", static_cast<long>(ThreadPool::default_threads())));
+        starts_ = static_cast<int>(opts.get_int("starts", 1));
+    }
+
+    JsonReporter(const JsonReporter&) = delete;
+    JsonReporter& operator=(const JsonReporter&) = delete;
+
+    /// --threads / --starts from the command line (threads defaults to
+    /// ThreadPool::default_threads(), starts to 1) so every bench binary gets
+    /// the parallel-SCG knobs for free.
+    [[nodiscard]] int threads() const noexcept { return threads_; }
+    [[nodiscard]] int starts() const noexcept { return starts_; }
+    [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+    /// Records one instance. `extra` appends bench-specific numeric fields.
+    void record(const std::string& instance, double cost, double wall_ms,
+                const std::vector<std::pair<std::string, double>>& extra = {}) {
+        Record r;
+        r.instance = instance;
+        r.cost = cost;
+        r.wall_ms = wall_ms;
+        r.extra = extra;
+        const auto now = stats::snapshot();
+        for (const auto& [name, value] : now) {
+            const auto it = baseline_.find(name);
+            const double delta = value - (it == baseline_.end() ? 0.0 : it->second);
+            if (delta != 0.0) r.counters.emplace_back(name, delta);
+        }
+        baseline_ = now;
+        records_.push_back(std::move(r));
+    }
+
+    ~JsonReporter() {
+        if (path_.empty()) return;
+        std::ofstream os(path_);
+        os << "{\"bench\": \"" << bench_ << "\", \"threads\": " << threads_
+           << ", \"starts\": " << starts_ << ", \"records\": [";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const Record& r = records_[i];
+            if (i > 0) os << ',';
+            os << "\n  {\"instance\": \"" << r.instance << "\", \"cost\": " << r.cost
+               << ", \"wall_ms\": " << r.wall_ms;
+            for (const auto& [k, v] : r.extra) os << ", \"" << k << "\": " << v;
+            os << ", \"counters\": {";
+            for (std::size_t c = 0; c < r.counters.size(); ++c) {
+                if (c > 0) os << ", ";
+                os << '"' << r.counters[c].first << "\": " << r.counters[c].second;
+            }
+            os << "}}";
+        }
+        os << "\n]}\n";
+        std::cout << "[json] wrote " << records_.size() << " records to "
+                  << path_ << '\n';
+    }
+
+private:
+    struct Record {
+        std::string instance;
+        double cost = 0.0;
+        double wall_ms = 0.0;
+        std::vector<std::pair<std::string, double>> extra;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    std::string bench_;
+    std::string path_;
+    int threads_ = 1;
+    int starts_ = 1;
+    std::map<std::string, double> baseline_;
+    std::vector<Record> records_;
+};
+
 struct PipelineRow {
     std::string name;
     solver::TwoLevelResult scg;
@@ -47,12 +148,14 @@ struct PipelineRow {
     bool espresso_verified = true;
 };
 
-/// Runs ZDD_SCG + Espresso (normal and strong) on one instance.
+/// Runs ZDD_SCG + Espresso (normal and strong) on one instance. `opt` lets
+/// benches thread through solver knobs (e.g. scg.num_starts/num_threads).
 inline PipelineRow run_pipeline(const gen::SuiteEntry& entry,
-                                bool run_espresso = true) {
+                                bool run_espresso = true,
+                                const solver::TwoLevelOptions& opt = {}) {
     PipelineRow row;
     row.name = entry.name;
-    row.scg = solver::minimize_two_level(entry.pla);
+    row.scg = solver::minimize_two_level(entry.pla, opt);
     if (run_espresso) {
         {
             Timer t;

@@ -6,6 +6,7 @@
 // visible, plus a summary of how fast LB closes the gap to the LP optimum.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "cover/table_builder.hpp"
 #include "gen/scp_gen.hpp"
 #include "gen/suites.hpp"
@@ -53,7 +54,8 @@ void trajectory(const std::string& name, const CoverMatrix& m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ucp::bench::JsonReporter json(argc, argv, "convergence");
     std::cout << "=== Subgradient convergence trajectories (section 3.2) ===\n\n";
 
     trajectory("circulant C(40, 7)", ucp::gen::cyclic_matrix(40, 7));
@@ -107,13 +109,20 @@ int main() {
             if (sub.proved_optimal) ++proved;
         }
         std::sort(iters_needed.begin(), iters_needed.end());
+        const int median =
+            iters_needed.empty()
+                ? -1
+                : iters_needed[iters_needed.size() / 2];
         t.add_row({std::to_string(rows) + "x" + std::to_string(cols),
                    TextTable::num(density, 2),
-                   iters_needed.empty()
-                       ? "-"
-                       : std::to_string(iters_needed[iters_needed.size() / 2]),
+                   median < 0 ? "-" : std::to_string(median),
                    std::to_string(closed), std::to_string(proved),
                    std::to_string(runs)});
+        json.record(std::to_string(rows) + "x" + std::to_string(cols),
+                    static_cast<double>(median), 0.0,
+                    {{"closed", static_cast<double>(closed)},
+                     {"proved", static_cast<double>(proved)},
+                     {"runs", static_cast<double>(runs)}});
     }
     t.print(std::cout);
     return 0;

@@ -7,19 +7,28 @@
 // sub-percent total LB gap, and Espresso totals above the ZDD_SCG total.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using ucp::TextTable;
+    ucp::bench::JsonReporter json(argc, argv, "easy_cyclic");
     ucp::bench::print_header(
         "Experiment 1 — easy cyclic problems (49 instances)",
         "Paper totals: ZDD_SCG 5225, Lagrangian LB 5213 (0.22% gap),\n"
         "Espresso 5330, Espresso-strong 5281.");
+
+    ucp::solver::TwoLevelOptions opt;
+    opt.scg.num_starts = json.starts();
+    opt.scg.num_threads = json.threads();
 
     long total_cost = 0, total_lb = 0, total_esp = 0, total_strong = 0;
     int proved = 0, verified = 0;
     double total_time = 0;
     TextTable table({"Name", "Sol", "LB", "Espr", "Strong", "T(s)"});
     for (const auto& entry : ucp::gen::easy_cyclic_suite()) {
-        const auto row = ucp::bench::run_pipeline(entry);
+        const auto row = ucp::bench::run_pipeline(entry, true, opt);
+        json.record(row.name, static_cast<double>(row.scg.cost),
+                    row.scg.total_seconds * 1e3,
+                    {{"lower_bound", static_cast<double>(row.scg.lower_bound)},
+                     {"proved_optimal", row.scg.proved_optimal ? 1.0 : 0.0}});
         total_cost += row.scg.cost;
         total_lb += row.scg.lower_bound;
         total_esp += static_cast<long>(row.espresso_sol);

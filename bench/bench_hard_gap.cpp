@@ -9,6 +9,7 @@
 // lower bound near the LP value; the exact solver needs a real search.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "cover/zdd_cover.hpp"
 #include "gen/scp_gen.hpp"
 #include "lagrangian/dual_ascent.hpp"
@@ -19,8 +20,9 @@
 #include "solver/scg.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using ucp::TextTable;
+    ucp::bench::JsonReporter json(argc, argv, "hard_gap");
     std::cout
         << "=== Hard-gap instances: Steiner-triple covering ===\n"
         << "(the regime behind the paper's unproved rows: LB < optimum, so\n"
@@ -33,7 +35,12 @@ int main() {
         const auto m = ucp::gen::steiner_cover(dim);
         const auto red = ucp::cov::reduce(m);
         const auto lp = ucp::lp::solve_covering_lp(m);
+        ucp::Timer tscg;
         const auto scg = ucp::solver::solve_scg(m);
+        json.record(std::string("STS(") + (dim == 2 ? "9" : "27") + ")",
+                    static_cast<double>(scg.cost), tscg.seconds() * 1e3,
+                    {{"lower_bound", static_cast<double>(scg.lower_bound)},
+                     {"lp", lp.objective}});
         const auto greedy = ucp::solver::chvatal_greedy(m);
         ucp::solver::BnbOptions bo;
         bo.time_limit_seconds = 120.0;

@@ -136,4 +136,28 @@ BENCHMARK(BM_SubgradientAscent)->Arg(30)->Arg(100)->Arg(300);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): maps the repo-wide --json[=path]
+// flag onto google-benchmark's JSON reporter, so every bench_* binary shares
+// the same machine-readable output interface.
+int main(int argc, char** argv) {
+    std::vector<char*> args;
+    std::string out_flag, fmt_flag;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--json", 0) == 0) {
+            std::string path = "BENCH_micro_zdd.json";
+            if (a.size() > 7 && a[6] == '=') path = a.substr(7);
+            out_flag = "--benchmark_out=" + path;
+            fmt_flag = "--benchmark_out_format=json";
+            args.push_back(out_flag.data());
+            args.push_back(fmt_flag.data());
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

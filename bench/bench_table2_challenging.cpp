@@ -4,20 +4,32 @@
 // random-logic rows (ex1010/test2/test3/pdc) the gap is substantial.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using ucp::TextTable;
+    ucp::bench::JsonReporter json(argc, argv, "table2_challenging");
     ucp::bench::print_header(
         "Table 2 — challenging problems",
         "Paper: 11 of 16 instances proved optimal; big wins on ex1010\n"
         "(239 vs 284/262), pdc (96 vs 145/119), test2 (865 vs 1103/946),\n"
         "test3 (436 vs 541/489).");
 
+    // --threads / --starts drive the parallel multi-start SCG; the espresso
+    // baselines can be skipped with --no-espresso for speedup measurements.
+    ucp::solver::TwoLevelOptions opt;
+    opt.scg.num_starts = json.starts();
+    opt.scg.num_threads = json.threads();
+    const bool run_espresso = !ucp::Options(argc, argv).has("no-espresso");
+
     TextTable table({"Name", "Sol", "CC(s)", "T(s)", "M", "Espr.Sol",
                      "Espr.T(s)", "Strong.Sol", "Strong.T(s)"});
     long total_scg = 0, total_esp = 0, total_strong = 0;
     int proved = 0, wins = 0, ties = 0, losses = 0;
     for (const auto& entry : ucp::gen::challenging_suite()) {
-        const auto row = ucp::bench::run_pipeline(entry);
+        const auto row = ucp::bench::run_pipeline(entry, run_espresso, opt);
+        json.record(row.name, static_cast<double>(row.scg.cost),
+                    row.scg.total_seconds * 1e3,
+                    {{"cc_ms", row.scg.cyclic_core_seconds * 1e3},
+                     {"proved_optimal", row.scg.proved_optimal ? 1.0 : 0.0}});
         total_scg += row.scg.cost;
         total_esp += static_cast<long>(row.espresso_sol);
         total_strong += static_cast<long>(row.strong_sol);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
+# over the concurrency-bearing tests (thread pool, parallel multi-start SCG).
+#
+# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TSAN_BUILD="${2:-build-tsan}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== tier 1: regular build + full ctest ==="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo
+echo "=== tier 1: ThreadSanitizer pass (parallel tests) ==="
+cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DUCP_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j "$JOBS" \
+      --target test_thread_pool test_parallel_scg
+ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+      -R 'test_thread_pool|test_parallel_scg'
+
+echo
+echo "tier 1 OK"

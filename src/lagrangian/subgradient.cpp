@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "lagrangian/dual_ascent.hpp"
+#include "util/stats.hpp"
 
 namespace ucp::lagr {
 
@@ -231,6 +232,10 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
                                : static_cast<Cost>(out.lb_fractional);
     out.w_ld_best = w_ld_best;
     if (opt.integer_costs && out.best_cost <= out.lb) out.proved_optimal = true;
+    static stats::Counter& c_calls = stats::counter("subgradient.calls");
+    static stats::Counter& c_iters = stats::counter("subgradient.iterations");
+    c_calls.add();
+    c_iters.add(static_cast<std::uint64_t>(out.iterations));
     return out;
 }
 

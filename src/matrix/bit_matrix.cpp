@@ -1,0 +1,31 @@
+#include "matrix/bit_matrix.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ucp::cov {
+
+BitMatrix::BitMatrix(Index rows, Index universe) { reset(rows, universe); }
+
+void BitMatrix::reset(Index rows, Index universe) {
+    rows_ = rows;
+    universe_ = universe;
+    wpr_ = (static_cast<std::size_t>(universe) + 63) / 64;
+    const std::size_t need = static_cast<std::size_t>(rows) * wpr_;
+    words_.assign(need, 0);
+}
+
+void BitMatrix::assign_row(Index row, const std::vector<Index>& bits) {
+    std::uint64_t* w = words_.data() + row * wpr_;
+    std::fill(w, w + wpr_, 0);
+    for (const Index b : bits) w[b / 64] |= std::uint64_t{1} << (b % 64);
+}
+
+std::size_t BitMatrix::popcount(Index row) const {
+    const std::uint64_t* w = words_.data() + row * wpr_;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < wpr_; ++i) n += std::popcount(w[i]);
+    return n;
+}
+
+}  // namespace ucp::cov

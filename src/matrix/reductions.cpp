@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "matrix/bit_matrix.hpp"
+#include "util/stats.hpp"
+
 namespace ucp::cov {
 
 namespace {
@@ -23,11 +26,25 @@ bool subset_of(const std::vector<Index>& small, const std::vector<Index>& big) {
 
 ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
                     const ReduceOptions& opt) {
+    static stats::Counter& c_calls = stats::counter("reduce.calls");
+    static stats::Counter& c_passes = stats::counter("reduce.passes");
+    static stats::Counter& c_rows_dom = stats::counter("reduce.rows_removed_dominance");
+    static stats::Counter& c_cols_dom = stats::counter("reduce.cols_removed_dominance");
+    static stats::Counter& c_skips = stats::counter("reduce.dominance_skips");
+    static stats::Counter& c_bitset = stats::counter("reduce.bitset_kernel_calls");
+    const stats::ScopedTimer phase_timer("reduce.seconds");
+    c_calls.add();
+
     const Index R = m.num_rows();
     const Index C = m.num_cols();
     std::vector<bool> row_alive(R, true), col_alive(C, true);
 
     ReduceResult result;
+    result.used_bitset_kernel =
+        opt.use_bitset == BitsetMode::kOn ||
+        (opt.use_bitset == BitsetMode::kAuto && R > 0 && C > 0 &&
+         m.density() >= opt.bitset_density_threshold);
+    if (result.used_bitset_kernel) c_bitset.add();
 
     auto remove_rows_covered_by = [&](Index j) {
         for (const Index i : m.col(j))
@@ -41,8 +58,11 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
         remove_rows_covered_by(j);
     }
 
-    // Filtered adjacency snapshots, rebuilt when marked dirty.
+    // Filtered adjacency snapshots, rebuilt when marked dirty. The bit-packed
+    // mirrors (row → column bitset, column → row bitset) are only maintained
+    // when the word-wise dominance kernel is active.
     std::vector<std::vector<Index>> rcols(R), crows(C);
+    BitMatrix row_bits, col_bits;
     auto rebuild = [&] {
         for (Index i = 0; i < R; ++i) {
             rcols[i].clear();
@@ -56,6 +76,20 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
             for (const Index i : m.col(j))
                 if (row_alive[i]) crows[j].push_back(i);
         }
+        if (result.used_bitset_kernel) {
+            row_bits.reset(R, C);
+            col_bits.reset(C, R);
+            for (Index i = 0; i < R; ++i) row_bits.assign_row(i, rcols[i]);
+            for (Index j = 0; j < C; ++j) col_bits.assign_row(j, crows[j]);
+        }
+    };
+    const auto row_subset = [&](Index a, Index b) {
+        return result.used_bitset_kernel ? row_bits.subset(a, b)
+                                         : subset_of(rcols[a], rcols[b]);
+    };
+    const auto col_subset = [&](Index a, Index b) {
+        return result.used_bitset_kernel ? col_bits.subset(a, b)
+                                         : subset_of(crows[a], crows[b]);
     };
 
     bool changed = true;
@@ -95,6 +129,13 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
         // --- row dominance: drop rows whose column set is a superset ---------
         const Index alive_rows = static_cast<Index>(
             std::count(row_alive.begin(), row_alive.end(), true));
+        if (opt.row_dominance && alive_rows > opt.max_dominance_rows) {
+            // Pass skipped: the core may retain dominated rows. Surfaced via
+            // ReduceResult::dominance_skipped and the stats counter so large
+            // instances no longer silently degrade.
+            result.dominance_skipped = true;
+            c_skips.add();
+        }
         if (opt.row_dominance && alive_rows <= opt.max_dominance_rows) {
             std::vector<bool> to_remove(R, false);
             for (Index k = 0; k < R; ++k) {
@@ -110,7 +151,7 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
                     if (rcols[i].size() < rcols[k].size()) continue;
                     if (rcols[i].size() == rcols[k].size() && i < k)
                         continue;  // equal sets: keep the smaller index
-                    if (subset_of(rcols[k], rcols[i])) {
+                    if (row_subset(k, i)) {
                         to_remove[i] = true;
                         ++result.rows_removed_dominance;
                         changed = true;
@@ -129,6 +170,10 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
         // --- column dominance: drop columns covered by a cheaper/equal peer ---
         const Index alive_cols = static_cast<Index>(
             std::count(col_alive.begin(), col_alive.end(), true));
+        if (opt.col_dominance && alive_cols > opt.max_dominance_cols) {
+            result.dominance_skipped = true;
+            c_skips.add();
+        }
         if (opt.col_dominance && alive_cols <= opt.max_dominance_cols) {
             std::vector<bool> to_remove(C, false);
             for (Index j = 0; j < C; ++j) {
@@ -152,7 +197,7 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
                     if (crows[k].size() == crows[j].size() && m.cost(k) == m.cost(j) &&
                         k > j)
                         continue;  // symmetric pair: keep the smaller index
-                    if (subset_of(crows[j], crows[k])) {
+                    if (col_subset(j, k)) {
                         to_remove[j] = true;
                         ++result.cols_removed_dominance;
                         changed = true;
@@ -206,6 +251,9 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
     result.core = CoverMatrix::from_rows(
         static_cast<Index>(result.core_col_map.size()), std::move(core_rows),
         std::move(core_costs));
+    c_passes.add(result.passes);
+    c_rows_dom.add(result.rows_removed_dominance);
+    c_cols_dom.add(result.cols_removed_dominance);
     return result;
 }
 

@@ -10,11 +10,23 @@
 // Iterated to a fixed point they yield the *cyclic core* (paper §2). The
 // reducer also accepts pre-fixed columns (the SCG loop fixes columns and
 // re-reduces, Fig. 2).
+//
+// The dominance subset tests have two interchangeable kernels: the sorted
+// adjacency-vector merge (reference implementation, best on sparse matrices)
+// and a bit-packed word-wise kernel (`BitMatrix`, best on dense matrices).
+// `ReduceOptions::use_bitset` selects one; kAuto switches on density.
 #pragma once
 
 #include "matrix/sparse_matrix.hpp"
 
 namespace ucp::cov {
+
+/// Kernel selection for the dominance subset tests.
+enum class BitsetMode {
+    kAuto,  ///< bit-packed when density ≥ bitset_density_threshold
+    kOff,   ///< always the sorted-vector merge (reference path)
+    kOn,    ///< always the bit-packed kernel
+};
 
 struct ReduceOptions {
     bool essential = true;
@@ -23,6 +35,13 @@ struct ReduceOptions {
     /// Safety valve for the O(n²) dominance passes on huge matrices.
     std::size_t max_dominance_rows = 200000;
     std::size_t max_dominance_cols = 200000;
+    /// Dominance kernel choice (see BitsetMode).
+    BitsetMode use_bitset = BitsetMode::kAuto;
+    /// kAuto threshold: entry density at or above which the bit-packed
+    /// kernel is used. Word-wise subset tests cost universe/64 words per
+    /// candidate regardless of sparsity, so they only pay off when the
+    /// average row holds at least a few elements per word.
+    double bitset_density_threshold = 0.02;
 };
 
 struct ReduceResult {
@@ -41,6 +60,13 @@ struct ReduceResult {
     std::size_t rows_removed_dominance = 0;
     std::size_t cols_removed_dominance = 0;
     std::size_t passes = 0;
+    /// True when a dominance pass was skipped because the alive matrix
+    /// exceeded max_dominance_rows / max_dominance_cols — the "core" may
+    /// then still contain dominated rows/columns. Also counted in the
+    /// "reduce.dominance_skips" stats counter.
+    bool dominance_skipped = false;
+    /// True when the bit-packed dominance kernel was used.
+    bool used_bitset_kernel = false;
 
     [[nodiscard]] bool solved() const noexcept { return core.num_rows() == 0; }
 };

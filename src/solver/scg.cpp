@@ -9,6 +9,8 @@
 #include "lagrangian/penalties.hpp"
 #include "matrix/reductions.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace ucp::solver {
@@ -79,9 +81,8 @@ bool apply_removals(Work& w, const std::vector<Index>& removals) {
 
 ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt);
 
-}  // namespace
-
-ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
+/// One full descent (partitioning + per-block SCG) with a single seed.
+ScgResult solve_scg_one_start(const CoverMatrix& m, const ScgOptions& opt) {
     // Partitioning reduction (paper §2): solve independent blocks separately.
     const auto blocks = cov::partition_blocks(m);
     if (blocks.size() <= 1) return solve_scg_single(m, opt);
@@ -105,6 +106,81 @@ ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
     }
     out.seconds = timer.seconds();
     UCP_ASSERT(m.is_feasible(out.solution));
+    return out;
+}
+
+/// Seed for start `s`: start 0 uses the caller's seed verbatim (so a
+/// multi-start solve strictly dominates the classic single start with the
+/// same seed), start s > 0 draws an independent SplitMix64 stream.
+std::uint64_t start_seed(std::uint64_t seed, int s) {
+    if (s == 0) return seed;
+    return seed ^ SplitMix64(static_cast<std::uint64_t>(s)).next();
+}
+
+}  // namespace
+
+ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
+    static stats::Counter& c_calls = stats::counter("scg.calls");
+    static stats::Counter& c_starts = stats::counter("scg.starts");
+    static stats::Counter& c_sub = stats::counter("scg.subgradient_calls");
+    const stats::ScopedTimer phase_timer("scg.seconds");
+    c_calls.add();
+
+    const int starts = std::max(1, opt.num_starts);
+    if (starts == 1) {
+        ScgResult out = solve_scg_one_start(m, opt);
+        out.starts_executed = 1;
+        out.start_of_best = 0;
+        c_starts.add(1);
+        c_sub.add(out.subgradient_calls);
+        return out;
+    }
+
+    Timer timer;
+    const unsigned want = opt.num_threads <= 0
+                              ? ThreadPool::default_threads()
+                              : static_cast<unsigned>(opt.num_threads);
+    const unsigned threads = std::min(want, static_cast<unsigned>(starts));
+
+    // Only the explicit (matrix) phase fans out: each start is an independent
+    // descent on its own copy of the problem, so this is safe with any
+    // thread count. Results land in a per-start slot and reduce by (cost,
+    // start index) — bit-identical output regardless of scheduling.
+    std::vector<ScgResult> results(static_cast<std::size_t>(starts));
+    {
+        ThreadPool pool(threads);
+        pool.parallel_for(static_cast<std::size_t>(starts), [&](std::size_t s) {
+            ScgOptions local = opt;
+            local.num_starts = 1;
+            local.seed = start_seed(opt.seed, static_cast<int>(s));
+            local.log = s == 0 ? opt.log : nullptr;
+            results[s] = solve_scg_one_start(m, local);
+        });
+    }
+
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < results.size(); ++s)
+        if (results[s].cost < results[best].cost) best = s;
+
+    ScgResult out = results[best];
+    out.starts_executed = starts;
+    out.start_of_best = static_cast<int>(best);
+    for (std::size_t s = 0; s < results.size(); ++s) {
+        // Every start's Lagrangian bound is valid; keep the strongest.
+        out.lower_bound = std::max(out.lower_bound, results[s].lower_bound);
+        out.lower_bound_fractional = std::max(out.lower_bound_fractional,
+                                              results[s].lower_bound_fractional);
+        if (s != best) {
+            out.subgradient_calls += results[s].subgradient_calls;
+            out.columns_fixed_by_penalties += results[s].columns_fixed_by_penalties;
+            out.columns_removed_by_penalties +=
+                results[s].columns_removed_by_penalties;
+        }
+    }
+    out.proved_optimal = out.cost <= out.lower_bound;
+    out.seconds = timer.seconds();
+    c_starts.add(static_cast<std::uint64_t>(starts));
+    c_sub.add(out.subgradient_calls);
     return out;
 }
 

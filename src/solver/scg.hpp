@@ -36,8 +36,20 @@ struct ScgOptions {
     std::size_t dual_pen_max_cols = 100;  ///< paper: DualPen = 100
     std::uint64_t seed = 0x5eed;
     double time_limit_seconds = 0.0;  ///< 0 = unlimited
+    /// Independent stochastic multi-starts (embarrassingly parallel). Start 0
+    /// uses `seed` verbatim — so num_starts = 1 reproduces the classic
+    /// single-descent solver — and start s > 0 uses seed ⊕ splitmix(s), an
+    /// independent SplitMix64-derived stream. Results reduce
+    /// deterministically: best cost, ties broken by lowest start index, so
+    /// the answer is bit-identical for every num_threads value.
+    int num_starts = 1;
+    /// Worker threads for the multi-start fan-out. 0 = auto
+    /// (ThreadPool::default_threads(): UCP_THREADS env or hardware);
+    /// 1 = serial. Has no effect when num_starts ≤ 1.
+    int num_threads = 1;
     lagr::SubgradientOptions subgradient{};
     /// Optional progress log (one line per subgradient phase / run).
+    /// Ignored by the parallel starts (s > 0) to keep output deterministic.
     std::ostream* log = nullptr;
 };
 
@@ -49,6 +61,8 @@ struct ScgResult {
     bool proved_optimal = false;     ///< cost == lower_bound
     int runs_executed = 0;
     int run_of_best = 0;             ///< the run (1-based) that found `solution`
+    int starts_executed = 0;         ///< multi-starts actually run (≥ 1)
+    int start_of_best = 0;           ///< the start (0-based) that found `solution`
     std::size_t subgradient_calls = 0;
     std::size_t columns_fixed_by_penalties = 0;
     std::size_t columns_removed_by_penalties = 0;

@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+
+namespace ucp::stats {
+
+namespace {
+
+struct Entry {
+    std::string name;
+    bool is_timer = false;
+    Counter counter;
+};
+
+struct Registry {
+    std::mutex mutex;
+    // deque: stable addresses, so returned references survive registration
+    // of later counters.
+    std::deque<Entry> entries;
+
+    Counter& get(std::string_view name, bool is_timer) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        for (Entry& e : entries)
+            if (e.name == name) return e.counter;
+        entries.emplace_back();
+        entries.back().name = std::string(name);
+        entries.back().is_timer = is_timer;
+        return entries.back().counter;
+    }
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) { return registry().get(name, false); }
+
+Counter& timer_ns(std::string_view name) { return registry().get(name, true); }
+
+std::map<std::string, double> snapshot() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::map<std::string, double> out;
+    for (const Entry& e : r.entries) {
+        const auto v = static_cast<double>(e.counter.value());
+        out[e.name] = e.is_timer ? v * 1e-9 : v;
+    }
+    return out;
+}
+
+void reset_all() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    for (Entry& e : r.entries) e.counter.reset();
+}
+
+void write_json(std::ostream& os) {
+    const auto snap = snapshot();
+    os << '{';
+    bool first = true;
+    for (const auto& [name, value] : snap) {
+        if (!first) os << ", ";
+        first = false;
+        os << '"' << name << "\": " << value;
+    }
+    os << '}';
+}
+
+}  // namespace ucp::stats

@@ -1,0 +1,75 @@
+// Lightweight global performance-counter registry.
+//
+// Hot paths register a counter once (function-local static) and then pay one
+// relaxed atomic add per event, so instrumentation is cheap enough to leave
+// enabled in release builds. The registry feeds two consumers:
+//   * the bench harness (`bench_common.hpp --json`), which snapshots the
+//     counters around each instance and emits the per-instance deltas;
+//   * ad-hoc debugging (`stats::write_json(std::cerr)`).
+//
+// Counters count events (reduction passes, subgradient iterations, ZDD cache
+// hits); accumulators total elapsed nanoseconds for a named phase and are
+// reported in seconds. Names are dotted paths, e.g. "scg.subgradient_calls".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ucp::stats {
+
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Returns the counter registered under `name`, creating it on first use.
+/// The reference stays valid for the lifetime of the process.
+Counter& counter(std::string_view name);
+
+/// Returns the phase-timer accumulator (nanoseconds) named `name`. Reported
+/// by snapshot()/write_json() in seconds under the same name.
+Counter& timer_ns(std::string_view name);
+
+/// Adds the elapsed wall time between construction and destruction to a
+/// timer accumulator. Usage: `stats::ScopedTimer t("reduce.seconds");`
+class ScopedTimer {
+public:
+    explicit ScopedTimer(std::string_view name)
+        : acc_(timer_ns(name)), start_(std::chrono::steady_clock::now()) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_);
+        acc_.add(static_cast<std::uint64_t>(ns.count()));
+    }
+
+private:
+    Counter& acc_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Current value of every registered counter, timers converted to seconds.
+std::map<std::string, double> snapshot();
+
+/// Resets every registered counter to zero (names stay registered).
+void reset_all();
+
+/// Writes the snapshot as a single JSON object: {"name": value, ...}.
+void write_json(std::ostream& os);
+
+}  // namespace ucp::stats

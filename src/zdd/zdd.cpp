@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/bignum.hpp"
+#include "util/stats.hpp"
 
 namespace ucp::zdd {
 
@@ -88,6 +89,11 @@ ZddManager::ZddManager(Var num_vars) : num_vars_(num_vars) {
     cache_mask_ = kCacheSize - 1;
 }
 
+ZddManager::~ZddManager() {
+    stats::counter("zdd.cache_hits").add(cache_stats_.hits);
+    stats::counter("zdd.cache_misses").add(cache_stats_.misses);
+}
+
 std::uint64_t ZddManager::triple_hash(Var v, NodeId lo, NodeId hi) noexcept {
     std::uint64_t h = (static_cast<std::uint64_t>(v) << 40) ^
                       (static_cast<std::uint64_t>(lo) << 20) ^ hi;
@@ -154,9 +160,11 @@ bool ZddManager::cache_lookup(Op op, NodeId a, NodeId b, NodeId& out) const noex
     const std::uint64_t key = cache_key(op, a, b);
     const CacheEntry& e = cache_[key & cache_mask_];
     if (e.key == key) {
+        ++cache_stats_.hits;
         out = e.result;
         return true;
     }
+    ++cache_stats_.misses;
     return false;
 }
 

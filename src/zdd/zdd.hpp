@@ -84,6 +84,9 @@ private:
 class ZddManager {
 public:
     explicit ZddManager(Var num_vars);
+    /// Flushes the computed-cache counters into the global stats registry
+    /// ("zdd.cache_hits" / "zdd.cache_misses").
+    ~ZddManager();
 
     ZddManager(const ZddManager&) = delete;
     ZddManager& operator=(const ZddManager&) = delete;
@@ -138,6 +141,21 @@ public:
 
     /// Graphviz dump for debugging / documentation.
     std::string to_dot(const Zdd& a, const std::string& name = "zdd") const;
+
+    /// Computed-cache statistics since construction. Each manager is
+    /// single-threaded, so these are plain (non-atomic) counters; the
+    /// destructor folds them into the global stats registry.
+    struct CacheStats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        [[nodiscard]] double hit_rate() const noexcept {
+            const std::uint64_t total = hits + misses;
+            return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+        }
+    };
+    [[nodiscard]] const CacheStats& cache_stats() const noexcept {
+        return cache_stats_;
+    }
 
     // ---- resource management --------------------------------------------------
     /// Live (allocated, non-freed) node count, excluding terminals.
@@ -226,6 +244,7 @@ private:
 
     std::vector<CacheEntry> cache_;
     std::size_t cache_mask_ = 0;
+    mutable CacheStats cache_stats_;
 
     std::size_t gc_threshold_ = 1u << 18;
     bool gc_enabled_ = true;

@@ -1,0 +1,164 @@
+// Property test for the bit-packed dominance kernel: on random matrices the
+// kOn and kOff paths must produce identical reductions (same essential
+// columns, same core, same maps, same pass counts) — the bitset path is a
+// drop-in speedup, never a semantic change. Also covers BitMatrix itself
+// and the kAuto density switch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/scp_gen.hpp"
+#include "matrix/bit_matrix.hpp"
+#include "matrix/reductions.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ucp::cov::BitMatrix;
+using ucp::cov::BitsetMode;
+using ucp::cov::CoverMatrix;
+using ucp::cov::Index;
+using ucp::cov::ReduceOptions;
+
+ucp::cov::ReduceResult run(const CoverMatrix& m, BitsetMode mode,
+                           const std::vector<Index>& fixed = {}) {
+    ReduceOptions opt;
+    opt.use_bitset = mode;
+    return ucp::cov::reduce(m, fixed, opt);
+}
+
+void expect_same(const ucp::cov::ReduceResult& a,
+                 const ucp::cov::ReduceResult& b, std::uint64_t seed) {
+    EXPECT_EQ(a.essential_cols, b.essential_cols) << "seed " << seed;
+    EXPECT_EQ(a.fixed_cost, b.fixed_cost) << "seed " << seed;
+    EXPECT_EQ(a.core_col_map, b.core_col_map) << "seed " << seed;
+    EXPECT_EQ(a.core_row_map, b.core_row_map) << "seed " << seed;
+    EXPECT_EQ(a.rows_removed_dominance, b.rows_removed_dominance)
+        << "seed " << seed;
+    EXPECT_EQ(a.cols_removed_dominance, b.cols_removed_dominance)
+        << "seed " << seed;
+    EXPECT_EQ(a.passes, b.passes) << "seed " << seed;
+    ASSERT_EQ(a.core.num_rows(), b.core.num_rows()) << "seed " << seed;
+    ASSERT_EQ(a.core.num_cols(), b.core.num_cols()) << "seed " << seed;
+    for (Index i = 0; i < a.core.num_rows(); ++i)
+        EXPECT_EQ(a.core.row(i), b.core.row(i)) << "seed " << seed;
+    for (Index j = 0; j < a.core.num_cols(); ++j)
+        EXPECT_EQ(a.core.cost(j), b.core.cost(j)) << "seed " << seed;
+}
+
+TEST(BitsetReductions, MatchesSortedVectorKernelOnRandomMatrices) {
+    ucp::Rng seeds(0xb175);
+    for (int trial = 0; trial < 40; ++trial) {
+        ucp::gen::RandomScpOptions g;
+        g.rows = 10 + trial % 50;
+        g.cols = 8 + (trial * 3) % 70;
+        g.density = 0.03 + 0.015 * (trial % 20);
+        g.min_cost = 1;
+        g.max_cost = 1 + trial % 5;
+        g.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(g);
+
+        const auto off = run(m, BitsetMode::kOff);
+        const auto on = run(m, BitsetMode::kOn);
+        EXPECT_FALSE(off.used_bitset_kernel);
+        EXPECT_TRUE(on.used_bitset_kernel || on.passes == 0);
+        expect_same(off, on, g.seed);
+    }
+}
+
+TEST(BitsetReductions, MatchesWithFixedColumns) {
+    ucp::Rng seeds(0xb176);
+    for (int trial = 0; trial < 15; ++trial) {
+        ucp::gen::RandomScpOptions g;
+        g.rows = 25;
+        g.cols = 40;
+        g.density = 0.12;
+        g.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(g);
+        const std::vector<Index> fixed{static_cast<Index>(trial % g.cols),
+                                       static_cast<Index>((trial * 7) % g.cols)};
+        expect_same(run(m, BitsetMode::kOff, fixed),
+                    run(m, BitsetMode::kOn, fixed), g.seed);
+    }
+}
+
+TEST(BitsetReductions, AutoSwitchesOnDensity) {
+    ucp::gen::RandomScpOptions g;
+    g.rows = 60;
+    g.cols = 60;
+    g.seed = 99;
+
+    g.density = 0.30;  // far above the 0.02 default threshold
+    const auto dense = run(ucp::gen::random_scp(g), BitsetMode::kAuto);
+    EXPECT_TRUE(dense.used_bitset_kernel);
+
+    ReduceOptions sparse_opt;
+    sparse_opt.use_bitset = BitsetMode::kAuto;
+    sparse_opt.bitset_density_threshold = 0.9;  // force the sorted path
+    const auto sparse =
+        ucp::cov::reduce(ucp::gen::random_scp(g), {}, sparse_opt);
+    EXPECT_FALSE(sparse.used_bitset_kernel);
+}
+
+TEST(BitsetReductions, DominanceSkipFlagAndCounter) {
+    ucp::gen::RandomScpOptions g;
+    g.rows = 30;
+    g.cols = 30;
+    g.density = 0.2;
+    g.seed = 5;
+    const CoverMatrix m = ucp::gen::random_scp(g);
+
+    ReduceOptions opt;
+    opt.max_dominance_rows = 1;  // guaranteed to trip the safety valve
+    opt.max_dominance_cols = 1;
+    const auto res = ucp::cov::reduce(m, {}, opt);
+    EXPECT_TRUE(res.dominance_skipped);
+    EXPECT_EQ(res.rows_removed_dominance, 0u);
+    EXPECT_EQ(res.cols_removed_dominance, 0u);
+
+    const auto normal = ucp::cov::reduce(m);
+    EXPECT_FALSE(normal.dominance_skipped);
+}
+
+TEST(BitMatrix, BasicOperations) {
+    BitMatrix b(3, 130);  // forces 3 words per row
+    b.set(0, 0);
+    b.set(0, 64);
+    b.set(0, 129);
+    b.assign_row(1, std::vector<Index>{0, 64});
+    EXPECT_TRUE(b.test(0, 64));
+    EXPECT_FALSE(b.test(0, 63));
+    EXPECT_EQ(b.popcount(0), 3u);
+    EXPECT_EQ(b.popcount(1), 2u);
+    EXPECT_EQ(b.popcount(2), 0u);
+
+    EXPECT_TRUE(b.subset(1, 0));   // {0,64} ⊆ {0,64,129}
+    EXPECT_FALSE(b.subset(0, 1));
+    EXPECT_TRUE(b.subset(2, 1));   // ∅ ⊆ anything
+    EXPECT_TRUE(b.subset(0, 0));   // reflexive
+
+    b.reset(2, 70);  // shrink: must clear old contents
+    EXPECT_EQ(b.popcount(0), 0u);
+    b.set(0, 69);
+    EXPECT_TRUE(b.test(0, 69));
+}
+
+TEST(BitMatrix, SubsetAgreesWithReferenceOnRandomSets) {
+    ucp::Rng rng(0xbeef);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Index universe = 1 + static_cast<Index>(rng() % 200);
+        std::vector<Index> a, b;
+        for (Index v = 0; v < universe; ++v) {
+            if (rng.chance(0.3)) a.push_back(v);
+            if (rng.chance(0.3)) b.push_back(v);
+        }
+        BitMatrix bits(2, universe);
+        bits.assign_row(0, a);
+        bits.assign_row(1, b);
+
+        const bool ref = std::includes(b.begin(), b.end(), a.begin(), a.end());
+        EXPECT_EQ(bits.subset(0, 1), ref) << "trial " << trial;
+    }
+}
+
+}  // namespace
