@@ -5,60 +5,83 @@
 #include <limits>
 #include <numeric>
 
+#include "matrix/sub_matrix.hpp"
+
 namespace ucp::lagr {
 
 using cov::CoverMatrix;
 using cov::Index;
+using cov::SubMatrix;
 
-DualAscentResult dual_ascent(const CoverMatrix& a,
+template <class Matrix>
+DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
                              const std::vector<double>& warm_start,
                              const std::vector<double>& cost_override) {
     const Index R = a.num_rows();
     const Index C = a.num_cols();
 
-    std::vector<double> cost(C);
+    fit(ws.da_cost, C);
+    std::vector<double>& cost = ws.da_cost;
     if (cost_override.empty()) {
-        for (Index j = 0; j < C; ++j) cost[j] = static_cast<double>(a.cost(j));
+        for (Index j = 0; j < C; ++j)
+            if (a.col_alive(j)) cost[j] = static_cast<double>(a.cost(j));
     } else {
         UCP_REQUIRE(cost_override.size() == C, "cost override size mismatch");
-        cost = cost_override;
+        std::copy(cost_override.begin(), cost_override.end(), cost.begin());
     }
 
-    // c̄_i = min over columns covering row i (∞-cost columns are ignored).
-    std::vector<double> cbar(R, std::numeric_limits<double>::infinity());
-    for (Index i = 0; i < R; ++i)
-        for (const Index j : a.row(i)) cbar[i] = std::min(cbar[i], cost[j]);
+    // c̄_i = min over alive columns covering row i (∞-cost columns ignored).
+    fit(ws.da_cbar, R);
+    std::vector<double>& cbar = ws.da_cbar;
     for (Index i = 0; i < R; ++i) {
+        if (!a.row_alive(i)) continue;
+        double cb = std::numeric_limits<double>::infinity();
+        for (const Index j : a.row(i))
+            if (a.col_alive(j)) cb = std::min(cb, cost[j]);
         // A row coverable only by +∞-cost columns makes the dual unbounded
         // (the primal with those columns forbidden is infeasible); a huge
         // finite value propagates the right conclusion to the penalty tests.
-        if (!std::isfinite(cbar[i])) cbar[i] = 1e18;
+        cbar[i] = std::isfinite(cb) ? cb : 1e18;
     }
 
-    std::vector<double> m(R);
+    // Dead rows keep m_i = 0.0 exactly: the column-load sums below run over
+    // the unfiltered base adjacency, and adding an exact +0.0 leaves every
+    // partial sum bit-identical to the filtered (compacted) accumulation.
+    fit(ws.da_m, R);
+    std::vector<double>& m = ws.da_m;
     if (warm_start.empty()) {
-        m = cbar;
+        for (Index i = 0; i < R; ++i) m[i] = a.row_alive(i) ? cbar[i] : 0.0;
     } else {
         UCP_REQUIRE(warm_start.size() == R, "warm start size mismatch");
         for (Index i = 0; i < R; ++i)
-            m[i] = std::clamp(warm_start[i], 0.0, cbar[i]);
+            m[i] = a.row_alive(i) ? std::clamp(warm_start[i], 0.0, cbar[i]) : 0.0;
     }
 
     // Column loads: Σ_i a_ij m_i.
-    std::vector<double> load(C, 0.0);
-    for (Index i = 0; i < R; ++i)
+    fit(ws.da_load, C);
+    std::vector<double>& load = ws.da_load;
+    for (Index j = 0; j < C; ++j) load[j] = 0.0;
+    for (Index i = 0; i < R; ++i) {
+        if (!a.row_alive(i)) continue;
         for (const Index j : a.row(i)) load[j] += m[i];
+    }
 
     // ---- phase 1: decrease until A'm ≤ c, most-covered rows first -----------
-    std::vector<Index> order(R);
-    std::iota(order.begin(), order.end(), Index{0});
+    fit(ws.da_order, static_cast<std::size_t>(a.num_live_rows()));
+    std::vector<Index>& order = ws.da_order;
+    {
+        std::size_t k = 0;
+        for (Index i = 0; i < R; ++i)
+            if (a.row_alive(i)) order[k++] = i;
+    }
     std::stable_sort(order.begin(), order.end(), [&](Index x, Index y) {
-        return a.row(x).size() > a.row(y).size();
+        return a.live_row_size(x) > a.live_row_size(y);
     });
     for (const Index i : order) {
         if (m[i] <= 0.0) continue;
         double worst = 0.0;
         for (const Index j : a.row(i)) {
+            if (!a.col_alive(j)) continue;
             if (!std::isfinite(cost[j])) continue;  // relaxed constraint
             worst = std::max(worst, load[j] - cost[j]);
         }
@@ -72,11 +95,12 @@ DualAscentResult dual_ascent(const CoverMatrix& a,
     // satisfied; a final sweep handles rounding slack.
     // ---- phase 2: increase in increasing occurrence order ---------------------
     std::stable_sort(order.begin(), order.end(), [&](Index x, Index y) {
-        return a.row(x).size() < a.row(y).size();
+        return a.live_row_size(x) < a.live_row_size(y);
     });
     for (const Index i : order) {
         double slack = cbar[i] - m[i];  // respect the m ≤ c̄ box
         for (const Index j : a.row(i)) {
+            if (!a.col_alive(j)) continue;
             if (!std::isfinite(cost[j])) continue;
             slack = std::min(slack, cost[j] - load[j]);
         }
@@ -87,9 +111,26 @@ DualAscentResult dual_ascent(const CoverMatrix& a,
     }
 
     DualAscentResult out;
-    out.m = std::move(m);
-    out.value = std::accumulate(out.m.begin(), out.m.end(), 0.0);
+    out.m.assign(m.begin(), m.end());
+    double value = 0.0;
+    for (Index i = 0; i < R; ++i)
+        if (a.row_alive(i)) value += m[i];
+    out.value = value;
     return out;
+}
+
+template DualAscentResult dual_ascent<CoverMatrix>(
+    const CoverMatrix&, LagrangianWorkspace&, const std::vector<double>&,
+    const std::vector<double>&);
+template DualAscentResult dual_ascent<SubMatrix>(
+    const SubMatrix&, LagrangianWorkspace&, const std::vector<double>&,
+    const std::vector<double>&);
+
+DualAscentResult dual_ascent(const CoverMatrix& a,
+                             const std::vector<double>& warm_start,
+                             const std::vector<double>& cost_override) {
+    LagrangianWorkspace ws;
+    return dual_ascent(a, ws, warm_start, cost_override);
 }
 
 MisResult mis_lower_bound(const CoverMatrix& a) {

@@ -12,12 +12,14 @@
 
 #include <vector>
 
+#include "lagrangian/workspace.hpp"
 #include "matrix/sparse_matrix.hpp"
 
 namespace ucp::lagr {
 
 struct DualAscentResult {
     std::vector<double> m;  ///< dual-feasible solution, one value per row
+                            ///< (base-sized; exactly 0.0 on dead rows)
     double value = 0.0;     ///< w(m) = Σ m_i, a lower bound on z*_P
 };
 
@@ -25,6 +27,17 @@ struct DualAscentResult {
 /// the m_i = c̄_i initialisation (it need not be feasible; phase 1 repairs it).
 /// `cost_override` (optional, same size as columns) replaces the cost vector —
 /// used by the dual penalty tests which probe c_j = 0 / c_j = +∞.
+///
+/// `Matrix` is CoverMatrix or SubMatrix; on a live view the dead rows and
+/// columns are skipped and the result is bit-identical to running on the
+/// compacted matrix (monotone renumbering, see DESIGN.md §7). Scratch comes
+/// from `ws` — no allocations after the workspace warm-up.
+template <class Matrix>
+DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
+                             const std::vector<double>& warm_start = {},
+                             const std::vector<double>& cost_override = {});
+
+/// Convenience overload with a throwaway workspace.
 DualAscentResult dual_ascent(const cov::CoverMatrix& a,
                              const std::vector<double>& warm_start = {},
                              const std::vector<double>& cost_override = {});

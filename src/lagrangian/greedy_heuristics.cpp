@@ -4,10 +4,13 @@
 #include <cmath>
 #include <limits>
 
+#include "matrix/sub_matrix.hpp"
+
 namespace ucp::lagr {
 
 using cov::CoverMatrix;
 using cov::Index;
+using cov::SubMatrix;
 
 namespace {
 
@@ -35,7 +38,8 @@ double score(GreedyVariant variant, double ctilde, double nj, double weighted_nj
 
 }  // namespace
 
-std::vector<Index> lagrangian_greedy(const CoverMatrix& a,
+template <class Matrix>
+std::vector<Index> lagrangian_greedy(const Matrix& a, LagrangianWorkspace& ws,
                                      const std::vector<double>& ctilde,
                                      GreedyVariant variant,
                                      const std::vector<Index>& forced) {
@@ -43,16 +47,20 @@ std::vector<Index> lagrangian_greedy(const CoverMatrix& a,
     const Index C = a.num_cols();
     UCP_REQUIRE(ctilde.size() == C, "lagrangian cost size mismatch");
 
-    std::vector<bool> covered(R, false);
-    std::vector<bool> selected(C, false);
-    Index uncovered = R;
+    // Dead rows start "covered" so they never drive a pick; dead columns are
+    // filtered at every candidate loop.
+    fit(ws.covered, R);
+    fit(ws.selected, C);
+    for (Index i = 0; i < R; ++i) ws.covered[i] = a.row_alive(i) ? 0 : 1;
+    for (Index j = 0; j < C; ++j) ws.selected[j] = 0;
+    Index uncovered = a.num_live_rows();
 
     auto take = [&](Index j) {
-        if (selected[j]) return;
-        selected[j] = true;
+        if (ws.selected[j] != 0) return;
+        ws.selected[j] = 1;
         for (const Index i : a.col(j)) {
-            if (!covered[i]) {
-                covered[i] = true;
+            if (ws.covered[i] == 0) {
+                ws.covered[i] = 1;
                 --uncovered;
             }
         }
@@ -61,33 +69,49 @@ std::vector<Index> lagrangian_greedy(const CoverMatrix& a,
     for (const Index j : forced) take(j);
     // Lagrangian solution: all columns with non-positive Lagrangian cost.
     for (Index j = 0; j < C; ++j)
-        if (ctilde[j] <= 0.0) take(j);
+        if (a.col_alive(j) && ctilde[j] <= 0.0) take(j);
 
     // Row weights for γ4: 1 / (|cover set| − 1); essential rows get a huge
     // weight so their column is taken immediately.
-    std::vector<double> row_weight(R, 0.0);
     if (variant == GreedyVariant::kCoverageWeighted) {
+        fit(ws.row_weight, R);
         for (Index i = 0; i < R; ++i) {
-            const std::size_t k = a.row(i).size();
-            row_weight[i] = k <= 1 ? 1e9 : 1.0 / static_cast<double>(k - 1);
+            if (!a.row_alive(i)) continue;
+            const std::size_t k = a.live_row_size(i);
+            ws.row_weight[i] = k <= 1 ? 1e9 : 1.0 / static_cast<double>(k - 1);
         }
     }
 
+    // The variant test is hoisted out of the candidate scan: left inside the
+    // per-entry loop it blocks unswitching, and the unweighted count (the
+    // whole inner loop for γ1–γ3) stops being a branchless reduction.
+    //
+    // n_j (uncovered rows per column) is an exact integer, so it is
+    // maintained incrementally across picks instead of re-walked per scan.
+    // γ1–γ3 score on (c̃_j, n_j) alone, so their scan never touches the
+    // column spans; γ4's weight sum w_j is a float accumulation whose
+    // rounding depends on summation order, so it keeps the per-pick rescan
+    // in ascending row order — but only for columns with n_j > 0. The picks
+    // (and hence the output) are unchanged either way.
+    const bool weighted = variant == GreedyVariant::kCoverageWeighted;
+    fit(ws.greedy_nj, C);
+    for (Index j = 0; j < C; ++j) {
+        Index nj = 0;
+        for (const Index i : a.col(j)) nj += ws.covered[i] == 0 ? 1u : 0u;
+        ws.greedy_nj[j] = nj;
+    }
     while (uncovered > 0) {
         Index best = C;
         double best_score = std::numeric_limits<double>::infinity();
         for (Index j = 0; j < C; ++j) {
-            if (selected[j]) continue;
-            Index nj = 0;
-            double wj = 0.0;
-            for (const Index i : a.col(j)) {
-                if (!covered[i]) {
-                    ++nj;
-                    if (variant == GreedyVariant::kCoverageWeighted)
-                        wj += row_weight[i];
-                }
-            }
+            if (!a.col_alive(j) || ws.selected[j] != 0) continue;
+            const Index nj = ws.greedy_nj[j];
             if (nj == 0) continue;
+            double wj = 0.0;
+            if (weighted) {
+                for (const Index i : a.col(j))
+                    if (ws.covered[i] == 0) wj += ws.row_weight[i];
+            }
             const double s =
                 score(variant, ctilde[j], static_cast<double>(nj), wj);
             if (s < best_score) {
@@ -96,13 +120,34 @@ std::vector<Index> lagrangian_greedy(const CoverMatrix& a,
             }
         }
         UCP_ASSERT(best < C);  // some column must cover an uncovered row
-        take(best);
+        ws.selected[best] = 1;
+        for (const Index i : a.col(best)) {
+            if (ws.covered[i] != 0) continue;
+            ws.covered[i] = 1;
+            --uncovered;
+            for (const Index j2 : a.row(i)) --ws.greedy_nj[j2];
+        }
     }
 
     std::vector<Index> solution;
     for (Index j = 0; j < C; ++j)
-        if (selected[j]) solution.push_back(j);
+        if (ws.selected[j] != 0) solution.push_back(j);
     return a.make_irredundant(std::move(solution));
+}
+
+template std::vector<Index> lagrangian_greedy<CoverMatrix>(
+    const CoverMatrix&, LagrangianWorkspace&, const std::vector<double>&,
+    GreedyVariant, const std::vector<Index>&);
+template std::vector<Index> lagrangian_greedy<SubMatrix>(
+    const SubMatrix&, LagrangianWorkspace&, const std::vector<double>&,
+    GreedyVariant, const std::vector<Index>&);
+
+std::vector<Index> lagrangian_greedy(const CoverMatrix& a,
+                                     const std::vector<double>& ctilde,
+                                     GreedyVariant variant,
+                                     const std::vector<Index>& forced) {
+    LagrangianWorkspace ws;
+    return lagrangian_greedy(a, ws, ctilde, variant, forced);
 }
 
 }  // namespace ucp::lagr

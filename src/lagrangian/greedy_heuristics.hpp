@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "lagrangian/workspace.hpp"
 #include "matrix/sparse_matrix.hpp"
 
 namespace ucp::lagr {
@@ -33,6 +34,18 @@ inline constexpr int kNumGreedyVariants = 4;
 /// (size = columns; pass the original costs to get the classical Chvátal
 /// greedy). Columns listed in `forced` are taken unconditionally first.
 /// Returns an irredundant feasible solution (original-cost irredundancy).
+///
+/// `Matrix` is CoverMatrix or SubMatrix: on a live view only alive rows need
+/// covering and only alive columns are candidates (ctilde stays base-sized;
+/// dead slots are never read). Scratch comes from `ws`.
+template <class Matrix>
+std::vector<cov::Index> lagrangian_greedy(const Matrix& a,
+                                          LagrangianWorkspace& ws,
+                                          const std::vector<double>& ctilde,
+                                          GreedyVariant variant,
+                                          const std::vector<cov::Index>& forced = {});
+
+/// Convenience overload with a throwaway workspace.
 std::vector<cov::Index> lagrangian_greedy(const cov::CoverMatrix& a,
                                           const std::vector<double>& ctilde,
                                           GreedyVariant variant,

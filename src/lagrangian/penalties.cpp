@@ -4,12 +4,14 @@
 #include <limits>
 
 #include "lagrangian/dual_ascent.hpp"
+#include "matrix/sub_matrix.hpp"
 
 namespace ucp::lagr {
 
 using cov::Cost;
 using cov::CoverMatrix;
 using cov::Index;
+using cov::SubMatrix;
 
 namespace {
 
@@ -19,13 +21,15 @@ double effective_bound(double v, bool integer_costs) {
 
 }  // namespace
 
-PenaltyResult lagrangian_penalties(const CoverMatrix& a,
+template <class Matrix>
+PenaltyResult lagrangian_penalties(const Matrix& a,
                                    const std::vector<double>& ctilde, double z_lp,
                                    Cost z_best, bool integer_costs) {
     UCP_REQUIRE(ctilde.size() == a.num_cols(), "ctilde size mismatch");
     PenaltyResult out;
     const auto zb = static_cast<double>(z_best);
     for (Index j = 0; j < a.num_cols(); ++j) {
+        if (!a.col_alive(j)) continue;
         if (ctilde[j] <= 0.0) {
             // (3): forcing p_j = 0 costs at least z_LP − c̃_j.
             if (effective_bound(z_lp - ctilde[j], integer_costs) >= zb)
@@ -39,24 +43,34 @@ PenaltyResult lagrangian_penalties(const CoverMatrix& a,
     return out;
 }
 
-PenaltyResult dual_penalties(const CoverMatrix& a, Cost z_best,
-                             const std::vector<double>& warm,
+template PenaltyResult lagrangian_penalties<CoverMatrix>(
+    const CoverMatrix&, const std::vector<double>&, double, Cost, bool);
+template PenaltyResult lagrangian_penalties<SubMatrix>(
+    const SubMatrix&, const std::vector<double>&, double, Cost, bool);
+
+template <class Matrix>
+PenaltyResult dual_penalties(const Matrix& a, LagrangianWorkspace& ws,
+                             Cost z_best, const std::vector<double>& warm,
                              std::size_t max_cols, bool integer_costs) {
     PenaltyResult out;
     const Index C = a.num_cols();
-    if (C > max_cols) return out;  // paper: skipped when too many columns
+    if (a.num_live_cols() > max_cols) return out;  // paper: skipped when too many columns
 
     const auto zb = static_cast<double>(z_best);
-    std::vector<double> cost(C);
-    for (Index j = 0; j < C; ++j) cost[j] = static_cast<double>(a.cost(j));
+    fit(ws.probe_cost, C);
+    std::vector<double>& cost = ws.probe_cost;
+    for (Index j = 0; j < C; ++j)
+        if (a.col_alive(j)) cost[j] = static_cast<double>(a.cost(j));
 
     for (Index j = 0; j < C; ++j) {
+        if (!a.col_alive(j)) continue;
+        const double cj = cost[j];
         // (5): relax constraint j (c_j = +∞). If even then the dual bound
         // reaches z_best, no improving solution omits column j.
         {
-            std::vector<double> c5 = cost;
-            c5[j] = std::numeric_limits<double>::infinity();
-            const double w = dual_ascent(a, warm, c5).value;
+            cost[j] = std::numeric_limits<double>::infinity();
+            const double w = dual_ascent(a, ws, warm, cost).value;
+            cost[j] = cj;
             if (effective_bound(w, integer_costs) >= zb) {
                 out.fix_to_one.push_back(j);
                 continue;
@@ -66,14 +80,28 @@ PenaltyResult dual_penalties(const CoverMatrix& a, Cost z_best,
         // of the remainder plus c_j reaches z_best, no improving solution
         // includes column j.
         {
-            std::vector<double> c6 = cost;
-            c6[j] = 0.0;
-            const double w = dual_ascent(a, warm, c6).value + cost[j];
+            cost[j] = 0.0;
+            const double w = dual_ascent(a, ws, warm, cost).value + cj;
+            cost[j] = cj;
             if (effective_bound(w, integer_costs) >= zb)
                 out.fix_to_zero.push_back(j);
         }
     }
     return out;
+}
+
+template PenaltyResult dual_penalties<CoverMatrix>(
+    const CoverMatrix&, LagrangianWorkspace&, Cost, const std::vector<double>&,
+    std::size_t, bool);
+template PenaltyResult dual_penalties<SubMatrix>(
+    const SubMatrix&, LagrangianWorkspace&, Cost, const std::vector<double>&,
+    std::size_t, bool);
+
+PenaltyResult dual_penalties(const CoverMatrix& a, Cost z_best,
+                             const std::vector<double>& warm,
+                             std::size_t max_cols, bool integer_costs) {
+    LagrangianWorkspace ws;
+    return dual_penalties(a, ws, z_best, warm, max_cols, integer_costs);
 }
 
 std::vector<Index> limit_bound_removals(const CoverMatrix& a,

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "lagrangian/workspace.hpp"
 #include "matrix/sparse_matrix.hpp"
 
 namespace ucp::lagr {
@@ -28,13 +29,25 @@ struct PenaltyResult {
 /// Lagrangian penalties from a Lagrangian point. `z_lp` is z_LP(λ) (the
 /// fractional bound), `ctilde` the Lagrangian costs at λ, `z_best` the
 /// incumbent value. With integer costs the comparisons use ⌈·⌉.
-PenaltyResult lagrangian_penalties(const cov::CoverMatrix& a,
+/// `Matrix` is CoverMatrix or SubMatrix (only alive columns are probed;
+/// returned indices are base indices).
+template <class Matrix>
+PenaltyResult lagrangian_penalties(const Matrix& a,
                                    const std::vector<double>& ctilde, double z_lp,
                                    cov::Cost z_best, bool integer_costs = true);
 
-/// Dual penalties via dual-ascent re-runs. Probes every column when
-/// num_cols ≤ max_cols (the paper's DualPen = 100 guard), otherwise returns
-/// empty. `warm` optionally warm-starts the dual ascent (the best λ).
+/// Dual penalties via dual-ascent re-runs. Probes every (alive) column when
+/// the live column count is ≤ max_cols (the paper's DualPen = 100 guard),
+/// otherwise returns empty. `warm` optionally warm-starts the dual ascent
+/// (the best λ). Probe cost vectors come from `ws`.
+template <class Matrix>
+PenaltyResult dual_penalties(const Matrix& a, LagrangianWorkspace& ws,
+                             cov::Cost z_best,
+                             const std::vector<double>& warm = {},
+                             std::size_t max_cols = 100,
+                             bool integer_costs = true);
+
+/// Convenience overload with a throwaway workspace.
 PenaltyResult dual_penalties(const cov::CoverMatrix& a, cov::Cost z_best,
                              const std::vector<double>& warm = {},
                              std::size_t max_cols = 100,

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "lagrangian/dual_ascent.hpp"
+#include "matrix/sub_matrix.hpp"
 #include "util/stats.hpp"
 
 namespace ucp::lagr {
@@ -12,42 +13,44 @@ namespace ucp::lagr {
 using cov::Cost;
 using cov::CoverMatrix;
 using cov::Index;
+using cov::SubMatrix;
 
 namespace {
 
-/// z_LP(λ) and the Lagrangian costs / solution for a given λ.
-struct LagrangianEval {
-    double z = 0.0;
-    std::vector<double> ctilde;  // c − A'λ
-    std::vector<bool> p;         // p*_j = [c̃_j ≤ 0]
-};
-
-LagrangianEval eval_lagrangian(const CoverMatrix& a,
-                               const std::vector<double>& lambda) {
+/// z_LP(λ) for a given λ; fills ws.ctilde (c − A'λ, defined on alive
+/// columns) and ws.p (p*_j = [c̃_j ≤ 0], exactly 0 on dead columns).
+template <class Matrix>
+double eval_lagrangian(const Matrix& a, const std::vector<double>& lambda,
+                       LagrangianWorkspace& ws) {
     const Index R = a.num_rows();
     const Index C = a.num_cols();
-    LagrangianEval ev;
-    ev.ctilde.resize(C);
-    ev.p.assign(C, false);
-    for (Index j = 0; j < C; ++j) ev.ctilde[j] = static_cast<double>(a.cost(j));
+    fit(ws.ctilde, C);
+    fit(ws.p, C);
+    for (Index j = 0; j < C; ++j) {
+        ws.p[j] = 0;
+        if (a.col_alive(j)) ws.ctilde[j] = static_cast<double>(a.cost(j));
+    }
     double lam_sum = 0.0;
     for (Index i = 0; i < R; ++i) {
+        if (!a.row_alive(i)) continue;
         lam_sum += lambda[i];
-        for (const Index j : a.row(i)) ev.ctilde[j] -= lambda[i];
+        for (const Index j : a.row(i)) ws.ctilde[j] -= lambda[i];
     }
-    ev.z = lam_sum;
+    double z = lam_sum;
     for (Index j = 0; j < C; ++j) {
-        if (ev.ctilde[j] <= 0.0) {
-            ev.p[j] = true;
-            ev.z += ev.ctilde[j];
+        if (!a.col_alive(j)) continue;
+        if (ws.ctilde[j] <= 0.0) {
+            ws.p[j] = 1;
+            z += ws.ctilde[j];
         }
     }
-    return ev;
+    return z;
 }
 
 }  // namespace
 
-SubgradientResult subgradient_ascent(const CoverMatrix& a,
+template <class Matrix>
+SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
                                      const SubgradientOptions& opt,
                                      std::vector<double> lambda0,
                                      std::vector<double> mu0,
@@ -56,7 +59,7 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
     const Index C = a.num_cols();
     SubgradientResult out;
 
-    if (R == 0) {  // trivially solved problem
+    if (a.num_live_rows() == 0) {  // trivially solved problem
         out.proved_optimal = true;
         out.lagrangian_costs.resize(C);
         for (Index j = 0; j < C; ++j)
@@ -66,21 +69,26 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
     }
 
     // c̄ for the dual-Lagrangian inner solution.
-    std::vector<double> cbar(R, std::numeric_limits<double>::infinity());
-    for (Index i = 0; i < R; ++i)
+    fit(ws.cbar, R);
+    for (Index i = 0; i < R; ++i) {
+        if (!a.row_alive(i)) continue;
+        double cb = std::numeric_limits<double>::infinity();
         for (const Index j : a.row(i))
-            cbar[i] = std::min(cbar[i], static_cast<double>(a.cost(j)));
+            if (a.col_alive(j)) cb = std::min(cb, static_cast<double>(a.cost(j)));
+        ws.cbar[i] = cb;
+    }
 
     // --- initialisation (paper §3.3 / §3.5) -------------------------------------
-    if (lambda0.empty()) lambda0 = dual_ascent(a).m;
+    if (lambda0.empty()) lambda0 = dual_ascent(a, ws).m;
     UCP_REQUIRE(lambda0.size() == R, "lambda0 size mismatch");
 
     // Incumbent: greedy on original costs if none supplied.
-    std::vector<double> orig_cost(C);
-    for (Index j = 0; j < C; ++j) orig_cost[j] = static_cast<double>(a.cost(j));
+    fit(ws.orig_cost, C);
+    for (Index j = 0; j < C; ++j)
+        if (a.col_alive(j)) ws.orig_cost[j] = static_cast<double>(a.cost(j));
     if (incumbent.empty())
         incumbent =
-            lagrangian_greedy(a, orig_cost, GreedyVariant::kCostOverRows);
+            lagrangian_greedy(a, ws, ws.orig_cost, GreedyVariant::kCostOverRows);
     UCP_REQUIRE(a.is_feasible(incumbent), "incumbent must be feasible");
     out.best_solution = incumbent;
     out.best_cost = a.solution_cost(incumbent);
@@ -113,11 +121,11 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
         ++out.iterations;
 
         // ---- primal Lagrangian evaluation -------------------------------------
-        LagrangianEval ev = eval_lagrangian(a, lambda);
-        if (ev.z > lb_best + 1e-12) {
-            lb_best = ev.z;
+        const double z = eval_lagrangian(a, lambda, ws);
+        if (z > lb_best + 1e-12) {
+            lb_best = z;
             out.lambda = lambda;
-            out.lagrangian_costs = ev.ctilde;
+            out.lagrangian_costs.assign(ws.ctilde.begin(), ws.ctilde.end());
             since_improve = 0;
         } else {
             ++since_improve;
@@ -125,19 +133,26 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
 
         // ---- dual Lagrangian evaluation (LD) -----------------------------------
         double w_mu = 0.0;
-        std::vector<double> m_star;
         if (opt.use_dual_lagrangian) {
-            m_star.assign(R, 0.0);
-            std::vector<double> etilde(R, 1.0);
+            fit(ws.m_star, R);
+            fit(ws.etilde, R);
+            // Dead rows keep m*_i = 0.0 exactly so the µ-update load scatter
+            // below can skip them by value, and the unfiltered sums stay
+            // bit-identical to the compacted accumulation.
+            for (Index i = 0; i < R; ++i) {
+                ws.m_star[i] = 0.0;
+                ws.etilde[i] = 1.0;
+            }
             for (Index j = 0; j < C; ++j) {
-                if (mu[j] == 0.0) continue;
+                if (!a.col_alive(j) || mu[j] == 0.0) continue;
                 w_mu += mu[j] * static_cast<double>(a.cost(j));
-                for (const Index i : a.col(j)) etilde[i] -= mu[j];
+                for (const Index i : a.col(j)) ws.etilde[i] -= mu[j];
             }
             for (Index i = 0; i < R; ++i) {
-                if (etilde[i] > 0.0) {
-                    m_star[i] = cbar[i];
-                    w_mu += etilde[i] * cbar[i];
+                if (!a.row_alive(i)) continue;
+                if (ws.etilde[i] > 0.0) {
+                    ws.m_star[i] = ws.cbar[i];
+                    w_mu += ws.etilde[i] * ws.cbar[i];
                 }
             }
             if (w_mu < w_ld_best - 1e-12) {
@@ -154,7 +169,7 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
             const auto variant =
                 static_cast<GreedyVariant>((k / opt.heuristic_period) %
                                            kNumGreedyVariants);
-            auto sol = lagrangian_greedy(a, ev.ctilde, variant);
+            auto sol = lagrangian_greedy(a, ws, ws.ctilde, variant);
             const Cost cost = a.solution_cost(sol);
             if (cost < out.best_cost) {
                 out.best_cost = cost;
@@ -163,7 +178,7 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
         }
 
         if (opt.record_trace) {
-            out.trace.push_back({k, ev.z, std::max(lb_best, 0.0),
+            out.trace.push_back({k, z, std::max(lb_best, 0.0),
                                  opt.use_dual_lagrangian ? w_mu : 0.0,
                                  out.best_cost, t});
         }
@@ -178,38 +193,53 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
         // bound when available (paper §3.3).
         double ub_est = static_cast<double>(out.best_cost);
         if (opt.use_dual_lagrangian) ub_est = std::min(ub_est, w_ld_best);
-        if (ub_est - ev.z < opt.delta) break;
+        if (ub_est - z < opt.delta) break;
         if (t < opt.t_min) break;
 
         // ---- λ update, formula (2) -------------------------------------------------
         double norm2 = 0.0;
-        std::vector<double> s(R, 1.0);
+        fit(ws.s, R);
+        // s is exactly 0.0 on dead rows; dead columns never enter (p = 0).
+        for (Index i = 0; i < R; ++i) ws.s[i] = a.row_alive(i) ? 1.0 : 0.0;
         for (Index j = 0; j < C; ++j) {
-            if (!ev.p[j]) continue;
-            for (const Index i : a.col(j)) s[i] -= 1.0;
+            if (ws.p[j] == 0) continue;
+            for (const Index i : a.col(j))
+                if (a.row_alive(i)) ws.s[i] -= 1.0;
         }
-        for (Index i = 0; i < R; ++i) norm2 += s[i] * s[i];
+        for (Index i = 0; i < R; ++i) norm2 += ws.s[i] * ws.s[i];
         if (norm2 > 1e-12) {
-            const double step = t * std::abs(ub_est - ev.z) / norm2;
+            const double step = t * std::abs(ub_est - z) / norm2;
             for (Index i = 0; i < R; ++i)
-                lambda[i] = std::max(lambda[i] + step * s[i], 0.0);
+                if (a.row_alive(i))
+                    lambda[i] = std::max(lambda[i] + step * ws.s[i], 0.0);
         }
 
         // ---- µ update (dual side, driven down towards LB) --------------------------
         if (opt.use_dual_lagrangian) {
             double gnorm2 = 0.0;
-            std::vector<double> g(C);
+            fit(ws.g, C);
+            // Accumulate the load Σ m*_i of each column by scattering the
+            // active rows (typically a small fraction) in ascending order —
+            // the same per-column addition order as a full gather over the
+            // column spans, minus its exact +0.0 no-ops, so g is
+            // bit-identical. The m* = 0.0 test also skips dead rows.
+            for (Index j = 0; j < C; ++j) ws.g[j] = 0.0;
+            for (Index i = 0; i < R; ++i) {
+                const double mi = ws.m_star[i];
+                if (mi == 0.0) continue;
+                for (const Index j : a.row(i)) ws.g[j] += mi;
+            }
             for (Index j = 0; j < C; ++j) {
-                double load = 0.0;
-                for (const Index i : a.col(j)) load += m_star[i];
-                g[j] = static_cast<double>(a.cost(j)) - load;
-                gnorm2 += g[j] * g[j];
+                if (!a.col_alive(j)) continue;
+                ws.g[j] = static_cast<double>(a.cost(j)) - ws.g[j];
+                gnorm2 += ws.g[j] * ws.g[j];
             }
             const double target = std::max(lb_best, 0.0);
             if (gnorm2 > 1e-12 && w_mu > target) {
                 const double step = t_dual * (w_mu - target) / gnorm2;
                 for (Index j = 0; j < C; ++j)
-                    mu[j] = std::clamp(mu[j] - step * g[j], 0.0, 1.0);
+                    if (a.col_alive(j))
+                        mu[j] = std::clamp(mu[j] - step * ws.g[j], 0.0, 1.0);
             }
         }
 
@@ -224,8 +254,8 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
     }
 
     if (out.lagrangian_costs.empty()) {
-        const LagrangianEval ev = eval_lagrangian(a, out.lambda);
-        out.lagrangian_costs = ev.ctilde;
+        eval_lagrangian(a, out.lambda, ws);
+        out.lagrangian_costs.assign(ws.ctilde.begin(), ws.ctilde.end());
     }
     out.lb_fractional = std::max(lb_best, 0.0);
     out.lb = opt.integer_costs ? ceil_int(out.lb_fractional)
@@ -237,6 +267,23 @@ SubgradientResult subgradient_ascent(const CoverMatrix& a,
     c_calls.add();
     c_iters.add(static_cast<std::uint64_t>(out.iterations));
     return out;
+}
+
+template SubgradientResult subgradient_ascent<CoverMatrix>(
+    const CoverMatrix&, LagrangianWorkspace&, const SubgradientOptions&,
+    std::vector<double>, std::vector<double>, std::vector<Index>);
+template SubgradientResult subgradient_ascent<SubMatrix>(
+    const SubMatrix&, LagrangianWorkspace&, const SubgradientOptions&,
+    std::vector<double>, std::vector<double>, std::vector<Index>);
+
+SubgradientResult subgradient_ascent(const CoverMatrix& a,
+                                     const SubgradientOptions& opt,
+                                     std::vector<double> lambda0,
+                                     std::vector<double> mu0,
+                                     std::vector<Index> incumbent) {
+    LagrangianWorkspace ws;
+    return subgradient_ascent(a, ws, opt, std::move(lambda0), std::move(mu0),
+                              std::move(incumbent));
 }
 
 }  // namespace ucp::lagr

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lagrangian/greedy_heuristics.hpp"
+#include "lagrangian/workspace.hpp"
 #include "matrix/sparse_matrix.hpp"
 
 namespace ucp::lagr {
@@ -63,6 +64,21 @@ struct SubgradientResult {
 /// `lambda0` warm-starts λ (empty = dual-ascent initialisation, §3.3);
 /// `mu0` warm-starts µ (empty = indicator of a greedy primal solution);
 /// `incumbent` + `incumbent_cost` seed the upper bound when available.
+///
+/// `Matrix` is CoverMatrix or SubMatrix. On a live view, λ/µ and every
+/// returned vector stay base-indexed (dead slots frozen / never read) and
+/// the floating-point trajectory is bit-identical to running on the
+/// compacted matrix. All per-iteration scratch lives in `ws`: after the
+/// workspace has seen the largest core once, iterations perform zero heap
+/// allocations (pinned by the "lagr.workspace_allocs" counter).
+template <class Matrix>
+SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
+                                     const SubgradientOptions& opt = {},
+                                     std::vector<double> lambda0 = {},
+                                     std::vector<double> mu0 = {},
+                                     std::vector<cov::Index> incumbent = {});
+
+/// Convenience overload with a throwaway workspace.
 SubgradientResult subgradient_ascent(const cov::CoverMatrix& a,
                                      const SubgradientOptions& opt = {},
                                      std::vector<double> lambda0 = {},

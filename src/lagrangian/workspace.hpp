@@ -1,0 +1,57 @@
+// Reusable scratch buffers for the explicit Lagrangian phase.
+//
+// The subgradient loop (paper §3.2) touches a handful of dense row/column
+// vectors every iteration: the Lagrangian costs c̃, the primal indicator p*,
+// the subgradient s, the dual-side ẽ/m*/g, plus the dual-ascent and greedy
+// scratch. Allocating them per iteration dominated the explicit phase on
+// small cores (the SCG loop calls the engine thousands of times on matrices
+// with a few hundred rows). A LagrangianWorkspace owns all of them; `fit()`
+// grows a buffer only when the problem outgrows the previous high-water mark
+// and counts every growth in the "lagr.workspace_allocs" stats counter — the
+// perf tests pin that counter to 0 per iteration after warm-up.
+//
+// A workspace is single-threaded state: one per solver thread (the SCG
+// multi-start runs keep one in their per-thread Work struct).
+#pragma once
+
+#include <vector>
+
+#include "matrix/sparse_matrix.hpp"
+#include "util/stats.hpp"
+
+namespace ucp::lagr {
+
+/// Resizes `v` to `n`, counting (and amortising) capacity growth. After the
+/// first call at the largest size, subsequent calls never allocate.
+template <class T>
+inline void fit(std::vector<T>& v, std::size_t n) {
+    if (v.capacity() < n) {
+        static stats::Counter& c_allocs = stats::counter("lagr.workspace_allocs");
+        c_allocs.add();
+        v.reserve(n);
+    }
+    v.resize(n);
+}
+
+struct LagrangianWorkspace {
+    // subgradient_ascent
+    std::vector<double> ctilde;  ///< c − A'λ (dead slots undefined)
+    std::vector<char> p;         ///< p*_j = [c̃_j ≤ 0] (0 for dead columns)
+    std::vector<double> cbar;    ///< c̄_i = min alive cost covering row i
+    std::vector<double> m_star;  ///< dual inner solution (exactly 0.0 when dead)
+    std::vector<double> etilde;  ///< e − Aµ
+    std::vector<double> s;       ///< primal subgradient (exactly 0.0 when dead)
+    std::vector<double> g;       ///< dual subgradient
+    std::vector<double> orig_cost;
+    // dual_ascent
+    std::vector<double> da_cost, da_cbar, da_m, da_load;
+    std::vector<cov::Index> da_order;
+    // lagrangian_greedy
+    std::vector<char> covered, selected;
+    std::vector<double> row_weight;
+    std::vector<cov::Index> greedy_nj;  ///< uncovered count per column (γ1–γ3)
+    // dual_penalties probes
+    std::vector<double> probe_cost;
+};
+
+}  // namespace ucp::lagr

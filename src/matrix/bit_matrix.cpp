@@ -21,6 +21,12 @@ void BitMatrix::assign_row(Index row, const std::vector<Index>& bits) {
     for (const Index b : bits) w[b / 64] |= std::uint64_t{1} << (b % 64);
 }
 
+void BitMatrix::assign_row(Index row, IndexSpan bits) {
+    std::uint64_t* w = words_.data() + row * wpr_;
+    std::fill(w, w + wpr_, 0);
+    for (const Index b : bits) w[b / 64] |= std::uint64_t{1} << (b % 64);
+}
+
 std::size_t BitMatrix::popcount(Index row) const {
     const std::uint64_t* w = words_.data() + row * wpr_;
     std::size_t n = 0;

@@ -36,8 +36,13 @@ public:
         words_[row * wpr_ + bit / 64] |= std::uint64_t{1} << (bit % 64);
     }
 
+    void clear(Index row, Index bit) {
+        words_[row * wpr_ + bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+    }
+
     /// Zeroes a row, then sets every index in `bits`.
     void assign_row(Index row, const std::vector<Index>& bits);
+    void assign_row(Index row, IndexSpan bits);
 
     [[nodiscard]] bool test(Index row, Index bit) const {
         return (words_[row * wpr_ + bit / 64] >>

@@ -10,16 +10,261 @@ namespace ucp::cov {
 
 namespace {
 
-/// Is `small` a subset of `big`? Both sorted ascending.
-bool subset_of(const std::vector<Index>& small, const std::vector<Index>& big) {
-    if (small.size() > big.size()) return false;
-    auto it = big.begin();
-    for (const Index x : small) {
-        it = std::lower_bound(it, big.end(), x);
-        if (it == big.end() || *it != x) return false;
+constexpr Index kInvalid = ~Index{0};
+
+/// Dirty queues with O(1) membership dedup. A row entering the row queue
+/// feeds both the essential recheck and the row-dominance recheck (the two
+/// tests that can newly fire when a row loses a column); a column entering
+/// the column queue feeds the column-dominance recheck.
+struct Worklists {
+    std::vector<Index> ess, rowdom, coldom;
+    std::vector<char> ess_in, rowdom_in, coldom_in;
+
+    void init(Index rows, Index cols) {
+        ess_in.assign(rows, 0);
+        rowdom_in.assign(rows, 0);
+        coldom_in.assign(cols, 0);
+        ess.clear();
+        rowdom.clear();
+        coldom.clear();
+    }
+    void dirty_row(Index i) {
+        if (ess_in[i] == 0) {
+            ess_in[i] = 1;
+            ess.push_back(i);
+        }
+        if (rowdom_in[i] == 0) {
+            rowdom_in[i] = 1;
+            rowdom.push_back(i);
+        }
+    }
+    void dirty_col(Index j) {
+        if (coldom_in[j] == 0) {
+            coldom_in[j] = 1;
+            coldom.push_back(j);
+        }
+    }
+};
+
+/// Is the live column set of row `a` a subset of row `b`'s? Iterates `a`'s
+/// base adjacency skipping dead columns; membership in `b` can be tested on
+/// the unfiltered base list because element liveness is global (a column is
+/// alive for every row or for none).
+bool row_subset(const SubMatrix& v, Index a, Index b) {
+    const IndexSpan bs = v.row(b);
+    const Index* it = bs.begin();
+    for (const Index x : v.row(a)) {
+        if (!v.col_alive(x)) continue;
+        it = std::lower_bound(it, bs.end(), x);
+        if (it == bs.end() || *it != x) return false;
         ++it;
     }
     return true;
+}
+
+bool col_subset(const SubMatrix& v, Index a, Index b) {
+    const IndexSpan bs = v.col(b);
+    const Index* it = bs.begin();
+    for (const Index x : v.col(a)) {
+        if (!v.row_alive(x)) continue;
+        it = std::lower_bound(it, bs.end(), x);
+        if (it == bs.end() || *it != x) return false;
+        ++it;
+    }
+    return true;
+}
+
+/// Worklist-driven reduction fixpoint over a live view. Seeding every alive
+/// row/column reproduces the classical full-pass reducer exactly (same
+/// essential order, same removal sets, pass for pass); seeding only the
+/// dirtied entities skips the quadratic rescans of everything untouched.
+///
+/// Why dirty-only is enough: within a pass both dominance scans work on a
+/// frozen snapshot (marks are applied after the scan), and a dominance pair
+/// can only *newly* hold when the subset side lost an element that the
+/// superset side never had — which is exactly when the subset side got
+/// dirtied. A clean subset side re-tested against any still-alive partner
+/// either already fired in the pass that last scanned it, or was skipped by
+/// a tie-break that still applies (equal sets shrink in lockstep because
+/// removals hit every adjacency list uniformly).
+void run_fixpoint(SubMatrix& v, Worklists& q, const ReduceOptions& opt,
+                  bool use_bits, InplaceReduceResult& res) {
+    static stats::Counter& c_skips = stats::counter("reduce.dominance_skips");
+
+    const Index R = v.num_rows();
+    const Index C = v.num_cols();
+    res.used_bitset_kernel = use_bits;
+
+    // Bit-packed mirrors of the live adjacency, built once per call and then
+    // maintained incrementally (clear one bit per removed incidence) instead
+    // of being rebuilt every pass.
+    BitMatrix row_bits, col_bits;
+    if (use_bits) {
+        row_bits.reset(R, C);
+        col_bits.reset(C, R);
+        for (Index i = 0; i < R; ++i) {
+            if (!v.row_alive(i)) continue;
+            for (const Index j : v.row(i))
+                if (v.col_alive(j)) row_bits.set(i, j);
+        }
+        for (Index j = 0; j < C; ++j) {
+            if (!v.col_alive(j)) continue;
+            for (const Index i : v.col(j))
+                if (v.row_alive(i)) col_bits.set(j, i);
+        }
+    }
+
+    std::vector<Index> sweep, marked;
+    std::vector<char> to_remove_r, to_remove_c;
+
+    while (true) {
+        const bool ess_work = opt.essential && !q.ess.empty();
+        const bool rd_work = opt.row_dominance && !q.rowdom.empty();
+        const bool cd_work = opt.col_dominance && !q.coldom.empty();
+        if (!ess_work && !rd_work && !cd_work) break;
+        ++res.passes;
+
+        // --- essential columns -----------------------------------------------
+        // A single ascending sweep suffices: fixing a column kills every row
+        // it covers, so no surviving row's live count drops — essentials
+        // never cascade inside the phase.
+        if (ess_work) {
+            sweep.assign(q.ess.begin(), q.ess.end());
+            q.ess.clear();
+            std::sort(sweep.begin(), sweep.end());
+            for (const Index i : sweep) {
+                q.ess_in[i] = 0;
+                if (!v.row_alive(i)) continue;
+                UCP_ASSERT(v.live_row_size(i) >= 1);  // empty row ⇒ infeasible
+                if (v.live_row_size(i) != 1) continue;
+                Index last = kInvalid;
+                for (const Index j : v.row(i))
+                    if (v.col_alive(j)) {
+                        last = j;
+                        break;
+                    }
+                UCP_ASSERT(last != kInvalid);
+                res.essential_cols.push_back(last);
+                res.fixed_cost += v.cost(last);
+                v.fix_col(
+                    last, [](Index) {},
+                    [&](Index ik, Index j2) {
+                        q.dirty_col(j2);
+                        if (use_bits) col_bits.clear(j2, ik);
+                    });
+            }
+        }
+
+        // --- row dominance: drop rows whose column set is a superset ---------
+        if (opt.row_dominance && !q.rowdom.empty()) {
+            if (v.num_live_rows() > opt.max_dominance_rows) {
+                // Pass skipped: the view may retain dominated rows (surfaced
+                // via dominance_skipped). The pending dirt is dropped — the
+                // classical reducer abandons the unscanned work the same way.
+                res.dominance_skipped = true;
+                c_skips.add();
+                for (const Index i : q.rowdom) q.rowdom_in[i] = 0;
+                q.rowdom.clear();
+            } else {
+                sweep.assign(q.rowdom.begin(), q.rowdom.end());
+                q.rowdom.clear();
+                std::sort(sweep.begin(), sweep.end());
+                to_remove_r.assign(R, 0);
+                marked.clear();
+                for (const Index k : sweep) {
+                    q.rowdom_in[k] = 0;
+                    if (!v.row_alive(k) || to_remove_r[k] != 0) continue;
+                    // Candidates that could be dominated BY k (supersets of
+                    // k's columns) all appear in the column lists of k's
+                    // columns; scan the cheapest one.
+                    Index probe = kInvalid;
+                    for (const Index j : v.row(k)) {
+                        if (!v.col_alive(j)) continue;
+                        if (probe == kInvalid ||
+                            v.live_col_size(j) < v.live_col_size(probe))
+                            probe = j;
+                    }
+                    UCP_ASSERT(probe != kInvalid);
+                    for (const Index i : v.col(probe)) {
+                        if (!v.row_alive(i)) continue;
+                        if (i == k || to_remove_r[i] != 0) continue;
+                        if (v.live_row_size(i) < v.live_row_size(k)) continue;
+                        if (v.live_row_size(i) == v.live_row_size(k) && i < k)
+                            continue;  // equal sets: keep the smaller index
+                        if (use_bits ? row_bits.subset(k, i)
+                                     : row_subset(v, k, i)) {
+                            to_remove_r[i] = 1;
+                            marked.push_back(i);
+                            ++res.rows_removed_dominance;
+                        }
+                    }
+                }
+                for (const Index i : marked)
+                    v.kill_row(i, [&](Index j) {
+                        q.dirty_col(j);
+                        if (use_bits) col_bits.clear(j, i);
+                    });
+            }
+        }
+
+        // --- column dominance: drop columns covered by a cheaper/equal peer --
+        if (opt.col_dominance && !q.coldom.empty()) {
+            if (v.num_live_cols() > opt.max_dominance_cols) {
+                res.dominance_skipped = true;
+                c_skips.add();
+                for (const Index j : q.coldom) q.coldom_in[j] = 0;
+                q.coldom.clear();
+            } else {
+                sweep.assign(q.coldom.begin(), q.coldom.end());
+                q.coldom.clear();
+                std::sort(sweep.begin(), sweep.end());
+                to_remove_c.assign(C, 0);
+                marked.clear();
+                for (const Index j : sweep) {
+                    q.coldom_in[j] = 0;
+                    if (!v.col_alive(j) || to_remove_c[j] != 0) continue;
+                    if (v.live_col_size(j) == 0) {
+                        // Covers nothing any more — trivially dominated.
+                        to_remove_c[j] = 1;
+                        marked.push_back(j);
+                        ++res.cols_removed_dominance;
+                        continue;
+                    }
+                    // A dominator of j must appear in every row of j; scan
+                    // the shortest row.
+                    Index probe = kInvalid;
+                    for (const Index i : v.col(j)) {
+                        if (!v.row_alive(i)) continue;
+                        if (probe == kInvalid ||
+                            v.live_row_size(i) < v.live_row_size(probe))
+                            probe = i;
+                    }
+                    UCP_ASSERT(probe != kInvalid);
+                    for (const Index k : v.row(probe)) {
+                        if (!v.col_alive(k)) continue;
+                        if (k == j || to_remove_c[k] != 0) continue;
+                        if (v.cost(k) > v.cost(j)) continue;
+                        if (v.live_col_size(k) < v.live_col_size(j)) continue;
+                        if (v.live_col_size(k) == v.live_col_size(j) &&
+                            v.cost(k) == v.cost(j) && k > j)
+                            continue;  // symmetric pair: keep the smaller index
+                        if (use_bits ? col_bits.subset(j, k)
+                                     : col_subset(v, j, k)) {
+                            to_remove_c[j] = 1;
+                            marked.push_back(j);
+                            ++res.cols_removed_dominance;
+                            break;
+                        }
+                    }
+                }
+                for (const Index j : marked)
+                    v.remove_col(j, [&](Index i) {
+                        q.dirty_row(i);
+                        if (use_bits) row_bits.clear(i, j);
+                    });
+            }
+        }
+    }
 }
 
 }  // namespace
@@ -30,231 +275,95 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
     static stats::Counter& c_passes = stats::counter("reduce.passes");
     static stats::Counter& c_rows_dom = stats::counter("reduce.rows_removed_dominance");
     static stats::Counter& c_cols_dom = stats::counter("reduce.cols_removed_dominance");
-    static stats::Counter& c_skips = stats::counter("reduce.dominance_skips");
     static stats::Counter& c_bitset = stats::counter("reduce.bitset_kernel_calls");
     const stats::ScopedTimer phase_timer("reduce.seconds");
     c_calls.add();
 
     const Index R = m.num_rows();
     const Index C = m.num_cols();
-    std::vector<bool> row_alive(R, true), col_alive(C, true);
 
-    ReduceResult result;
-    result.used_bitset_kernel =
+    const bool use_bits =
         opt.use_bitset == BitsetMode::kOn ||
         (opt.use_bitset == BitsetMode::kAuto && R > 0 && C > 0 &&
          m.density() >= opt.bitset_density_threshold);
-    if (result.used_bitset_kernel) c_bitset.add();
+    if (use_bits) c_bitset.add();
 
-    auto remove_rows_covered_by = [&](Index j) {
-        for (const Index i : m.col(j))
-            row_alive[i] = false;
-    };
-
+    SubMatrix v(m);
     for (const Index j : fixed) {
         UCP_REQUIRE(j < C, "fixed column out of range");
-        if (!col_alive[j]) continue;
-        col_alive[j] = false;
-        remove_rows_covered_by(j);
+        if (!v.col_alive(j)) continue;
+        v.fix_col(j, [](Index) {}, [](Index, Index) {});
     }
 
-    // Filtered adjacency snapshots, rebuilt when marked dirty. The bit-packed
-    // mirrors (row → column bitset, column → row bitset) are only maintained
-    // when the word-wise dominance kernel is active.
-    std::vector<std::vector<Index>> rcols(R), crows(C);
-    BitMatrix row_bits, col_bits;
-    auto rebuild = [&] {
-        for (Index i = 0; i < R; ++i) {
-            rcols[i].clear();
-            if (!row_alive[i]) continue;
-            for (const Index j : m.row(i))
-                if (col_alive[j]) rcols[i].push_back(j);
-        }
-        for (Index j = 0; j < C; ++j) {
-            crows[j].clear();
-            if (!col_alive[j]) continue;
-            for (const Index i : m.col(j))
-                if (row_alive[i]) crows[j].push_back(i);
-        }
-        if (result.used_bitset_kernel) {
-            row_bits.reset(R, C);
-            col_bits.reset(C, R);
-            for (Index i = 0; i < R; ++i) row_bits.assign_row(i, rcols[i]);
-            for (Index j = 0; j < C; ++j) col_bits.assign_row(j, crows[j]);
-        }
-    };
-    const auto row_subset = [&](Index a, Index b) {
-        return result.used_bitset_kernel ? row_bits.subset(a, b)
-                                         : subset_of(rcols[a], rcols[b]);
-    };
-    const auto col_subset = [&](Index a, Index b) {
-        return result.used_bitset_kernel ? col_bits.subset(a, b)
-                                         : subset_of(crows[a], crows[b]);
-    };
+    // Everything alive starts dirty: the first pass is a full pass, exactly
+    // like the classical reducer; later passes only recheck what changed.
+    Worklists q;
+    q.init(R, C);
+    for (Index i = 0; i < R; ++i)
+        if (v.row_alive(i)) q.dirty_row(i);
+    for (Index j = 0; j < C; ++j)
+        if (v.col_alive(j)) q.dirty_col(j);
 
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        ++result.passes;
-        rebuild();
+    InplaceReduceResult in;
+    run_fixpoint(v, q, opt, use_bits, in);
 
-        // --- essential columns (to a fixed point, cheap) ---------------------
-        if (opt.essential) {
-            bool ess_changed = true;
-            while (ess_changed) {
-                ess_changed = false;
-                for (Index i = 0; i < R; ++i) {
-                    if (!row_alive[i]) continue;
-                    Index last = 0, count = 0;
-                    for (const Index j : m.row(i)) {
-                        if (col_alive[j]) {
-                            last = j;
-                            if (++count > 1) break;
-                        }
-                    }
-                    UCP_ASSERT(count >= 1);  // empty row ⇒ infeasible input
-                    if (count == 1) {
-                        result.essential_cols.push_back(last);
-                        result.fixed_cost += m.cost(last);
-                        col_alive[last] = false;
-                        remove_rows_covered_by(last);
-                        ess_changed = true;
-                        changed = true;
-                    }
-                }
-            }
-            if (changed) rebuild();
-        }
+    ReduceResult result;
+    result.essential_cols = std::move(in.essential_cols);
+    result.fixed_cost = in.fixed_cost;
+    result.rows_removed_dominance = in.rows_removed_dominance;
+    result.cols_removed_dominance = in.cols_removed_dominance;
+    result.passes = in.passes;
+    result.dominance_skipped = in.dominance_skipped;
+    result.used_bitset_kernel = in.used_bitset_kernel;
 
-        // --- row dominance: drop rows whose column set is a superset ---------
-        const Index alive_rows = static_cast<Index>(
-            std::count(row_alive.begin(), row_alive.end(), true));
-        if (opt.row_dominance && alive_rows > opt.max_dominance_rows) {
-            // Pass skipped: the core may retain dominated rows. Surfaced via
-            // ReduceResult::dominance_skipped and the stats counter so large
-            // instances no longer silently degrade.
-            result.dominance_skipped = true;
-            c_skips.add();
-        }
-        if (opt.row_dominance && alive_rows <= opt.max_dominance_rows) {
-            std::vector<bool> to_remove(R, false);
-            for (Index k = 0; k < R; ++k) {
-                if (!row_alive[k] || to_remove[k]) continue;
-                // Candidates that could be dominated BY k (supersets of k's
-                // columns) all appear in the column lists of k's columns; scan
-                // the cheapest one.
-                Index probe = rcols[k][0];
-                for (const Index j : rcols[k])
-                    if (crows[j].size() < crows[probe].size()) probe = j;
-                for (const Index i : crows[probe]) {
-                    if (i == k || !row_alive[i] || to_remove[i]) continue;
-                    if (rcols[i].size() < rcols[k].size()) continue;
-                    if (rcols[i].size() == rcols[k].size() && i < k)
-                        continue;  // equal sets: keep the smaller index
-                    if (row_subset(k, i)) {
-                        to_remove[i] = true;
-                        ++result.rows_removed_dominance;
-                        changed = true;
-                    }
-                }
-            }
-            bool any = false;
-            for (Index i = 0; i < R; ++i)
-                if (to_remove[i]) {
-                    row_alive[i] = false;
-                    any = true;
-                }
-            if (any) rebuild();
-        }
+    // --- extract the cyclic core --------------------------------------------
+    // Drop surviving columns that no longer cover any alive row; columns that
+    // were empty in the *input* are kept (matching the classical extraction,
+    // which only prunes columns that lost their rows during reduction).
+    for (Index j = 0; j < C; ++j)
+        if (v.col_alive(j) && !m.col(j).empty() && v.live_col_size(j) == 0)
+            v.drop_dead_col(j);
+    result.core = v.compact(result.core_col_map, result.core_row_map);
 
-        // --- column dominance: drop columns covered by a cheaper/equal peer ---
-        const Index alive_cols = static_cast<Index>(
-            std::count(col_alive.begin(), col_alive.end(), true));
-        if (opt.col_dominance && alive_cols > opt.max_dominance_cols) {
-            result.dominance_skipped = true;
-            c_skips.add();
-        }
-        if (opt.col_dominance && alive_cols <= opt.max_dominance_cols) {
-            std::vector<bool> to_remove(C, false);
-            for (Index j = 0; j < C; ++j) {
-                if (!col_alive[j] || to_remove[j]) continue;
-                if (crows[j].empty()) {
-                    // Covers nothing any more — trivially dominated.
-                    to_remove[j] = true;
-                    ++result.cols_removed_dominance;
-                    changed = true;
-                    continue;
-                }
-                // A dominator of j must appear in every row of j; scan the
-                // shortest row.
-                Index probe = crows[j][0];
-                for (const Index i : crows[j])
-                    if (rcols[i].size() < rcols[probe].size()) probe = i;
-                for (const Index k : rcols[probe]) {
-                    if (k == j || !col_alive[k] || to_remove[k]) continue;
-                    if (m.cost(k) > m.cost(j)) continue;
-                    if (crows[k].size() < crows[j].size()) continue;
-                    if (crows[k].size() == crows[j].size() && m.cost(k) == m.cost(j) &&
-                        k > j)
-                        continue;  // symmetric pair: keep the smaller index
-                    if (col_subset(j, k)) {
-                        to_remove[j] = true;
-                        ++result.cols_removed_dominance;
-                        changed = true;
-                        break;
-                    }
-                }
-            }
-            bool any = false;
-            for (Index j = 0; j < C; ++j)
-                if (to_remove[j]) {
-                    col_alive[j] = false;
-                    any = true;
-                }
-            if (any) rebuild();
-        }
-    }
-
-    // --- extract the cyclic core ------------------------------------------------
-    std::vector<Index> col_new(C, 0);
-    for (Index j = 0; j < C; ++j) {
-        if (col_alive[j] && !m.col(j).empty()) {
-            // Keep only columns that still cover some alive row.
-            bool useful = false;
-            for (const Index i : m.col(j))
-                if (row_alive[i]) {
-                    useful = true;
-                    break;
-                }
-            if (!useful) col_alive[j] = false;
-        }
-    }
-    for (Index j = 0; j < C; ++j) {
-        if (col_alive[j]) {
-            col_new[j] = static_cast<Index>(result.core_col_map.size());
-            result.core_col_map.push_back(j);
-        }
-    }
-    std::vector<std::vector<Index>> core_rows;
-    std::vector<Cost> core_costs;
-    core_costs.reserve(result.core_col_map.size());
-    for (const Index j : result.core_col_map) core_costs.push_back(m.cost(j));
-    for (Index i = 0; i < R; ++i) {
-        if (!row_alive[i]) continue;
-        std::vector<Index> r;
-        for (const Index j : m.row(i))
-            if (col_alive[j]) r.push_back(col_new[j]);
-        UCP_ASSERT(!r.empty());
-        core_rows.push_back(std::move(r));
-        result.core_row_map.push_back(i);
-    }
-    result.core = CoverMatrix::from_rows(
-        static_cast<Index>(result.core_col_map.size()), std::move(core_rows),
-        std::move(core_costs));
     c_passes.add(result.passes);
     c_rows_dom.add(result.rows_removed_dominance);
     c_cols_dom.add(result.cols_removed_dominance);
     return result;
+}
+
+InplaceReduceResult reduce_inplace(SubMatrix& view, const ReduceDirt& dirt,
+                                   const ReduceOptions& opt) {
+    static stats::Counter& c_calls = stats::counter("reduce.inplace_calls");
+    static stats::Counter& c_bitset = stats::counter("reduce.bitset_kernel_calls");
+    const stats::ScopedTimer phase_timer("reduce.seconds");
+    c_calls.add();
+
+    const Index lr = view.num_live_rows();
+    const Index lc = view.num_live_cols();
+    double density = 0.0;
+    if (lr > 0 && lc > 0) {
+        std::size_t live_entries = 0;
+        for (Index i = 0; i < view.num_rows(); ++i)
+            if (view.row_alive(i)) live_entries += view.live_row_size(i);
+        density = static_cast<double>(live_entries) /
+                  (static_cast<double>(lr) * static_cast<double>(lc));
+    }
+    const bool use_bits =
+        opt.use_bitset == BitsetMode::kOn ||
+        (opt.use_bitset == BitsetMode::kAuto && lr > 0 && lc > 0 &&
+         density >= opt.bitset_density_threshold);
+    if (use_bits) c_bitset.add();
+
+    Worklists q;
+    q.init(view.num_rows(), view.num_cols());
+    for (const Index i : dirt.rows)
+        if (view.row_alive(i)) q.dirty_row(i);
+    for (const Index j : dirt.cols)
+        if (view.col_alive(j)) q.dirty_col(j);
+
+    InplaceReduceResult res;
+    run_fixpoint(view, q, opt, use_bits, res);
+    return res;
 }
 
 std::vector<Partition> partition_blocks(const CoverMatrix& m) {

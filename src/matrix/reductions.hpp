@@ -18,6 +18,7 @@
 #pragma once
 
 #include "matrix/sparse_matrix.hpp"
+#include "matrix/sub_matrix.hpp"
 
 namespace ucp::cov {
 
@@ -76,6 +77,38 @@ struct ReduceResult {
 /// essential_cols or fixed_cost).
 ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed = {},
                     const ReduceOptions& opt = {});
+
+/// Dirty-queue seeds for reduce_inplace: base indices of rows/columns whose
+/// live adjacency shrank since the view was last at a reduction fixpoint.
+/// Duplicates are fine (the engine deduplicates).
+struct ReduceDirt {
+    std::vector<Index> rows;  ///< feed the essential + row-dominance rechecks
+    std::vector<Index> cols;  ///< feed the column-dominance rechecks
+};
+
+/// Result of an in-place worklist fixpoint. Indices are BASE indices of the
+/// view; essential_cols is in discovery order (same order the full-pass
+/// reducer reports).
+struct InplaceReduceResult {
+    std::vector<Index> essential_cols;
+    Cost fixed_cost = 0;
+    std::size_t rows_removed_dominance = 0;
+    std::size_t cols_removed_dominance = 0;
+    std::size_t passes = 0;
+    bool dominance_skipped = false;
+    bool used_bitset_kernel = false;
+};
+
+/// Runs the reduction fixpoint directly on a live view, rechecking only the
+/// dirtied rows/columns (and whatever they transitively dirty). When the
+/// view was at a fixpoint before the changes described by `dirt`, the final
+/// alive set is identical to a full re-reduction; seeding every alive
+/// row/column reproduces a full reduction outright (that is what reduce()
+/// does). Columns left covering no alive row are removed only when
+/// opt.col_dominance is on — callers needing the classical core must sweep
+/// them like reduce() does.
+InplaceReduceResult reduce_inplace(SubMatrix& view, const ReduceDirt& dirt,
+                                   const ReduceOptions& opt = {});
 
 /// One independent block of a covering matrix (the "partitioning" reduction
 /// of the classical literature, paper §2): rows/columns unreachable from one

@@ -16,23 +16,42 @@ CoverMatrix CoverMatrix::from_rows(Index num_cols,
     for (const Cost c : costs) UCP_REQUIRE(c > 0, "column costs must be positive");
 
     m.costs_ = std::move(costs);
-    m.col_rows_.resize(num_cols);
-    m.row_cols_.resize(rows.size());
+    m.num_rows_ = static_cast<Index>(rows.size());
+    m.num_cols_ = num_cols;
+
+    // Pass 1: normalise rows, size both CSR and CSC exactly.
+    m.row_off_.assign(rows.size() + 1, 0);
+    std::vector<std::size_t> col_count(num_cols, 0);
     for (Index i = 0; i < rows.size(); ++i) {
         auto& r = rows[i];
         std::sort(r.begin(), r.end());
         r.erase(std::unique(r.begin(), r.end()), r.end());
         UCP_REQUIRE(!r.empty(), "row with no covering column (infeasible problem)");
         UCP_REQUIRE(r.back() < num_cols, "column index out of range");
-        for (const Index j : r) m.col_rows_[j].push_back(i);
-        m.entries_ += r.size();
-        m.row_cols_[i] = std::move(r);
+        m.row_off_[i + 1] = m.row_off_[i] + r.size();
+        for (const Index j : r) ++col_count[j];
     }
+    m.entries_ = m.row_off_[rows.size()];
+
+    // Pass 2: fill CSR; prefix-sum CSC offsets; fill CSC. Filling the CSC
+    // side in ascending row order keeps every column list sorted for free.
+    m.row_idx_.resize(m.entries_);
+    for (Index i = 0; i < rows.size(); ++i)
+        std::copy(rows[i].begin(), rows[i].end(),
+                  m.row_idx_.begin() + static_cast<std::ptrdiff_t>(m.row_off_[i]));
+
+    m.col_off_.assign(static_cast<std::size_t>(num_cols) + 1, 0);
+    for (Index j = 0; j < num_cols; ++j)
+        m.col_off_[j + 1] = m.col_off_[j] + col_count[j];
+    m.col_idx_.resize(m.entries_);
+    std::vector<std::size_t> cursor(m.col_off_.begin(), m.col_off_.end() - 1);
+    for (Index i = 0; i < rows.size(); ++i)
+        for (const Index j : rows[i]) m.col_idx_[cursor[j]++] = i;
     return m;
 }
 
 bool CoverMatrix::entry(Index i, Index j) const {
-    const auto& r = row_cols_[i];
+    const IndexSpan r = row(i);
     return std::binary_search(r.begin(), r.end(), j);
 }
 
@@ -50,7 +69,7 @@ bool CoverMatrix::is_feasible(const std::vector<Index>& solution) const {
     }
     for (Index i = 0; i < num_rows(); ++i) {
         bool covered = false;
-        for (const Index j : row_cols_[i])
+        for (const Index j : row(i))
             if (in_sol[j]) {
                 covered = true;
                 break;
@@ -74,7 +93,7 @@ std::vector<Index> CoverMatrix::make_irredundant(std::vector<Index> solution) co
     for (const Index j : solution) {
         if (selected[j]) continue;  // duplicates contribute once
         selected[j] = true;
-        for (const Index i : col_rows_[j]) ++cover_count[i];
+        for (const Index i : col(j)) ++cover_count[i];
     }
     // Deduplicate, then drop redundant columns, highest cost first
     // (ties: higher index first, for determinism).
@@ -86,14 +105,14 @@ std::vector<Index> CoverMatrix::make_irredundant(std::vector<Index> solution) co
     });
     for (const Index j : order) {
         bool redundant = true;
-        for (const Index i : col_rows_[j])
+        for (const Index i : col(j))
             if (cover_count[i] == 1) {
                 redundant = false;
                 break;
             }
         if (redundant) {
             selected[j] = false;
-            for (const Index i : col_rows_[j]) --cover_count[i];
+            for (const Index i : col(j)) --cover_count[i];
         }
     }
     std::vector<Index> out;
@@ -103,21 +122,26 @@ std::vector<Index> CoverMatrix::make_irredundant(std::vector<Index> solution) co
 }
 
 void CoverMatrix::validate() const {
+    UCP_ASSERT(row_off_.size() == static_cast<std::size_t>(num_rows_) + 1);
+    UCP_ASSERT(col_off_.size() == static_cast<std::size_t>(num_cols_) + 1);
     std::size_t entries = 0;
     for (Index i = 0; i < num_rows(); ++i) {
-        const auto& r = row_cols_[i];
+        const IndexSpan r = row(i);
         UCP_ASSERT(std::is_sorted(r.begin(), r.end()));
         UCP_ASSERT(!r.empty());
         for (const Index j : r) {
             UCP_ASSERT(j < num_cols());
-            const auto& c = col_rows_[j];
+            const IndexSpan c = col(j);
             UCP_ASSERT(std::binary_search(c.begin(), c.end(), i));
         }
         entries += r.size();
     }
     UCP_ASSERT(entries == entries_);
-    for (Index j = 0; j < num_cols(); ++j)
-        UCP_ASSERT(std::is_sorted(col_rows_[j].begin(), col_rows_[j].end()));
+    UCP_ASSERT(col_off_[num_cols_] == entries_);
+    for (Index j = 0; j < num_cols(); ++j) {
+        const IndexSpan c = col(j);
+        UCP_ASSERT(std::is_sorted(c.begin(), c.end()));
+    }
 }
 
 std::string CoverMatrix::to_string() const {
@@ -148,6 +172,7 @@ bool strip_columns(const CoverMatrix& m, const std::vector<bool>& remove,
     costs.reserve(col_map.size());
     for (const Index j : col_map) costs.push_back(m.cost(j));
     for (Index i = 0; i < m.num_rows(); ++i) {
+        rows[i].reserve(m.row(i).size());
         for (const Index j : m.row(i))
             if (!remove[j]) rows[i].push_back(new_index[j]);
         if (rows[i].empty()) return false;

@@ -2,11 +2,14 @@
 //   min c'p  s.t.  Ap ≥ e,  p ∈ {0,1}^|P|          (UCP, paper §3.1)
 //
 // Rows are constraints (minterms / signature classes), columns are candidate
-// elements (prime implicants). Stored as dual adjacency (rows→cols, cols→rows)
-// with sorted index vectors, which is what every reduction and bound
-// computation iterates over.
+// elements (prime implicants). Stored as dual CSR/CSC adjacency: one flat
+// `offsets[]`/`indices[]` pair per direction (rows→cols and cols→rows), with
+// each adjacency list sorted. `row(i)`/`col(j)` hand out lightweight
+// `IndexSpan` views into the flat arrays, so iteration touches contiguous
+// memory instead of chasing one heap allocation per row/column.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -19,32 +22,102 @@ namespace ucp::cov {
 using Index = std::uint32_t;
 using Cost = std::int64_t;
 
+/// Non-owning view of a sorted adjacency list inside the flat CSR/CSC
+/// arrays. Behaves like `const std::vector<Index>&` at existing call sites:
+/// range-for, size/empty/front/back/operator[], equality against vectors,
+/// and implicit conversion to `std::vector<Index>` where a copy is wanted.
+class IndexSpan {
+public:
+    using value_type = Index;
+    using const_iterator = const Index*;
+
+    constexpr IndexSpan() noexcept = default;
+    constexpr IndexSpan(const Index* data, std::size_t size) noexcept
+        : data_(data), size_(size) {}
+
+    [[nodiscard]] constexpr const Index* data() const noexcept { return data_; }
+    [[nodiscard]] constexpr const Index* begin() const noexcept { return data_; }
+    [[nodiscard]] constexpr const Index* end() const noexcept {
+        return data_ + size_;
+    }
+    [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] constexpr Index operator[](std::size_t k) const {
+        return data_[k];
+    }
+    [[nodiscard]] constexpr Index front() const { return data_[0]; }
+    [[nodiscard]] constexpr Index back() const { return data_[size_ - 1]; }
+
+    operator std::vector<Index>() const { return {begin(), end()}; }  // NOLINT
+
+private:
+    const Index* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+[[nodiscard]] inline bool operator==(IndexSpan a, IndexSpan b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t k = 0; k < a.size(); ++k)
+        if (a[k] != b[k]) return false;
+    return true;
+}
+[[nodiscard]] inline bool operator!=(IndexSpan a, IndexSpan b) {
+    return !(a == b);
+}
+[[nodiscard]] inline bool operator==(IndexSpan a, const std::vector<Index>& b) {
+    return a == IndexSpan(b.data(), b.size());
+}
+[[nodiscard]] inline bool operator==(const std::vector<Index>& a, IndexSpan b) {
+    return IndexSpan(a.data(), a.size()) == b;
+}
+[[nodiscard]] inline bool operator!=(IndexSpan a, const std::vector<Index>& b) {
+    return !(a == b);
+}
+[[nodiscard]] inline bool operator!=(const std::vector<Index>& a, IndexSpan b) {
+    return !(a == b);
+}
+
 class CoverMatrix {
 public:
     CoverMatrix() = default;
 
     /// Builds from per-row column lists. Column costs default to 1 (the
-    /// uniform-cost case common in VLSI, as the paper notes).
+    /// uniform-cost case common in VLSI, as the paper notes). Both CSR and
+    /// CSC sides are pre-sized with a counting pass — no reallocation churn
+    /// while filling, which matters when the ZDD phase streams in large
+    /// tables row by row.
     static CoverMatrix from_rows(Index num_cols,
                                  std::vector<std::vector<Index>> rows,
                                  std::vector<Cost> costs = {});
 
-    [[nodiscard]] Index num_rows() const noexcept {
-        return static_cast<Index>(row_cols_.size());
-    }
-    [[nodiscard]] Index num_cols() const noexcept {
-        return static_cast<Index>(col_rows_.size());
-    }
+    [[nodiscard]] Index num_rows() const noexcept { return num_rows_; }
+    [[nodiscard]] Index num_cols() const noexcept { return num_cols_; }
     [[nodiscard]] std::size_t num_entries() const noexcept { return entries_; }
 
-    [[nodiscard]] const std::vector<Index>& row(Index i) const {
-        return row_cols_[i];
+    [[nodiscard]] IndexSpan row(Index i) const {
+        return {row_idx_.data() + row_off_[i], row_off_[i + 1] - row_off_[i]};
     }
-    [[nodiscard]] const std::vector<Index>& col(Index j) const {
-        return col_rows_[j];
+    [[nodiscard]] IndexSpan col(Index j) const {
+        return {col_idx_.data() + col_off_[j], col_off_[j + 1] - col_off_[j]};
     }
     [[nodiscard]] Cost cost(Index j) const { return costs_[j]; }
     [[nodiscard]] const std::vector<Cost>& costs() const noexcept { return costs_; }
+
+    // ---- live-view interface (trivial here; SubMatrix narrows it) --------------
+    // A full CoverMatrix is its own live view: everything is alive and the
+    // dense index space equals the base index space. These let templated
+    // explicit-phase code (subgradient, dual ascent, penalties, greedy)
+    // run unchanged on either a CoverMatrix or a SubMatrix.
+    [[nodiscard]] bool row_alive(Index) const noexcept { return true; }
+    [[nodiscard]] bool col_alive(Index) const noexcept { return true; }
+    [[nodiscard]] Index num_live_rows() const noexcept { return num_rows_; }
+    [[nodiscard]] Index num_live_cols() const noexcept { return num_cols_; }
+    [[nodiscard]] Index live_row_size(Index i) const {
+        return static_cast<Index>(row_off_[i + 1] - row_off_[i]);
+    }
+    [[nodiscard]] Index live_col_size(Index j) const {
+        return static_cast<Index>(col_off_[j + 1] - col_off_[j]);
+    }
 
     [[nodiscard]] bool entry(Index i, Index j) const;
 
@@ -67,8 +140,14 @@ public:
     [[nodiscard]] std::string to_string() const;
 
 private:
-    std::vector<std::vector<Index>> row_cols_;
-    std::vector<std::vector<Index>> col_rows_;
+    Index num_rows_ = 0;
+    Index num_cols_ = 0;
+    // CSR: row i's columns are row_idx_[row_off_[i] .. row_off_[i+1]).
+    std::vector<std::size_t> row_off_{0};
+    std::vector<Index> row_idx_;
+    // CSC: column j's rows are col_idx_[col_off_[j] .. col_off_[j+1]).
+    std::vector<std::size_t> col_off_{0};
+    std::vector<Index> col_idx_;
     std::vector<Cost> costs_;
     std::size_t entries_ = 0;
 };

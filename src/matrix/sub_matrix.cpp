@@ -1,0 +1,148 @@
+#include "matrix/sub_matrix.hpp"
+
+#include <algorithm>
+
+namespace ucp::cov {
+
+void SubMatrix::reset(const CoverMatrix& base) {
+    base_ = &base;
+    const Index R = base.num_rows();
+    const Index C = base.num_cols();
+    row_alive_.assign(R, 1);
+    col_alive_.assign(C, 1);
+    row_len_.resize(R);
+    col_len_.resize(C);
+    for (Index i = 0; i < R; ++i)
+        row_len_[i] = static_cast<Index>(base.row(i).size());
+    for (Index j = 0; j < C; ++j)
+        col_len_[j] = static_cast<Index>(base.col(j).size());
+    live_rows_ = R;
+    live_cols_ = C;
+}
+
+double SubMatrix::live_fraction() const noexcept {
+    const Index R = base_->num_rows();
+    const Index C = base_->num_cols();
+    if (R == 0 || C == 0) return 1.0;
+    const double fr = static_cast<double>(live_rows_) / static_cast<double>(R);
+    const double fc = static_cast<double>(live_cols_) / static_cast<double>(C);
+    return std::min(fr, fc);
+}
+
+bool SubMatrix::is_feasible(const std::vector<Index>& solution) const {
+    std::vector<bool> in_sol(num_cols(), false);
+    for (const Index j : solution) {
+        UCP_REQUIRE(j < num_cols(), "solution column out of range");
+        in_sol[j] = true;
+    }
+    for (Index i = 0; i < num_rows(); ++i) {
+        if (row_alive_[i] == 0) continue;
+        bool covered = false;
+        for (const Index j : base_->row(i))
+            if (in_sol[j]) {
+                covered = true;
+                break;
+            }
+        if (!covered) return false;
+    }
+    return true;
+}
+
+Cost SubMatrix::solution_cost(const std::vector<Index>& solution) const {
+    Cost total = 0;
+    for (const Index j : solution) total += base_->cost(j);
+    return total;
+}
+
+std::vector<Index> SubMatrix::make_irredundant(std::vector<Index> solution) const {
+    UCP_REQUIRE(is_feasible(solution), "make_irredundant needs a feasible solution");
+    std::vector<Index> cover_count(num_rows(), 0);
+    std::vector<bool> selected(num_cols(), false);
+    for (const Index j : solution) {
+        if (selected[j]) continue;  // duplicates contribute once
+        selected[j] = true;
+        for (const Index i : base_->col(j))
+            if (row_alive_[i] != 0) ++cover_count[i];
+    }
+    std::sort(solution.begin(), solution.end());
+    solution.erase(std::unique(solution.begin(), solution.end()), solution.end());
+    std::vector<Index> order = solution;
+    std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+        return base_->cost(a) != base_->cost(b) ? base_->cost(a) > base_->cost(b)
+                                                : a > b;
+    });
+    for (const Index j : order) {
+        bool redundant = true;
+        for (const Index i : base_->col(j)) {
+            if (row_alive_[i] == 0) continue;
+            if (cover_count[i] == 1) {
+                redundant = false;
+                break;
+            }
+        }
+        if (redundant) {
+            selected[j] = false;
+            for (const Index i : base_->col(j))
+                if (row_alive_[i] != 0) --cover_count[i];
+        }
+    }
+    std::vector<Index> out;
+    for (const Index j : solution)
+        if (selected[j]) out.push_back(j);
+    return out;
+}
+
+CoverMatrix SubMatrix::compact(std::vector<Index>& col_map,
+                               std::vector<Index>& row_map) const {
+    const Index R = num_rows();
+    const Index C = num_cols();
+    col_map.clear();
+    row_map.clear();
+    std::vector<Index> col_new(C, 0);
+    for (Index j = 0; j < C; ++j) {
+        if (col_alive_[j] != 0) {
+            col_new[j] = static_cast<Index>(col_map.size());
+            col_map.push_back(j);
+        }
+    }
+    std::vector<Cost> costs;
+    costs.reserve(col_map.size());
+    for (const Index j : col_map) costs.push_back(base_->cost(j));
+    std::vector<std::vector<Index>> rows;
+    for (Index i = 0; i < R; ++i) {
+        if (row_alive_[i] == 0) continue;
+        std::vector<Index> r;
+        r.reserve(row_len_[i]);
+        for (const Index j : base_->row(i))
+            if (col_alive_[j] != 0) r.push_back(col_new[j]);
+        UCP_ASSERT(!r.empty());
+        rows.push_back(std::move(r));
+        row_map.push_back(i);
+    }
+    return CoverMatrix::from_rows(static_cast<Index>(col_map.size()),
+                                  std::move(rows), std::move(costs));
+}
+
+void SubMatrix::validate() const {
+    Index lr = 0, lc = 0;
+    for (Index i = 0; i < num_rows(); ++i) {
+        if (row_alive_[i] == 0) continue;
+        ++lr;
+        Index len = 0;
+        for (const Index j : base_->row(i))
+            if (col_alive_[j] != 0) ++len;
+        UCP_ASSERT(len == row_len_[i]);
+    }
+    for (Index j = 0; j < num_cols(); ++j) {
+        if (col_alive_[j] == 0) continue;
+        ++lc;
+        Index len = 0;
+        for (const Index i : base_->col(j))
+            if (row_alive_[i] != 0) ++len;
+        UCP_ASSERT(len == col_len_[j]);
+    }
+    UCP_ASSERT(lr == live_rows_);
+    UCP_ASSERT(lc == live_cols_);
+}
+
+}  // namespace ucp::cov

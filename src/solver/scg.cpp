@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
-#include <unordered_map>
 
 #include "lagrangian/dual_ascent.hpp"
 #include "lagrangian/penalties.hpp"
 #include "matrix/reductions.hpp"
+#include "matrix/sub_matrix.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -21,63 +21,62 @@ using cov::Index;
 
 namespace {
 
-/// A sub-problem view: a matrix plus mappings of its rows/columns back to the
-/// ORIGINAL problem, and warm-start multipliers aligned with it.
+/// A sub-problem: a base matrix, the live view the fixing loop mutates, and
+/// mappings of base rows/columns back to the ORIGINAL problem, plus
+/// warm-start multipliers aligned with the base index space. Multipliers of
+/// dead rows/columns are frozen and never read — the Lagrangian engine skips
+/// dead slots, so no remapping is needed between fixing steps.
 struct Work {
     CoverMatrix mat;
-    std::vector<Index> col_map;  // work col -> original col
-    std::vector<Index> row_map;  // work row -> original row
-    std::vector<double> lambda;  // per work row
-    std::vector<double> mu;      // per work col
+    cov::SubMatrix view;         // live view over `mat`
+    std::vector<Index> col_map;  // base col -> original col
+    std::vector<Index> row_map;  // base row -> original row
+    std::vector<double> lambda;  // per base row
+    std::vector<double> mu;      // per base col
+
+    Work() = default;
+    Work(const Work& o)
+        : mat(o.mat), view(o.view), col_map(o.col_map), row_map(o.row_map),
+          lambda(o.lambda), mu(o.mu) {
+        view.rebind(&mat);
+    }
+    Work& operator=(const Work& o) {
+        if (this != &o) {
+            mat = o.mat;
+            view = o.view;
+            col_map = o.col_map;
+            row_map = o.row_map;
+            lambda = o.lambda;
+            mu = o.mu;
+            view.rebind(&mat);
+        }
+        return *this;
+    }
+
+    /// Replaces the base with the compacted live sub-matrix, remapping the
+    /// maps and multipliers into the new (dense) index space. Everything in
+    /// the new base starts alive.
+    void compact_base() {
+        std::vector<Index> cmap, rmap;
+        CoverMatrix compacted = view.compact(cmap, rmap);
+        std::vector<Index> ncol(cmap.size()), nrow(rmap.size());
+        std::vector<double> nmu(cmap.size()), nlambda(rmap.size());
+        for (std::size_t k = 0; k < cmap.size(); ++k) {
+            ncol[k] = col_map[cmap[k]];
+            nmu[k] = mu.empty() ? 0.0 : mu[cmap[k]];
+        }
+        for (std::size_t k = 0; k < rmap.size(); ++k) {
+            nrow[k] = row_map[rmap[k]];
+            nlambda[k] = lambda.empty() ? 0.0 : lambda[rmap[k]];
+        }
+        mat = std::move(compacted);
+        col_map = std::move(ncol);
+        row_map = std::move(nrow);
+        mu = std::move(nmu);
+        lambda = std::move(nlambda);
+        view.reset(mat);
+    }
 };
-
-/// Applies reduce() to w.mat with `fixed` (work-local column indices),
-/// appending all newly fixed columns (as original indices) to `chosen` and
-/// re-aligning the warm-start multipliers. Returns the reduced Work.
-Work apply_reduce(const Work& w, const std::vector<Index>& fixed,
-                  std::vector<Index>& chosen) {
-    const cov::ReduceResult red = cov::reduce(w.mat, fixed);
-    for (const Index j : fixed) chosen.push_back(w.col_map[j]);
-    for (const Index j : red.essential_cols) chosen.push_back(w.col_map[j]);
-
-    Work next;
-    next.mat = red.core;
-    next.col_map.resize(red.core.num_cols());
-    next.mu.resize(red.core.num_cols());
-    for (Index j = 0; j < red.core.num_cols(); ++j) {
-        next.col_map[j] = w.col_map[red.core_col_map[j]];
-        next.mu[j] = w.mu.empty() ? 0.0 : w.mu[red.core_col_map[j]];
-    }
-    next.row_map.resize(red.core.num_rows());
-    next.lambda.resize(red.core.num_rows());
-    for (Index i = 0; i < red.core.num_rows(); ++i) {
-        next.row_map[i] = w.row_map[red.core_row_map[i]];
-        next.lambda[i] = w.lambda.empty() ? 0.0 : w.lambda[red.core_row_map[i]];
-    }
-    return next;
-}
-
-/// Removes columns (work-local indices) from w. Returns false when a row
-/// would become uncoverable — the caller must abandon the run (no improving
-/// solution exists down this path).
-bool apply_removals(Work& w, const std::vector<Index>& removals) {
-    if (removals.empty()) return true;
-    std::vector<bool> mask(w.mat.num_cols(), false);
-    for (const Index j : removals) mask[j] = true;
-    CoverMatrix stripped;
-    std::vector<Index> rel;
-    if (!cov::strip_columns(w.mat, mask, stripped, rel)) return false;
-    std::vector<Index> new_col_map(rel.size());
-    std::vector<double> new_mu(rel.size());
-    for (std::size_t j = 0; j < rel.size(); ++j) {
-        new_col_map[j] = w.col_map[rel[j]];
-        new_mu[j] = w.mu.empty() ? 0.0 : w.mu[rel[j]];
-    }
-    w.mat = std::move(stripped);
-    w.col_map = std::move(new_col_map);
-    w.mu = std::move(new_mu);
-    return true;
-}
 
 ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt);
 
@@ -190,6 +189,7 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
     Timer timer;
     Rng rng(opt.seed);
     ScgResult out;
+    lagr::LagrangianWorkspace ws;
 
     const auto expired = [&] {
         return opt.time_limit_seconds > 0.0 &&
@@ -199,12 +199,14 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
     // ---- initial reduction to the exact cyclic core ---------------------------
     std::vector<Index> essentials;  // original indices, part of every solution
     Work root;
-    root.col_map.resize(m.num_cols());
-    for (Index j = 0; j < m.num_cols(); ++j) root.col_map[j] = j;
-    root.row_map.resize(m.num_rows());
-    for (Index i = 0; i < m.num_rows(); ++i) root.row_map[i] = i;
-    root.mat = m;
-    root = apply_reduce(root, {}, essentials);
+    {
+        const cov::ReduceResult red = cov::reduce(m);
+        essentials = red.essential_cols;
+        root.mat = red.core;
+        root.col_map = red.core_col_map;
+        root.row_map = red.core_row_map;
+        root.view.reset(root.mat);
+    }
     const Cost essential_cost = m.solution_cost(essentials);
 
     if (root.mat.num_rows() == 0) {
@@ -218,7 +220,8 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
     }
 
     // ---- root subgradient: global bound + first incumbent ----------------------
-    const auto root_sub = lagr::subgradient_ascent(root.mat, opt.subgradient);
+    const auto root_sub =
+        lagr::subgradient_ascent(root.mat, ws, opt.subgradient);
     ++out.subgradient_calls;
     root.lambda = root_sub.lambda;
     root.mu = root_sub.mu;
@@ -260,7 +263,8 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
         const int best_col =
             run == 1 ? 1 : opt.best_col_start + (run - 2) * opt.best_col_growth;
 
-        while (w.mat.num_rows() > 0 && !expired()) {
+        while (w.view.num_live_rows() > 0 && !expired()) {
+            const Index C = w.mat.num_cols();
             // Candidate incumbent: chosen + this phase's heuristic solution.
             {
                 std::vector<Index> cand = chosen;
@@ -279,10 +283,10 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
             if (chosen_cost + sub.lb >= best_cost) break;
             const Cost local_target = best_cost - chosen_cost;
 
-            std::vector<Index> to_fix;  // work-local columns to take
-            std::vector<bool> fix_mask(w.mat.num_cols(), false);
-            std::vector<Index> to_remove;  // work-local columns to delete
-            std::vector<bool> remove_mask(w.mat.num_cols(), false);
+            std::vector<Index> to_fix;  // base columns to take
+            std::vector<bool> fix_mask(C, false);
+            std::vector<Index> to_remove;  // base columns to delete
+            std::vector<bool> remove_mask(C, false);
             const auto mark_fix = [&](Index j) {
                 if (!fix_mask[j] && !remove_mask[j]) {
                     fix_mask[j] = true;
@@ -299,7 +303,7 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
             // Penalty tests prove columns in / out of improving completions.
             if (opt.use_lagrangian_penalties) {
                 const auto pen = lagr::lagrangian_penalties(
-                    w.mat, sub.lagrangian_costs, sub.lb_fractional, local_target,
+                    w.view, sub.lagrangian_costs, sub.lb_fractional, local_target,
                     opt.subgradient.integer_costs);
                 for (const Index j : pen.fix_to_one) mark_fix(j);
                 for (const Index j : pen.fix_to_zero) mark_remove(j);
@@ -307,9 +311,9 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
                 out.columns_removed_by_penalties += pen.fix_to_zero.size();
             }
             if (opt.use_dual_penalties &&
-                w.mat.num_cols() <= opt.dual_pen_max_cols) {
+                w.view.num_live_cols() <= opt.dual_pen_max_cols) {
                 const auto pen = lagr::dual_penalties(
-                    w.mat, local_target, sub.lambda, opt.dual_pen_max_cols,
+                    w.view, ws, local_target, sub.lambda, opt.dual_pen_max_cols,
                     opt.subgradient.integer_costs);
                 for (const Index j : pen.fix_to_one) mark_fix(j);
                 for (const Index j : pen.fix_to_zero) mark_remove(j);
@@ -318,15 +322,16 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
             }
 
             // Promising columns: c̃_j ≤ ĉ and µ_j ≥ µ̂ (§3.7).
-            for (Index j = 0; j < w.mat.num_cols(); ++j)
-                if (sub.lagrangian_costs[j] <= opt.c_hat && w.mu[j] >= opt.mu_hat)
+            for (Index j = 0; j < C; ++j)
+                if (w.view.col_alive(j) && sub.lagrangian_costs[j] <= opt.c_hat &&
+                    w.mu[j] >= opt.mu_hat)
                     mark_fix(j);
 
             // Always fix at least one column: σ = c̃ − α·µ rating (§3.7/§4).
             if (to_fix.empty()) {
                 std::vector<Index> order;
-                for (Index j = 0; j < w.mat.num_cols(); ++j)
-                    if (!remove_mask[j]) order.push_back(j);
+                for (Index j = 0; j < C; ++j)
+                    if (w.view.col_alive(j) && !remove_mask[j]) order.push_back(j);
                 if (order.empty()) break;  // everything removed: hopeless path
                 std::sort(order.begin(), order.end(), [&](Index x, Index y) {
                     const double sx =
@@ -342,33 +347,41 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
                 mark_fix(pick);
             }
 
-            // Record fixes by original id, shrink the matrix, then fix+reduce.
-            std::vector<Index> fix_orig;
-            fix_orig.reserve(to_fix.size());
-            for (const Index j : to_fix) fix_orig.push_back(w.col_map[j]);
+            // Apply the removals in place; a row losing its last column means
+            // no improving completion exists down this path.
+            cov::ReduceDirt dirt;
+            bool uncoverable = false;
+            for (const Index j : to_remove)
+                w.view.remove_col(j, [&](Index i) {
+                    dirt.rows.push_back(i);
+                    if (w.view.live_row_size(i) == 0) uncoverable = true;
+                });
+            if (uncoverable) break;  // path proven hopeless
 
-            if (!apply_removals(w, to_remove)) break;  // path proven hopeless
-
-            std::vector<Index> fixed_local;
-            {
-                std::unordered_map<Index, Index> pos;
-                pos.reserve(w.mat.num_cols());
-                for (Index j = 0; j < w.mat.num_cols(); ++j)
-                    pos.emplace(w.col_map[j], j);
-                for (const Index oid : fix_orig) {
-                    const auto it = pos.find(oid);
-                    UCP_ASSERT(it != pos.end());  // fixes are never removed
-                    fixed_local.push_back(it->second);
-                }
+            // Take the fixed columns (kills the rows they cover), then drive
+            // the reductions back to a fixpoint from the dirtied entities.
+            for (const Index j : to_fix) {
+                chosen.push_back(w.col_map[j]);
+                w.view.fix_col(
+                    j, [](Index) {},
+                    [&](Index, Index j2) { dirt.cols.push_back(j2); });
             }
-            w = apply_reduce(w, fixed_local, chosen);
-            if (w.mat.num_rows() == 0) break;  // `chosen` is feasible
+            const auto red = cov::reduce_inplace(w.view, dirt);
+            for (const Index j : red.essential_cols)
+                chosen.push_back(w.col_map[j]);
+            if (w.view.num_live_rows() == 0) break;  // `chosen` is feasible
+
+            // Re-compact only when the live fraction dropped enough for the
+            // dense rebuild to pay for itself; the engines are bit-identical
+            // on the view and on the compacted matrix.
+            if (w.view.live_fraction() < opt.compact_live_fraction)
+                w.compact_base();
 
             // Re-optimise the multipliers on the reduced problem, warm-started
             // from the previous ones (paper §3.2: "the best value determined
             // for the previous problem is assumed as the initial one").
-            sub = lagr::subgradient_ascent(w.mat, opt.subgradient, w.lambda,
-                                           w.mu);
+            sub = lagr::subgradient_ascent(w.view, ws, opt.subgradient,
+                                           w.lambda, w.mu);
             ++out.subgradient_calls;
             w.lambda = sub.lambda;
             w.mu = sub.mu;

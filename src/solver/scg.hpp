@@ -34,6 +34,15 @@ struct ScgOptions {
     bool use_lagrangian_penalties = true;
     bool use_dual_penalties = true;
     std::size_t dual_pen_max_cols = 100;  ///< paper: DualPen = 100
+    /// The fixing loop works on an in-place live view of the core and only
+    /// materialises a compacted matrix when the live fraction (min of live
+    /// rows/cols over base dims) drops below this threshold. 1.0 = compact
+    /// after every fixing step (the classical behaviour), 0.0 = never.
+    /// Results are bit-identical for any value (see DESIGN.md §7). Keep it
+    /// high: the subgradient iterates the base spans, so dead slots cost
+    /// wall-clock — 0.9 caps that at ~10% while still skipping the rebuild
+    /// after steps that removed almost nothing.
+    double compact_live_fraction = 0.9;
     std::uint64_t seed = 0x5eed;
     double time_limit_seconds = 0.0;  ///< 0 = unlimited
     /// Independent stochastic multi-starts (embarrassingly parallel). Start 0

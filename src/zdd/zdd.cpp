@@ -57,10 +57,27 @@ void Zdd::release() noexcept {
     }
 }
 
-Zdd Zdd::operator|(const Zdd& rhs) const { return mgr_->union_(*this, rhs); }
-Zdd Zdd::operator&(const Zdd& rhs) const { return mgr_->intersect(*this, rhs); }
-Zdd Zdd::operator-(const Zdd& rhs) const { return mgr_->diff(*this, rhs); }
-Zdd Zdd::operator*(const Zdd& rhs) const { return mgr_->product(*this, rhs); }
+// A default-constructed Zdd is the empty family with no manager; the
+// operators honour that instead of dereferencing a null manager (count() and
+// node_count() below already did).
+Zdd Zdd::operator|(const Zdd& rhs) const {
+    if (mgr_ == nullptr) return rhs;       // {} ∪ b = b
+    if (rhs.mgr_ == nullptr) return *this;  // a ∪ {} = a
+    return mgr_->union_(*this, rhs);
+}
+Zdd Zdd::operator&(const Zdd& rhs) const {
+    if (mgr_ == nullptr || rhs.mgr_ == nullptr) return Zdd();  // a ∩ {} = {}
+    return mgr_->intersect(*this, rhs);
+}
+Zdd Zdd::operator-(const Zdd& rhs) const {
+    if (mgr_ == nullptr) return Zdd();      // {} − b = {}
+    if (rhs.mgr_ == nullptr) return *this;  // a − {} = a
+    return mgr_->diff(*this, rhs);
+}
+Zdd Zdd::operator*(const Zdd& rhs) const {
+    if (mgr_ == nullptr || rhs.mgr_ == nullptr) return Zdd();  // a × {} = {}
+    return mgr_->product(*this, rhs);
+}
 
 double Zdd::count() const { return mgr_ == nullptr ? 0.0 : mgr_->count(*this); }
 

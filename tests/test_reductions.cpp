@@ -2,6 +2,8 @@
 // the optimum-preservation property checked against exhaustive search.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gen/scp_gen.hpp"
 #include "matrix/reductions.hpp"
 #include "util/rng.hpp"
@@ -155,6 +157,246 @@ TEST(Reductions, SolvedProblemGivesFeasibleEssentials) {
             EXPECT_TRUE(m.is_feasible(r.essential_cols));
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Worklist engine (reduce_inplace) vs the full-pass reducer.
+// ---------------------------------------------------------------------------
+
+using ucp::cov::ReduceDirt;
+using ucp::cov::SubMatrix;
+
+std::vector<Index> alive_rows(const SubMatrix& v) {
+    std::vector<Index> out;
+    for (Index i = 0; i < v.num_rows(); ++i)
+        if (v.row_alive(i)) out.push_back(i);
+    return out;
+}
+
+std::vector<Index> alive_cols(const SubMatrix& v) {
+    std::vector<Index> out;
+    for (Index j = 0; j < v.num_cols(); ++j)
+        if (v.col_alive(j)) out.push_back(j);
+    return out;
+}
+
+ReduceDirt all_dirty(const CoverMatrix& m) {
+    ReduceDirt dirt;
+    for (Index i = 0; i < m.num_rows(); ++i) dirt.rows.push_back(i);
+    for (Index j = 0; j < m.num_cols(); ++j) dirt.cols.push_back(j);
+    return dirt;
+}
+
+TEST(Reductions, WorklistAllDirtyMatchesFullReduce) {
+    // Seeding every row/column dirty must reproduce the classical full
+    // reduction exactly: same essentials, same order, same core.
+    ucp::Rng seeds(4242);
+    for (int trial = 0; trial < 60; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 8 + trial % 14;
+        opt.cols = 10 + trial % 18;
+        opt.density = 0.15 + 0.02 * (trial % 8);
+        opt.min_cost = 1;
+        opt.max_cost = 1 + trial % 4;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+
+        const ReduceResult full = reduce(m);
+
+        SubMatrix v(m);
+        const auto inc = ucp::cov::reduce_inplace(v, all_dirty(m));
+        v.validate();
+
+        EXPECT_EQ(inc.essential_cols, full.essential_cols)
+            << "seed " << opt.seed;
+        EXPECT_EQ(inc.fixed_cost, full.fixed_cost);
+        EXPECT_EQ(inc.rows_removed_dominance, full.rows_removed_dominance);
+
+        // Sweep columns left covering nothing, exactly like reduce() does,
+        // then the surviving view must be the same cyclic core.
+        for (Index j = 0; j < m.num_cols(); ++j)
+            if (v.col_alive(j) && !m.col(j).empty() && v.live_col_size(j) == 0)
+                v.drop_dead_col(j);
+        EXPECT_EQ(alive_rows(v), full.core_row_map) << "seed " << opt.seed;
+        EXPECT_EQ(alive_cols(v), full.core_col_map) << "seed " << opt.seed;
+
+        std::vector<Index> cmap, rmap;
+        const CoverMatrix core = v.compact(cmap, rmap);
+        ASSERT_EQ(core.num_rows(), full.core.num_rows());
+        ASSERT_EQ(core.num_cols(), full.core.num_cols());
+        for (Index j = 0; j < core.num_cols(); ++j)
+            EXPECT_EQ(core.cost(j), full.core.cost(j));
+        for (Index i = 0; i < core.num_rows(); ++i) {
+            const auto a = core.row(i);
+            const auto b = full.core.row(i);
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+        }
+    }
+}
+
+TEST(Reductions, WorklistIncrementalMatchesFullReduce) {
+    // From a view at fixpoint, apply SCG-style mutations (remove / fix
+    // columns) collecting dirt, then the dirt-seeded incremental fixpoint
+    // must land on the same alive set as a full reduction of the mutated
+    // problem.
+    ucp::Rng seeds(777);
+    int compared = 0;
+    for (int trial = 0; trial < 80; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 10 + trial % 12;
+        opt.cols = 14 + trial % 20;
+        opt.density = 0.18 + 0.02 * (trial % 7);
+        opt.min_cost = 1;
+        opt.max_cost = 1 + trial % 5;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+
+        SubMatrix v(m);
+        (void)ucp::cov::reduce_inplace(v, all_dirty(m));
+        if (v.num_live_rows() == 0 || v.num_live_cols() < 4) continue;
+
+        // Mutate: fix one alive column, remove one alive column (only when
+        // removal leaves every touched row still covered).
+        ReduceDirt dirt;
+        ucp::Rng pick(seeds());
+        const auto cols = alive_cols(v);
+        const Index fix_j = cols[pick.below(cols.size())];
+        v.fix_col(
+            fix_j, [](Index) {},
+            [&](Index, Index j2) { dirt.cols.push_back(j2); });
+        bool removed = false;
+        for (const Index j : alive_cols(v)) {
+            bool safe = true;
+            for (const Index i : v.col(j))
+                if (v.row_alive(i) && v.live_row_size(i) <= 1) {
+                    safe = false;
+                    break;
+                }
+            if (!safe) continue;
+            v.remove_col(j, [&](Index i) { dirt.rows.push_back(i); });
+            removed = true;
+            break;
+        }
+        if (v.num_live_rows() == 0) continue;
+        (void)removed;
+        ++compared;
+
+        // Reference: full reduction of the compacted mutated problem.
+        std::vector<Index> mut_cmap, mut_rmap;
+        const CoverMatrix mut = v.compact(mut_cmap, mut_rmap);
+        const ReduceResult full = reduce(mut);
+
+        const auto inc = ucp::cov::reduce_inplace(v, dirt);
+        v.validate();
+        EXPECT_EQ(inc.fixed_cost, full.fixed_cost) << "seed " << opt.seed;
+
+        std::vector<Index> ess_inc = inc.essential_cols;
+        std::vector<Index> ess_full;
+        for (const Index j : full.essential_cols)
+            ess_full.push_back(mut_cmap[j]);
+        std::sort(ess_inc.begin(), ess_inc.end());
+        std::sort(ess_full.begin(), ess_full.end());
+        EXPECT_EQ(ess_inc, ess_full) << "seed " << opt.seed;
+
+        std::vector<Index> rows_full;
+        for (const Index i : full.core_row_map) rows_full.push_back(mut_rmap[i]);
+        std::vector<Index> cols_full;
+        for (const Index j : full.core_col_map) cols_full.push_back(mut_cmap[j]);
+        for (Index j = 0; j < m.num_cols(); ++j)
+            if (v.col_alive(j) && v.live_col_size(j) == 0) v.drop_dead_col(j);
+        EXPECT_EQ(alive_rows(v), rows_full) << "seed " << opt.seed;
+        EXPECT_EQ(alive_cols(v), cols_full) << "seed " << opt.seed;
+    }
+    EXPECT_GT(compared, 30);
+}
+
+TEST(Reductions, WorklistBitsetKernelMatchesSorted) {
+    // Both dominance kernels must drive the worklist engine to the same
+    // fixpoint.
+    ucp::Rng seeds(31337);
+    for (int trial = 0; trial < 30; ++trial) {
+        ucp::gen::RandomScpOptions opt;
+        opt.rows = 12 + trial % 10;
+        opt.cols = 16 + trial % 12;
+        opt.density = 0.25;
+        opt.seed = seeds();
+        const CoverMatrix m = ucp::gen::random_scp(opt);
+
+        ucp::cov::ReduceOptions sorted_opt;
+        sorted_opt.use_bitset = ucp::cov::BitsetMode::kOff;
+        ucp::cov::ReduceOptions bitset_opt;
+        bitset_opt.use_bitset = ucp::cov::BitsetMode::kOn;
+
+        SubMatrix vs(m), vb(m);
+        const auto rs = ucp::cov::reduce_inplace(vs, all_dirty(m), sorted_opt);
+        const auto rb = ucp::cov::reduce_inplace(vb, all_dirty(m), bitset_opt);
+        EXPECT_FALSE(rs.used_bitset_kernel);
+        EXPECT_TRUE(rb.used_bitset_kernel);
+        EXPECT_EQ(rs.essential_cols, rb.essential_cols) << "seed " << opt.seed;
+        EXPECT_EQ(rs.fixed_cost, rb.fixed_cost);
+        EXPECT_EQ(alive_rows(vs), alive_rows(vb));
+        EXPECT_EQ(alive_cols(vs), alive_cols(vb));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SubMatrix view primitives.
+// ---------------------------------------------------------------------------
+
+TEST(SubMatrix, CountersAndCompactRoundTrip) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(8, 3);
+    SubMatrix v(m);
+    v.validate();
+    EXPECT_EQ(v.num_live_rows(), 8u);
+    EXPECT_EQ(v.num_live_cols(), 8u);
+    EXPECT_EQ(v.live_fraction(), 1.0);
+
+    std::vector<Index> touched;
+    v.kill_row(2, [&](Index j) { touched.push_back(j); });
+    EXPECT_EQ(touched.size(), 3u);  // row 2 had 3 columns, all alive
+    EXPECT_EQ(v.num_live_rows(), 7u);
+    for (const Index j : touched)
+        EXPECT_EQ(v.live_col_size(j), m.col(j).size() - 1);
+    v.validate();
+
+    std::vector<Index> rows_touched;
+    v.remove_col(5, [&](Index i) { rows_touched.push_back(i); });
+    for (const Index i : rows_touched)
+        EXPECT_EQ(v.live_row_size(i), m.row(i).size() - 1);
+    v.validate();
+
+    std::vector<Index> cmap, rmap;
+    const CoverMatrix c = v.compact(cmap, rmap);
+    c.validate();
+    EXPECT_EQ(c.num_rows(), v.num_live_rows());
+    EXPECT_EQ(c.num_cols(), v.num_live_cols());
+    // Monotone remaps, entries preserved.
+    for (Index i = 0; i + 1 < c.num_rows(); ++i) EXPECT_LT(rmap[i], rmap[i + 1]);
+    for (Index j = 0; j + 1 < c.num_cols(); ++j) EXPECT_LT(cmap[j], cmap[j + 1]);
+    for (Index i = 0; i < c.num_rows(); ++i) {
+        EXPECT_EQ(c.row(i).size(), v.live_row_size(rmap[i]));
+        for (const Index j : c.row(i))
+            EXPECT_TRUE(m.entry(rmap[i], cmap[j]));
+    }
+}
+
+TEST(SubMatrix, FixColKillsCoveredRows) {
+    const CoverMatrix m =
+        CoverMatrix::from_rows(3, {{0, 1}, {1, 2}, {0, 2}}, {1, 1, 1});
+    SubMatrix v(m);
+    std::vector<Index> killed;
+    v.fix_col(
+        0, [&](Index i) { killed.push_back(i); }, [](Index, Index) {});
+    EXPECT_EQ(killed, (std::vector<Index>{0, 2}));
+    EXPECT_FALSE(v.col_alive(0));
+    EXPECT_FALSE(v.row_alive(0));
+    EXPECT_TRUE(v.row_alive(1));
+    EXPECT_FALSE(v.row_alive(2));
+    EXPECT_EQ(v.num_live_rows(), 1u);
+    v.validate();
+    // live_fraction: min(1/3 rows, 2/3 cols) = 1/3.
+    EXPECT_EQ(v.live_fraction(), 1.0 / 3.0);
 }
 
 }  // namespace

@@ -232,6 +232,33 @@ TEST(Zdd, HandleCopyMoveSemantics) {
     EXPECT_EQ(to_family(mgr, c), (SetFamily{{0, 1}}));
 }
 
+TEST(Zdd, DefaultHandleOperatorsAreEmptyFamily) {
+    // A default-constructed Zdd has no manager; the set-algebra operators
+    // must treat it as the empty family instead of dereferencing null.
+    ZddManager mgr(4);
+    const Zdd a = mgr.set_of({0, 1});
+    const Zdd none;
+
+    EXPECT_EQ(to_family(mgr, none | a), (SetFamily{{0, 1}}));  // {} ∪ a = a
+    EXPECT_EQ(to_family(mgr, a | none), (SetFamily{{0, 1}}));  // a ∪ {} = a
+    EXPECT_TRUE((none & a).is_empty());
+    EXPECT_TRUE((a & none).is_empty());
+    EXPECT_TRUE((none - a).is_empty());
+    EXPECT_EQ(to_family(mgr, a - none), (SetFamily{{0, 1}}));  // a − {} = a
+    EXPECT_TRUE((none * a).is_empty());
+    EXPECT_TRUE((a * none).is_empty());
+
+    // Both sides null: every result is the empty family with no manager.
+    const Zdd also_none;
+    EXPECT_TRUE((none | also_none).is_empty());
+    EXPECT_TRUE((none & also_none).is_empty());
+    EXPECT_TRUE((none - also_none).is_empty());
+    EXPECT_TRUE((none * also_none).is_empty());
+    EXPECT_EQ((none | also_none).manager(), nullptr);
+    EXPECT_EQ(none.count(), 0.0);
+    EXPECT_EQ(none.node_count(), 0u);
+}
+
 TEST(Zdd, ToDotSmoke) {
     ZddManager mgr(3);
     const Zdd z = mgr.union_(mgr.set_of({0, 2}), mgr.set_of({1}));
