@@ -5,12 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include "cover/table_builder.hpp"
+#include "cover/zdd_cover.hpp"
 #include "gen/pla_gen.hpp"
 #include "gen/scp_gen.hpp"
 #include "lagrangian/subgradient.hpp"
 #include "matrix/reductions.hpp"
 #include "primes/implicit_primes.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 #include "zdd/zdd.hpp"
 
 namespace {
@@ -79,6 +81,201 @@ void BM_ZddMaximal(benchmark::State& state) {
     for (auto _ : state) benchmark::DoNotOptimize(mgr.maximal(a).id());
 }
 BENCHMARK(BM_ZddMaximal);
+
+// ---- fused vs composed compound operators ---------------------------------
+// Each pair measures the same algebraic result computed by the fused
+// single-recursion operator vs the classic two/three-operator composition.
+// A fresh manager per iteration plus manual timing around the operator
+// call(s) keeps the computed caches cold and the family-construction cost
+// out of the clock, so the ratio is the honest speedup of the fusion.
+// Deterministic seeds: both halves of a pair see identical families.
+
+// diff_intersect's operands in the cover phase share most of their sets
+// (a is a running family, b a filtered view of it), so the benchmark uses
+// overlapping families — on disjoint operands the composed form degenerates
+// to an empty intermediate and measures nothing.
+void BM_ZddDiffIntersectFused(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(6);
+        const Zdd common = random_family(mgr, rng, 24, 150);
+        const Zdd a = mgr.union_(common, random_family(mgr, rng, 24, 80));
+        const Zdd b = mgr.union_(common, random_family(mgr, rng, 24, 80));
+        ucp::Timer t;
+        benchmark::DoNotOptimize(mgr.diff_intersect(a, b).id());
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddDiffIntersectFused)->UseManualTime();
+
+void BM_ZddDiffIntersectComposed(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(6);
+        const Zdd common = random_family(mgr, rng, 24, 150);
+        const Zdd a = mgr.union_(common, random_family(mgr, rng, 24, 80));
+        const Zdd b = mgr.union_(common, random_family(mgr, rng, 24, 80));
+        ucp::Timer t;
+        benchmark::DoNotOptimize(mgr.diff(a, mgr.intersect(a, b)).id());
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddDiffIntersectComposed)->UseManualTime();
+
+void BM_ZddNonSubSetFused(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(7);
+        const Zdd a = random_family(mgr, rng, 24, 200);
+        const Zdd b = random_family(mgr, rng, 24, 50);
+        ucp::Timer t;
+        benchmark::DoNotOptimize(mgr.non_sub_set(a, b).id());
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddNonSubSetFused)->UseManualTime();
+
+void BM_ZddNonSubSetComposed(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(7);
+        const Zdd a = random_family(mgr, rng, 24, 200);
+        const Zdd b = random_family(mgr, rng, 24, 50);
+        ucp::Timer t;
+        benchmark::DoNotOptimize(mgr.diff(a, mgr.sub_set(a, b)).id());
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddNonSubSetComposed)->UseManualTime();
+
+void BM_ZddNonSupSetFused(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(8);
+        const Zdd a = random_family(mgr, rng, 24, 200);
+        const Zdd b = random_family(mgr, rng, 24, 50);
+        ucp::Timer t;
+        benchmark::DoNotOptimize(mgr.non_sup_set(a, b).id());
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddNonSupSetFused)->UseManualTime();
+
+void BM_ZddNonSupSetComposed(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(8);
+        const Zdd a = random_family(mgr, rng, 24, 200);
+        const Zdd b = random_family(mgr, rng, 24, 50);
+        ucp::Timer t;
+        benchmark::DoNotOptimize(mgr.diff(a, mgr.sup_set(a, b)).id());
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddNonSupSetComposed)->UseManualTime();
+
+void BM_ZddCofactorsFused(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(9);
+        const Zdd a = random_family(mgr, rng, 24, 300);
+        ucp::Timer t;
+        for (Var v = 0; v < 24; ++v) {
+            const auto [lo, hi] = mgr.cofactors(a, v);
+            benchmark::DoNotOptimize(lo.id() + hi.id());
+        }
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddCofactorsFused)->UseManualTime();
+
+void BM_ZddCofactorsComposed(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(9);
+        const Zdd a = random_family(mgr, rng, 24, 300);
+        ucp::Timer t;
+        for (Var v = 0; v < 24; ++v) {
+            const Zdd lo = mgr.subset0(a, v);
+            const Zdd hi = mgr.subset1(a, v);
+            benchmark::DoNotOptimize(lo.id() + hi.id());
+        }
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddCofactorsComposed)->UseManualTime();
+
+void BM_ZddMinimal(benchmark::State& state) {
+    ZddManager mgr(24);
+    Rng rng(5);
+    const Zdd a = random_family(mgr, rng, 24, 300);
+    for (auto _ : state) benchmark::DoNotOptimize(mgr.minimal(a).id());
+}
+BENCHMARK(BM_ZddMinimal);  // cached-op latency
+
+void BM_ZddMinimalCold(benchmark::State& state) {
+    for (auto _ : state) {
+        ZddManager mgr(24);
+        Rng rng(5);
+        const Zdd a = random_family(mgr, rng, 24, 300);
+        ucp::Timer t;
+        benchmark::DoNotOptimize(mgr.minimal(a).id());
+        state.SetIterationTime(t.seconds());
+    }
+}
+BENCHMARK(BM_ZddMinimalCold)->UseManualTime();
+
+// ---- end-to-end implicit covering phases ----------------------------------
+// These exercise the whole engine (arena, unique table, computed caches, GC)
+// on the workloads the solver actually runs, and export the cache counters
+// so --json runs track hit rates and adaptive resizes over time.
+
+void BM_ImplicitRowDominance(benchmark::State& state) {
+    ucp::gen::RandomScpOptions g;
+    g.rows = 4000;
+    g.cols = 140;
+    g.density = 0.12;
+    g.seed = 21;
+    const auto m = ucp::gen::random_scp(g);
+    std::size_t rows_out = 0;
+    for (auto _ : state)
+        rows_out = ucp::cover::implicit_row_dominance(m).rows_out;
+    state.counters["rows_out"] = static_cast<double>(rows_out);
+}
+BENCHMARK(BM_ImplicitRowDominance)->Unit(benchmark::kMillisecond);
+
+void BM_MinimalCoversCyclic(benchmark::State& state) {
+    const auto m = ucp::gen::cyclic_matrix(34, 12);
+    ucp::zdd::ZddManager::CacheStats cs;
+    for (auto _ : state) {
+        ZddManager mgr(m.num_cols());
+        benchmark::DoNotOptimize(
+            ucp::cover::minimal_covers(mgr, m).id());
+        cs = mgr.cache_stats();
+    }
+    state.counters["cache_hit_rate"] = cs.hit_rate();
+    state.counters["cache_resizes"] = static_cast<double>(cs.resizes);
+}
+BENCHMARK(BM_MinimalCoversCyclic)->Unit(benchmark::kMillisecond);
+
+void BM_MinimalCoversRandom(benchmark::State& state) {
+    ucp::gen::RandomScpOptions g;
+    g.rows = 30;
+    g.cols = 28;
+    g.density = 0.22;
+    g.seed = 5;
+    const auto m = ucp::gen::random_scp(g);
+    ucp::zdd::ZddManager::CacheStats cs;
+    for (auto _ : state) {
+        ZddManager mgr(m.num_cols());
+        benchmark::DoNotOptimize(
+            ucp::cover::minimal_covers(mgr, m).id());
+        cs = mgr.cache_stats();
+    }
+    state.counters["cache_hit_rate"] = cs.hit_rate();
+    state.counters["cache_resizes"] = static_cast<double>(cs.resizes);
+}
+BENCHMARK(BM_MinimalCoversRandom)->Unit(benchmark::kMillisecond);
 
 void BM_ImplicitPrimes(benchmark::State& state) {
     ucp::gen::RandomPlaOptions opt;

@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
             std::cerr << "usage: minimize_pla <file.pla> | --instance=<name>\n"
                       << "       [--solver=scg|exact|greedy] [--out=<file>]\n"
                       << "       [--compare-espresso]\n"
+                      << "       [--zdd-cache-entries=<n>] "
+                         "[--zdd-gc-threshold=<n>]\n"
                       << "named instances: bench1, ex5, exam, max1024, prom2, "
                          "t1, test4, ex1010, test2, ...\n";
             return 2;
@@ -38,6 +40,11 @@ int main(int argc, char** argv) {
                   << " dc-cubes\n";
 
         ucp::solver::TwoLevelOptions tl;
+        // ZDD/BDD engine knobs (defaults documented in README).
+        tl.table.dd.cache_entries = static_cast<std::size_t>(opts.get_int(
+            "zdd-cache-entries", static_cast<long>(tl.table.dd.cache_entries)));
+        tl.table.dd.gc_threshold = static_cast<std::size_t>(opts.get_int(
+            "zdd-gc-threshold", static_cast<long>(tl.table.dd.gc_threshold)));
         const std::string solver = opts.get("solver", "scg");
         if (solver == "exact")
             tl.cover_solver = ucp::solver::CoverSolver::kExact;

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json runs against the committed baselines.
+
+Solution fields (cost, proved, closed, bounds, match, ...) must be
+bit-identical across commits, thread counts and engine rewrites — a drift
+means the optimiser's *answers* changed, not just its speed. Timing fields
+and performance counters are expected to move and are ignored.
+
+Usage: scripts/check_baselines.py [--baselines DIR] [--fresh DIR]
+
+Exit status is non-zero when any solution field drifted or a baseline has no
+fresh counterpart.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Fields that measure speed, not answers. Everything else in a record must
+# match the baseline exactly.
+TIMING_FIELDS = {
+    "wall_ms",
+    "cc_ms",
+    "bitset_ms",
+    "sorted_ms",
+    "speedup",
+    "seconds",
+    "counters",  # perf counters (cache hits, GC runs, ...) move freely
+}
+
+
+def solution_view(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k not in TIMING_FIELDS}
+
+
+def compare_file(baseline_path: Path, fresh_path: Path) -> list[str]:
+    """Returns a list of human-readable drift descriptions (empty = clean)."""
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+
+    if "benchmarks" in baseline:
+        # google-benchmark output (micro suites): timing only, nothing to pin.
+        return []
+
+    drifts = []
+    base_records = {r["instance"]: r for r in baseline["records"]}
+    fresh_records = {r["instance"]: r for r in fresh.get("records", [])}
+
+    for instance, base_rec in base_records.items():
+        fresh_rec = fresh_records.get(instance)
+        if fresh_rec is None:
+            drifts.append(f"{instance}: missing from fresh run")
+            continue
+        want, got = solution_view(base_rec), solution_view(fresh_rec)
+        for key in sorted(set(want) | set(got)):
+            if want.get(key) != got.get(key):
+                drifts.append(
+                    f"{instance}.{key}: baseline={want.get(key)!r} "
+                    f"fresh={got.get(key)!r}"
+                )
+    return drifts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", default="bench/baselines", type=Path)
+    parser.add_argument("--fresh", default=".", type=Path)
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no baselines in {args.baselines}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for baseline_path in baseline_files:
+        fresh_path = args.fresh / baseline_path.name
+        if not fresh_path.exists():
+            print(f"MISSING  {baseline_path.name}: no fresh run at {fresh_path}")
+            failed = True
+            continue
+        drifts = compare_file(baseline_path, fresh_path)
+        if drifts:
+            failed = True
+            print(f"DRIFT    {baseline_path.name}:")
+            for d in drifts:
+                print(f"         {d}")
+        else:
+            print(f"OK       {baseline_path.name}")
+
+    if failed:
+        print("\nsolution-field drift detected — the solver's answers changed.")
+        print("If intentional, regenerate: scripts/bench_all.sh build bench/baselines")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,9 +55,9 @@ Cover generate_primes(const pla::Pla& pla, const TableBuildOptions& opt,
     }
 
     used_implicit = true;
-    ZddManager zmgr(2 * s.num_inputs);
+    ZddManager zmgr(2 * s.num_inputs, opt.dd);
     const Cover care_in = care.restricted_to_output(0);
-    const auto result = primes::implicit_primes(zmgr, care_in);
+    const auto result = primes::implicit_primes(zmgr, care_in, opt.dd);
     if (result.prime_count > static_cast<double>(opt.max_primes))
         throw std::runtime_error("implicit prime count exceeds max_primes");
     const Cover in_primes =
@@ -79,7 +79,8 @@ Cover generate_primes(const pla::Pla& pla, const TableBuildOptions& opt,
 }  // namespace
 
 OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
-                                  std::size_t max_rows) {
+                                  std::size_t max_rows,
+                                  const zdd::DdOptions& dd) {
     const CubeSpace& s = pla.space();
     UCP_REQUIRE(s.num_outputs >= 1, "PLA must have at least one output");
     UCP_REQUIRE(columns.space() == s, "column cover space mismatch");
@@ -91,7 +92,7 @@ OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
         // empty-signature guard.
     }
 
-    ZddManager mgr(s.num_inputs == 0 ? 1 : s.num_inputs);
+    ZddManager mgr(s.num_inputs == 0 ? 1 : s.num_inputs, dd);
 
     // Per-column input minterm sets (shared across outputs).
     std::vector<Zdd> col_minterms;
@@ -189,7 +190,7 @@ CoveringTable build_covering_table(const pla::Pla& pla,
         return table;
     }
 
-    OnsetMatrix onset = onset_covering_matrix(pla, table.primes, opt.max_rows);
+    OnsetMatrix onset = onset_covering_matrix(pla, table.primes, opt.max_rows, opt.dd);
     table.onset_minterms = onset.onset_minterms;
     table.num_essential_primes = onset.essential_columns;
 

@@ -49,6 +49,10 @@ struct TableBuildOptions {
     /// builder aborts (throws) if the signature classes exceed this.
     std::size_t max_rows = 50'000;
     std::size_t max_cols = 50'000;
+    /// Tuning for the internal ZDD/BDD managers (computed-cache size, GC
+    /// threshold). Exposed on the CLI as --zdd-cache-entries /
+    /// --zdd-gc-threshold; see README.
+    zdd::DdOptions dd{};
 };
 
 struct CoveringTable {
@@ -89,7 +93,8 @@ struct OnsetMatrix {
 };
 OnsetMatrix onset_covering_matrix(const pla::Pla& pla,
                                   const pla::Cover& columns,
-                                  std::size_t max_rows = 50'000);
+                                  std::size_t max_rows = 50'000,
+                                  const zdd::DdOptions& dd = {});
 
 /// Converts a covering-matrix solution (matrix column indices) back to a
 /// two-level cover (subset of `table.primes`).

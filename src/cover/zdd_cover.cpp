@@ -37,8 +37,9 @@ CoverMatrix zdd_to_rows(const ZddManager& mgr, const Zdd& rows,
                                   std::move(costs));
 }
 
-ImplicitDominanceResult implicit_row_dominance(const CoverMatrix& m) {
-    ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols());
+ImplicitDominanceResult implicit_row_dominance(const CoverMatrix& m,
+                                               const zdd::DdOptions& dd) {
+    ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols(), dd);
     const Zdd rows = rows_as_zdd(mgr, m);
     const Zdd minimal = mgr.minimal(rows);
     ImplicitDominanceResult out{zdd_to_rows(mgr, minimal, m), m.num_rows(),
@@ -46,13 +47,14 @@ ImplicitDominanceResult implicit_row_dominance(const CoverMatrix& m) {
     return out;
 }
 
-ImplicitColumnDominanceResult implicit_column_dominance(const CoverMatrix& m) {
+ImplicitColumnDominanceResult implicit_column_dominance(const CoverMatrix& m,
+                                                        const zdd::DdOptions& dd) {
     for (Index j = 0; j < m.num_cols(); ++j)
         UCP_REQUIRE(m.cost(j) == 1,
                     "implicit column dominance requires unit costs");
 
     // Encode columns as row sets (transpose) and keep the maximal family.
-    ZddManager mgr(m.num_rows() == 0 ? 1 : m.num_rows());
+    ZddManager mgr(m.num_rows() == 0 ? 1 : m.num_rows(), dd);
     Zdd family = mgr.empty();
     std::vector<Zdd> col_sets;
     col_sets.reserve(m.num_cols());
@@ -63,13 +65,13 @@ ImplicitColumnDominanceResult implicit_column_dominance(const CoverMatrix& m) {
     }
     const Zdd maximal = mgr.maximal(family);
 
-    // A column survives iff its row set is in the maximal family; duplicate
-    // survivors keep the lowest index.
+    // A column survives iff its row set is in the maximal family (an O(|set|)
+    // membership walk — no intersection family is built); duplicate survivors
+    // keep the lowest index.
     std::vector<bool> keep(m.num_cols(), false);
     std::unordered_map<NodeId, Index> first_with_set;
     for (Index j = 0; j < m.num_cols(); ++j) {
-        const Zdd present = mgr.intersect(maximal, col_sets[j]);
-        if (present.id() != col_sets[j].id()) continue;  // strictly dominated
+        if (!mgr.contains_set(maximal, col_sets[j])) continue;  // dominated
         const auto [it, inserted] = first_with_set.emplace(col_sets[j].id(), j);
         if (inserted) keep[j] = true;  // duplicates after the first are dropped
     }
@@ -101,9 +103,8 @@ public:
 private:
     NodeId covers(NodeId rows) {
         if (rows == zdd::kEmpty) return zdd::kBase;  // no constraints
-        // A row with no remaining columns: infeasible branch.
-        if (!mgr_.intersect(mgr_.handle(rows), mgr_.base()).is_empty())
-            return zdd::kEmpty;
+        // A row with no remaining columns: infeasible branch (O(depth) walk).
+        if (mgr_.has_empty_set(mgr_.handle(rows))) return zdd::kEmpty;
         const auto it = memo_.find(rows);
         if (it != memo_.end()) return it->second;
         if (mgr_.live_nodes() > node_guard_)
@@ -112,9 +113,9 @@ private:
                 "is too large for implicit enumeration");
 
         const Var v = mgr_.var_of(rows);
-        const Zdd rows_h = mgr_.handle(rows);
-        const Zdd f0 = mgr_.subset0(rows_h, v);   // rows not containing v
-        const Zdd f1 = mgr_.subset1(rows_h, v);   // rows containing v, v gone
+        // One fused walk yields both cofactors: rows without v and rows with
+        // v (v removed).
+        const auto [f0, f1] = mgr_.cofactors(mgr_.handle(rows), v);
 
         // Take v: rows with v are covered; the rest must still be covered.
         const Zdd take_sub = mgr_.minimal(f0);
@@ -192,8 +193,9 @@ std::optional<BestMember> min_cost_member(const ZddManager& mgr,
     return out;
 }
 
-BestMember implicit_exact_cover(const CoverMatrix& m, std::size_t node_guard) {
-    ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols());
+BestMember implicit_exact_cover(const CoverMatrix& m, std::size_t node_guard,
+                                const zdd::DdOptions& dd) {
+    ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols(), dd);
     const Zdd covers = minimal_covers(mgr, m, node_guard);
     auto best = min_cost_member(mgr, covers, m.costs());
     UCP_ASSERT(best.has_value());  // every from_rows matrix is coverable

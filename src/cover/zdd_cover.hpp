@@ -42,7 +42,9 @@ struct ImplicitDominanceResult {
 
 /// Row dominance computed implicitly: minimal(rows). Semantically equivalent
 /// to the explicit reducer's row-dominance pass (plus duplicate removal).
-ImplicitDominanceResult implicit_row_dominance(const cov::CoverMatrix& m);
+/// `dd` tunes the internal manager (cache size, GC threshold).
+ImplicitDominanceResult implicit_row_dominance(const cov::CoverMatrix& m,
+                                               const zdd::DdOptions& dd = {});
 
 struct ImplicitColumnDominanceResult {
     cov::CoverMatrix matrix;           ///< dominated columns stripped
@@ -56,7 +58,7 @@ struct ImplicitColumnDominanceResult {
 /// lowest index. Throws for non-uniform costs (cost-aware dominance needs
 /// the explicit reducer).
 ImplicitColumnDominanceResult implicit_column_dominance(
-    const cov::CoverMatrix& m);
+    const cov::CoverMatrix& m, const zdd::DdOptions& dd = {});
 
 /// All minimal covers (irredundant feasible solutions) of `m` as a ZDD
 /// family over column variables. Throws std::runtime_error when the
@@ -79,6 +81,7 @@ std::optional<BestMember> min_cost_member(const zdd::ZddManager& mgr,
 /// Convenience: exact minimum-cost cover of `m` through the implicit
 /// pipeline (minimal_covers + min_cost_member).
 BestMember implicit_exact_cover(const cov::CoverMatrix& m,
-                                std::size_t node_guard = 2'000'000);
+                                std::size_t node_guard = 2'000'000,
+                                const zdd::DdOptions& dd = {});
 
 }  // namespace ucp::cover

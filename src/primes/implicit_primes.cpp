@@ -65,10 +65,11 @@ public:
         const NodeId p1 = primes(f1);
 
         // Primes mentioning x̄ / x are primes of the cofactor that are not
-        // implicants (equivalently, not primes) of f0·f1.
+        // implicants (equivalently, not primes) of f0·f1 — the fused
+        // p \ (p ∩ pc) pattern, canonical-identical to diff.
         const Zdd pcz = zmgr_.handle(pc);
-        const Zdd only0 = zmgr_.diff(zmgr_.handle(p0), pcz);
-        const Zdd only1 = zmgr_.diff(zmgr_.handle(p1), pcz);
+        const Zdd only0 = zmgr_.diff_intersect(zmgr_.handle(p0), pcz);
+        const Zdd only1 = zmgr_.diff_intersect(zmgr_.handle(p1), pcz);
 
         // Attach the literal variables. All primes of cofactors contain only
         // literals of inputs > v, so direct node construction keeps ordering.
@@ -90,13 +91,14 @@ private:
 
 }  // namespace
 
-ImplicitPrimeResult implicit_primes(ZddManager& zmgr, const pla::Cover& care) {
+ImplicitPrimeResult implicit_primes(ZddManager& zmgr, const pla::Cover& care,
+                                    const zdd::DdOptions& dd) {
     const pla::CubeSpace& s = care.space();
     UCP_REQUIRE(s.num_outputs == 0, "implicit_primes requires an input-only cover");
     UCP_REQUIRE(2 * s.num_inputs <= zmgr.num_vars(),
                 "ZDD manager needs 2 variables per input");
 
-    BddManager bmgr(s.num_inputs);
+    BddManager bmgr(s.num_inputs, dd);
     const BddId f = cover_to_bdd(bmgr, care);
 
     PrimeBuilder builder(bmgr, zmgr);

@@ -28,9 +28,11 @@ struct ImplicitPrimeResult {
 zdd::BddId cover_to_bdd(zdd::BddManager& bmgr, const pla::Cover& cover);
 
 /// Primes of the single-output function given by the input-only cover `care`.
-/// `zmgr` must have at least 2 * num_inputs variables.
+/// `zmgr` must have at least 2 * num_inputs variables. `dd` tunes the
+/// internal function BDD's manager.
 ImplicitPrimeResult implicit_primes(zdd::ZddManager& zmgr,
-                                    const pla::Cover& care);
+                                    const pla::Cover& care,
+                                    const zdd::DdOptions& dd = {});
 
 /// Decodes a literal-encoded prime ZDD into an input-only cover.
 pla::Cover primes_zdd_to_cover(const zdd::ZddManager& zmgr, const zdd::Zdd& primes,

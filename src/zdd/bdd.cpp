@@ -5,30 +5,28 @@
 #include <functional>
 #include <unordered_map>
 
+#include "util/stats.hpp"
+
 namespace ucp::zdd {
 
 namespace {
 constexpr std::size_t kInitialTable = 1u << 12;
-constexpr std::size_t kCacheSize = 1u << 16;
 }  // namespace
 
-BddManager::BddManager(std::uint32_t num_vars) : num_vars_(num_vars) {
+BddManager::BddManager(std::uint32_t num_vars, const DdOptions& options)
+    : num_vars_(num_vars),
+      table_(kInitialTable),
+      cache_(options.cache_entries, options.max_cache_entries) {
     UCP_REQUIRE(num_vars < kBddTermVar, "variable count out of range");
     nodes_.resize(2);
     nodes_[0] = {kBddTermVar, 0, 0};
     nodes_[1] = {kBddTermVar, 1, 1};
-    table_.assign(kInitialTable, 0);
-    table_mask_ = kInitialTable - 1;
-    cache_.assign(kCacheSize, CacheEntry{});
-    cache_mask_ = kCacheSize - 1;
 }
 
-std::uint64_t BddManager::triple_hash(std::uint32_t v, BddId lo, BddId hi) noexcept {
-    std::uint64_t h = (static_cast<std::uint64_t>(v) << 40) ^
-                      (static_cast<std::uint64_t>(lo) << 20) ^ hi;
-    h *= 0x9e3779b97f4a7c15ULL;
-    h ^= h >> 30;
-    return h;
+BddManager::~BddManager() {
+    stats::counter("bdd.cache_hits").add(cache_.hits());
+    stats::counter("bdd.cache_misses").add(cache_.misses());
+    stats::counter("bdd.cache_resizes").add(cache_.resizes());
 }
 
 BddId BddManager::make(std::uint32_t v, BddId lo, BddId hi) {
@@ -36,41 +34,12 @@ BddId BddManager::make(std::uint32_t v, BddId lo, BddId hi) {
     UCP_ASSERT(v < num_vars_);
     UCP_ASSERT(var_of(lo) > v && var_of(hi) > v);
 
-    std::size_t idx = triple_hash(v, lo, hi) & table_mask_;
-    while (true) {
-        const BddId slot = table_[idx];
-        if (slot == 0) break;
-        const Node& n = nodes_[slot];
-        if (n.var == v && n.lo == lo && n.hi == hi) return slot;
-        idx = (idx + 1) & table_mask_;
-    }
+    std::size_t slot;
+    if (const BddId found = table_.find(nodes_, v, lo, hi, slot)) return found;
     const BddId id = static_cast<BddId>(nodes_.size());
     nodes_.push_back({v, lo, hi});
-    table_[idx] = id;
-    ++table_entries_;
-    if (table_entries_ * 4 > table_.size() * 3) rehash(table_.size() * 2);
+    table_.insert(nodes_, slot, id);
     return id;
-}
-
-void BddManager::rehash(std::size_t new_capacity) {
-    std::vector<BddId> old = std::move(table_);
-    table_.assign(new_capacity, 0);
-    table_mask_ = new_capacity - 1;
-    for (const BddId id : old) {
-        if (id == 0) continue;
-        const Node& n = nodes_[id];
-        std::size_t idx = triple_hash(n.var, n.lo, n.hi) & table_mask_;
-        while (table_[idx] != 0) idx = (idx + 1) & table_mask_;
-        table_[idx] = id;
-    }
-}
-
-std::uint64_t BddManager::cache_key(Op op, BddId a, BddId b) noexcept {
-    std::uint64_t h = (static_cast<std::uint64_t>(op) << 58) ^
-                      (static_cast<std::uint64_t>(a) << 29) ^ b;
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-    return h;
 }
 
 BddId BddManager::var(std::uint32_t v) {
@@ -115,9 +84,8 @@ BddId BddManager::apply(Op op, BddId a, BddId b) {
     if (a > b) std::swap(a, b);  // all three ops are commutative
 
     BddId cached;
-    const std::uint64_t key = cache_key(op, a, b);
-    const CacheEntry& e = cache_[key & cache_mask_];
-    if (e.key == key) return e.result;
+    const std::uint64_t key = dd_cache_key(static_cast<std::uint8_t>(op), a, b);
+    if (cache_.lookup(key, cached)) return cached;
 
     const std::uint32_t va = var_of(a), vb = var_of(b);
     const std::uint32_t v = std::min(va, vb);
@@ -126,7 +94,7 @@ BddId BddManager::apply(Op op, BddId a, BddId b) {
     const BddId b0 = vb == v ? nodes_[b].lo : b;
     const BddId b1 = vb == v ? nodes_[b].hi : b;
     cached = make(v, apply(op, a0, b0), apply(op, a1, b1));
-    cache_[key & cache_mask_] = {key, cached};
+    cache_.store(key, cached);
     return cached;
 }
 
@@ -135,12 +103,13 @@ BddId BddManager::not_(BddId a) { return not_rec(a); }
 BddId BddManager::not_rec(BddId a) {
     if (a == kBddFalse) return kBddTrue;
     if (a == kBddTrue) return kBddFalse;
-    const std::uint64_t key = cache_key(Op::kNot, a, a);
-    const CacheEntry& e = cache_[key & cache_mask_];
-    if (e.key == key) return e.result;
+    BddId cached;
+    const std::uint64_t key =
+        dd_cache_key(static_cast<std::uint8_t>(Op::kNot), a, a);
+    if (cache_.lookup(key, cached)) return cached;
     const BddId r =
         make(nodes_[a].var, not_rec(nodes_[a].lo), not_rec(nodes_[a].hi));
-    cache_[key & cache_mask_] = {key, r};
+    cache_.store(key, r);
     return r;
 }
 
@@ -154,12 +123,13 @@ BddId BddManager::cofactor_rec(BddId f, std::uint32_t v, bool value) {
     if (vf > v) return f;  // f does not depend on v above this point
     if (vf == v) return value ? nodes_[f].hi : nodes_[f].lo;
     const Op op = value ? Op::kCof1 : Op::kCof0;
-    const std::uint64_t key = cache_key(op, f, static_cast<BddId>(v));
-    const CacheEntry& e = cache_[key & cache_mask_];
-    if (e.key == key) return e.result;
+    BddId cached;
+    const std::uint64_t key =
+        dd_cache_key(static_cast<std::uint8_t>(op), f, static_cast<BddId>(v));
+    if (cache_.lookup(key, cached)) return cached;
     const BddId r = make(vf, cofactor_rec(nodes_[f].lo, v, value),
                          cofactor_rec(nodes_[f].hi, v, value));
-    cache_[key & cache_mask_] = {key, r};
+    cache_.store(key, r);
     return r;
 }
 

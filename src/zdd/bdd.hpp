@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "zdd/dd_common.hpp"
 
 namespace ucp::zdd {
 
@@ -24,7 +25,10 @@ inline constexpr std::uint32_t kBddTermVar = 0xFFFFFFFFu;
 /// which matches the paper's usage (the function BDD is a transient artifact).
 class BddManager {
 public:
-    explicit BddManager(std::uint32_t num_vars);
+    explicit BddManager(std::uint32_t num_vars, const DdOptions& options = {});
+    /// Flushes the computed-cache counters into the global stats registry
+    /// ("bdd.cache_hits" / "bdd.cache_misses" / "bdd.cache_resizes").
+    ~BddManager();
 
     BddManager(const BddManager&) = delete;
     BddManager& operator=(const BddManager&) = delete;
@@ -58,6 +62,17 @@ public:
     /// Total allocated nodes (a size/debug metric).
     [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
 
+    /// Computed-cache statistics since construction (same shape as the ZDD
+    /// manager's; flushed into the stats registry by the destructor).
+    struct CacheStats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t resizes = 0;
+    };
+    [[nodiscard]] CacheStats cache_stats() const noexcept {
+        return CacheStats{cache_.hits(), cache_.misses(), cache_.resizes()};
+    }
+
     BddId make(std::uint32_t v, BddId lo, BddId hi);
 
 private:
@@ -68,26 +83,15 @@ private:
         BddId lo;
         BddId hi;
     };
-    struct CacheEntry {
-        std::uint64_t key = ~0ULL;
-        BddId result = 0;
-    };
 
     BddId apply(Op op, BddId a, BddId b);
     BddId not_rec(BddId a);
     BddId cofactor_rec(BddId f, std::uint32_t v, bool value);
 
-    void rehash(std::size_t new_capacity);
-    static std::uint64_t triple_hash(std::uint32_t v, BddId lo, BddId hi) noexcept;
-    static std::uint64_t cache_key(Op op, BddId a, BddId b) noexcept;
-
     std::uint32_t num_vars_;
     std::vector<Node> nodes_;
-    std::vector<BddId> table_;
-    std::size_t table_mask_ = 0;
-    std::size_t table_entries_ = 0;
-    std::vector<CacheEntry> cache_;
-    std::size_t cache_mask_ = 0;
+    UniqueTable<Node> table_;
+    ComputedCache<BddId> cache_;
 };
 
 }  // namespace ucp::zdd

@@ -91,34 +91,44 @@ std::size_t Zdd::node_count() const {
 
 namespace {
 constexpr std::size_t kInitialTable = 1u << 12;
-constexpr std::size_t kCacheSize = 1u << 16;
+// Cold per-node flag bits (flags_ array).
+constexpr std::uint8_t kFlagFree = 1;  ///< slot is on the free list
+constexpr std::uint8_t kFlagMark = 2;  ///< reached in the current GC mark
 }  // namespace
 
-ZddManager::ZddManager(Var num_vars) : num_vars_(num_vars) {
+ZddManager::ZddManager(Var num_vars, const DdOptions& options)
+    : num_vars_(num_vars),
+      table_(kInitialTable),
+      cache_(options.cache_entries, options.max_cache_entries),
+      pair_cache_(options.cache_entries / 4 < ComputedCache<NodePair>::kWays
+                      ? ComputedCache<NodePair>::kWays
+                      : options.cache_entries / 4,
+                  options.max_cache_entries),
+      gc_threshold_(options.gc_threshold) {
     UCP_REQUIRE(num_vars < kTermVar, "variable count out of range");
     nodes_.resize(2);  // terminals; var/lo/hi of terminals are never read
     nodes_[0] = {kTermVar, 0, 0};
     nodes_[1] = {kTermVar, 1, 1};
     extref_.resize(2, 0);
-    table_.assign(kInitialTable, 0);
-    table_mask_ = kInitialTable - 1;
-    cache_.assign(kCacheSize, CacheEntry{});
-    cache_mask_ = kCacheSize - 1;
+    flags_.resize(2, 0);
 }
 
 ZddManager::~ZddManager() {
-    stats::counter("zdd.cache_hits").add(cache_stats_.hits);
-    stats::counter("zdd.cache_misses").add(cache_stats_.misses);
+    const CacheStats cs = cache_stats();
+    stats::counter("zdd.cache_hits").add(cs.hits);
+    stats::counter("zdd.cache_misses").add(cs.misses);
+    stats::counter("zdd.cache_resizes").add(cs.resizes);
+    stats::counter("zdd.gc_runs").add(gc_stats_.runs);
+    stats::counter("zdd.nodes_swept").add(gc_stats_.nodes_swept);
 }
 
-std::uint64_t ZddManager::triple_hash(Var v, NodeId lo, NodeId hi) noexcept {
-    std::uint64_t h = (static_cast<std::uint64_t>(v) << 40) ^
-                      (static_cast<std::uint64_t>(lo) << 20) ^ hi;
-    h *= 0x9e3779b97f4a7c15ULL;
-    h ^= h >> 29;
-    h *= 0xbf58476d1ce4e5b9ULL;
-    h ^= h >> 32;
-    return h;
+// Filtering operators (non_sub_set, minimal, ...) usually keep most of their
+// input, so the rebuilt children frequently equal `a`'s own — in that case
+// `a` IS the canonical result and the unique-table probe can be skipped.
+NodeId ZddManager::make_like(NodeId a, Var v, NodeId lo, NodeId hi) {
+    const Node& n = nodes_[a];
+    if (n.lo == lo && n.hi == hi) return a;
+    return make(v, lo, hi);
 }
 
 NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
@@ -126,14 +136,8 @@ NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
     UCP_ASSERT(v < num_vars_);
     UCP_ASSERT(var_of(lo) > v && var_of(hi) > v);
 
-    std::size_t idx = triple_hash(v, lo, hi) & table_mask_;
-    while (true) {
-        const NodeId slot = table_[idx];
-        if (slot == 0) break;
-        const Node& n = nodes_[slot];
-        if (n.var == v && n.lo == lo && n.hi == hi) return slot;
-        idx = (idx + 1) & table_mask_;
-    }
+    std::size_t slot;
+    if (const NodeId found = table_.find(nodes_, v, lo, hi, slot)) return found;
 
     NodeId id;
     if (!free_.empty()) {
@@ -141,53 +145,15 @@ NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
         free_.pop_back();
         nodes_[id] = {v, lo, hi};
         extref_[id] = 0;
+        flags_[id] = 0;
     } else {
         id = static_cast<NodeId>(nodes_.size());
         nodes_.push_back({v, lo, hi});
         extref_.push_back(0);
+        flags_.push_back(0);
     }
-    table_[idx] = id;
-    ++table_entries_;
-    if (table_entries_ * 4 > table_.size() * 3) rehash(table_.size() * 2);
+    table_.insert(nodes_, slot, id);
     return id;
-}
-
-void ZddManager::rehash(std::size_t new_capacity) {
-    std::vector<NodeId> old = std::move(table_);
-    table_.assign(new_capacity, 0);
-    table_mask_ = new_capacity - 1;
-    for (const NodeId id : old) {
-        if (id == 0) continue;
-        const Node& n = nodes_[id];
-        std::size_t idx = triple_hash(n.var, n.lo, n.hi) & table_mask_;
-        while (table_[idx] != 0) idx = (idx + 1) & table_mask_;
-        table_[idx] = id;
-    }
-}
-
-std::uint64_t ZddManager::cache_key(Op op, NodeId a, NodeId b) noexcept {
-    std::uint64_t h = (static_cast<std::uint64_t>(op) << 58) ^
-                      (static_cast<std::uint64_t>(a) << 29) ^ b;
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-    return h;
-}
-
-bool ZddManager::cache_lookup(Op op, NodeId a, NodeId b, NodeId& out) const noexcept {
-    const std::uint64_t key = cache_key(op, a, b);
-    const CacheEntry& e = cache_[key & cache_mask_];
-    if (e.key == key) {
-        ++cache_stats_.hits;
-        out = e.result;
-        return true;
-    }
-    ++cache_stats_.misses;
-    return false;
-}
-
-void ZddManager::cache_store(Op op, NodeId a, NodeId b, NodeId result) noexcept {
-    const std::uint64_t key = cache_key(op, a, b);
-    cache_[key & cache_mask_] = {key, result};
 }
 
 void ZddManager::ref_external(NodeId n) {
@@ -209,46 +175,47 @@ void ZddManager::maybe_gc() {
 }
 
 std::size_t ZddManager::gc() {
-    std::vector<bool> mark(nodes_.size(), false);
-    mark[0] = mark[1] = true;
+    // Mark phase: explicit stack (reused across runs) from the externally
+    // referenced roots. Marks live in the cold flags_ array, so the pass
+    // allocates nothing once the buffers are warm.
+    for (std::uint8_t& f : flags_) f &= static_cast<std::uint8_t>(~kFlagMark);
+    flags_[0] |= kFlagMark;
+    flags_[1] |= kFlagMark;
 
-    std::vector<NodeId> stack;
+    mark_stack_.clear();
     for (NodeId n = 2; n < nodes_.size(); ++n)
-        if (extref_[n] > 0) stack.push_back(n);
+        if (extref_[n] > 0) mark_stack_.push_back(n);
 
-    while (!stack.empty()) {
-        const NodeId n = stack.back();
-        stack.pop_back();
-        if (mark[n]) continue;
-        mark[n] = true;
-        if (!mark[nodes_[n].lo]) stack.push_back(nodes_[n].lo);
-        if (!mark[nodes_[n].hi]) stack.push_back(nodes_[n].hi);
+    while (!mark_stack_.empty()) {
+        const NodeId n = mark_stack_.back();
+        mark_stack_.pop_back();
+        if (flags_[n] & kFlagMark) continue;
+        flags_[n] |= kFlagMark;
+        const Node& nd = nodes_[n];
+        if (!(flags_[nd.lo] & kFlagMark)) mark_stack_.push_back(nd.lo);
+        if (!(flags_[nd.hi] & kFlagMark)) mark_stack_.push_back(nd.hi);
     }
 
-    // Sweep: everything unmarked and not already free goes to the free list.
-    std::vector<bool> is_free(nodes_.size(), false);
-    for (const NodeId f : free_) is_free[f] = true;
+    // Sweep: everything unmarked and not already free goes to the free list
+    // (the free flag is maintained incrementally, so no rebuild is needed).
     std::size_t reclaimed = 0;
     for (NodeId n = 2; n < nodes_.size(); ++n) {
-        if (!mark[n] && !is_free[n]) {
+        if (!(flags_[n] & (kFlagMark | kFlagFree))) {
+            flags_[n] |= kFlagFree;
             free_.push_back(n);
             ++reclaimed;
         }
     }
 
-    // Rebuild the unique table from live nodes and drop the cache (it may
-    // reference dead nodes).
-    std::fill(table_.begin(), table_.end(), 0);
-    table_entries_ = 0;
-    for (NodeId n = 2; n < nodes_.size(); ++n) {
-        if (!mark[n]) continue;
-        const Node& nd = nodes_[n];
-        std::size_t idx = triple_hash(nd.var, nd.lo, nd.hi) & table_mask_;
-        while (table_[idx] != 0) idx = (idx + 1) & table_mask_;
-        table_[idx] = n;
-        ++table_entries_;
-    }
-    std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+    // Rebuild the unique table from live nodes and drop the caches (they may
+    // reference dead nodes). Capacities are kept.
+    table_.clear();
+    for (NodeId n = 2; n < nodes_.size(); ++n)
+        if (flags_[n] & kFlagMark) table_.reinsert(nodes_, n);
+    cache_.clear();
+    pair_cache_.clear();
+    ++gc_stats_.runs;
+    gc_stats_.nodes_swept += reclaimed;
     return reclaimed;
 }
 
@@ -530,6 +497,150 @@ NodeId ZddManager::sub_set_rec(NodeId a, NodeId b) {
     return r;
 }
 
+// ---------------------------------------------------------------------------
+// Fused compound operators
+// ---------------------------------------------------------------------------
+
+Zdd ZddManager::diff_intersect(const Zdd& a, const Zdd& b) {
+    // a \ (a∩b) ≡ a \ b: f ∈ a is excluded iff f ∈ a∩b iff f ∈ b. The fusion
+    // therefore runs the diff recursion once — no intermediate intersection
+    // family — and shares the kDiff memo with plain diff.
+    Zdd r = handle(diff_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+Zdd ZddManager::non_sub_set(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(non_sub_set_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+/// Strips the ∅ member from `a` (rebuilds the lo-spine only; no memo needed).
+NodeId ZddManager::drop_empty(NodeId a) {
+    if (a <= kBase) return kEmpty;
+    return make(nodes_[a].var, drop_empty(nodes_[a].lo), nodes_[a].hi);
+}
+
+// { f ∈ a : ∀g ∈ b, f ⊄ g } = a − sub_set(a, b), fused into one recursion so
+// the dominated intermediate family is never materialised.
+//
+// Unlike sub_set_rec, the b-branches are handled by intersecting two
+// survivor subfamilies instead of recursing on union(b.lo, b.hi): building
+// union operands mints fresh node families at every level, which wrecks memo
+// sharing and floods the arena. Here every recursive call keeps BOTH operands
+// inside the original sub-DAGs (O(|a|·|b|) distinct subproblems) and only the
+// results — subfamilies of a — meet in a cheap memoised intersect.
+NodeId ZddManager::non_sub_set_rec(NodeId a, NodeId b) {
+    if (a == kEmpty || a == b) return kEmpty;  // every f ⊆ f
+    if (b == kEmpty) return a;
+    if (a == kBase) return kEmpty;  // ∅ ⊆ any g, and b ≠ ∅ here
+    if (b == kBase) return drop_empty(a);  // only ∅ fits inside ∅
+    NodeId cached;
+    if (cache_lookup(Op::kNonSubSet, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    NodeId r;
+    if (va < vb) {
+        // f containing va cannot be ⊆ any g (va ∉ g): the hi-branch survives.
+        r = make_like(a, va, non_sub_set_rec(nodes_[a].lo, b), nodes_[a].hi);
+    } else if (vb < va) {
+        // f ⊆ {vb}∪g' iff f ⊆ g' (vb ∉ f): f must evade b.lo and b.hi alike.
+        r = intersect_rec(non_sub_set_rec(a, nodes_[b].lo),
+                          non_sub_set_rec(a, nodes_[b].hi));
+    } else {
+        // Sets with va can only fit inside {va}∪g' (g' ∈ b.hi); sets without
+        // va must evade both halves of b.
+        const NodeId lo = intersect_rec(non_sub_set_rec(nodes_[a].lo, nodes_[b].lo),
+                                        non_sub_set_rec(nodes_[a].lo, nodes_[b].hi));
+        r = make_like(a, va, lo, non_sub_set_rec(nodes_[a].hi, nodes_[b].hi));
+    }
+    cache_store(Op::kNonSubSet, a, b, r);
+    return r;
+}
+
+Zdd ZddManager::non_sup_set(const Zdd& a, const Zdd& b) {
+    Zdd r = handle(non_sup_set_rec(a.id(), b.id()));
+    maybe_gc();
+    return r;
+}
+
+// { f ∈ a : ∀g ∈ b, f ⊉ g } = a − sup_set(a, b), fused. Mirrors sup_set_rec's
+// case split; the equal-var hi-branch intersects two survivor subfamilies
+// (see non_sub_set_rec for why no union operands are built).
+NodeId ZddManager::non_sup_set_rec(NodeId a, NodeId b) {
+    if (a == kEmpty || a == b) return kEmpty;  // every f ⊇ f
+    if (b == kEmpty) return a;
+    if (b == kBase) return kEmpty;  // every f ⊇ ∅
+    if (a == kBase) return contains_empty(b) ? kEmpty : kBase;
+    NodeId cached;
+    if (cache_lookup(Op::kNonSupSet, a, b, cached)) return cached;
+
+    const Var va = var_of(a), vb = var_of(b);
+    NodeId r;
+    if (va < vb) {
+        // va ∉ any g: f = {va}∪f' ⊇ g iff f' ⊇ g — both branches recurse on b.
+        r = make_like(a, va, non_sup_set_rec(nodes_[a].lo, b),
+                      non_sup_set_rec(nodes_[a].hi, b));
+    } else if (vb < va) {
+        // g containing vb cannot be ⊆ any f (vb ∉ f): only g ∈ b.lo matter.
+        r = non_sup_set_rec(a, nodes_[b].lo);
+    } else {
+        // f = {va}∪f' ⊇ g iff f' ⊇ g (g ∈ b.lo) or f' ⊇ g' (g = {va}∪g'):
+        // the hi survivors must evade both halves of b.
+        const NodeId hi = intersect_rec(non_sup_set_rec(nodes_[a].hi, nodes_[b].lo),
+                                        non_sup_set_rec(nodes_[a].hi, nodes_[b].hi));
+        r = make_like(a, va, non_sup_set_rec(nodes_[a].lo, nodes_[b].lo), hi);
+    }
+    cache_store(Op::kNonSupSet, a, b, r);
+    return r;
+}
+
+std::pair<Zdd, Zdd> ZddManager::cofactors(const Zdd& a, Var v) {
+    UCP_REQUIRE(v < num_vars_, "variable out of range");
+    const NodePair p = cofactors_rec(a.id(), v);
+    std::pair<Zdd, Zdd> r{handle(p.lo), handle(p.hi)};
+    maybe_gc();
+    return r;
+}
+
+// One walk computing (subset0, subset1) together: each node of `a` is visited
+// once and both results are memoised under a single pair-cache entry, instead
+// of two independent traversals with two cache probes per node.
+ZddManager::NodePair ZddManager::cofactors_rec(NodeId a, Var v) {
+    const Var va = var_of(a);
+    if (va > v) return {a, kEmpty};  // v cannot occur below — incl. terminals
+    if (va == v) return {nodes_[a].lo, nodes_[a].hi};
+    NodePair cached;
+    const std::uint64_t key =
+        dd_cache_key(static_cast<std::uint8_t>(Op::kCofactors), a,
+                     static_cast<NodeId>(v));
+    if (pair_cache_.lookup(key, cached)) return cached;
+    const NodePair pl = cofactors_rec(nodes_[a].lo, v);
+    const NodePair ph = cofactors_rec(nodes_[a].hi, v);
+    const NodePair r{make(va, pl.lo, ph.lo), make(va, pl.hi, ph.hi)};
+    pair_cache_.store(key, r);
+    return r;
+}
+
+bool ZddManager::contains_set(const Zdd& family,
+                              const Zdd& single_set) const noexcept {
+    NodeId fam = family.id();
+    NodeId s = single_set.id();
+    while (true) {
+        if (s == kBase) return contains_empty(fam);
+        if (s == kEmpty || fam < 2) return false;
+        const Var vs = var_of(s), vf = var_of(fam);
+        if (vf > vs) return false;  // no set of fam contains vs (ordering)
+        if (vf < vs) {
+            fam = nodes_[fam].lo;  // the target set has no vf: go lo
+        } else {
+            fam = nodes_[fam].hi;  // both have vf: consume it
+            s = nodes_[s].hi;
+        }
+    }
+}
+
 Zdd ZddManager::maximal(const Zdd& a) {
     Zdd r = handle(maximal_rec(a.id()));
     maybe_gc();
@@ -544,9 +655,11 @@ NodeId ZddManager::maximal_rec(NodeId a) {
     const NodeId max_hi = maximal_rec(nodes_[a].hi);
     const NodeId max_lo = maximal_rec(nodes_[a].lo);
     // A set without v is maximal iff maximal in the lo-branch and not contained
-    // in any set of the hi-branch (which would strictly contain it via v).
-    const NodeId dominated = sub_set_rec(max_lo, nodes_[a].hi);
-    const NodeId r = make(v, diff_rec(max_lo, dominated), max_hi);
+    // in any set of the hi-branch (which would strictly contain it via v) —
+    // the fused non_sub_set, one pass instead of sub_set + diff. Filtering
+    // against max_hi (not the raw hi-branch) is equivalent: s ⊆ t implies
+    // s ⊆ t' for some maximal t' ⊇ t.
+    const NodeId r = make_like(a, v, non_sub_set_rec(max_lo, max_hi), max_hi);
     cache_store(Op::kMaximal, a, a, r);
     return r;
 }
@@ -565,9 +678,11 @@ NodeId ZddManager::minimal_rec(NodeId a) {
     const NodeId min_lo = minimal_rec(nodes_[a].lo);
     const NodeId min_hi = minimal_rec(nodes_[a].hi);
     // A set containing v is minimal iff minimal in the hi-branch and not a
-    // superset of any set in the lo-branch.
-    const NodeId dominating = sup_set_rec(min_hi, nodes_[a].lo);
-    const NodeId r = make(v, min_lo, diff_rec(min_hi, dominating));
+    // superset of any set in the lo-branch — fused non_sup_set. Filtering
+    // against min_lo (not the raw lo-branch) is equivalent — t ⊆ s implies a
+    // minimal t' ⊆ t ⊆ s — and the smaller canonical operand recurs across
+    // the DAG, so the memo works harder.
+    const NodeId r = make_like(a, v, min_lo, non_sup_set_rec(min_hi, min_lo));
     cache_store(Op::kMinimal, a, a, r);
     return r;
 }

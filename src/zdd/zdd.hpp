@@ -9,11 +9,16 @@
 //     the set of variables assigned 1) — used by the implicit covering phase.
 //
 // Design notes
-//   * Nodes live in a flat arena (std::vector). NodeId 0 is the empty family
+//   * Nodes live in a flat arena (std::vector): the hot (var, lo, hi) fields
+//     are packed contiguously per node, while the cold per-node bookkeeping
+//     (external refcounts, free/mark flags) lives in separate arrays so
+//     recursions touch only the hot array. NodeId 0 is the empty family
 //     (terminal 0) and NodeId 1 is the unit family {∅} (terminal 1).
 //   * Canonicity: hi == 0 is never materialised (zero-suppression rule) and a
 //     unique table guarantees structural sharing.
-//   * A lossy direct-mapped computed cache memoises binary operations.
+//   * A lossy, growable 4-way set-associative computed cache (dd_common.hpp)
+//     memoises operations; fused compound operators (diff_intersect,
+//     non_sub_set/non_sup_set, the cofactor pair) get their own memo slots.
 //   * External references are RAII handles (class Zdd). Garbage collection is
 //     mark-and-sweep from the externally referenced roots; it runs only
 //     between top-level operations, never during a recursion.
@@ -22,9 +27,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
+#include "zdd/dd_common.hpp"
 
 namespace ucp::zdd {
 
@@ -83,9 +90,10 @@ private:
 /// The node arena, unique table, computed cache and operation implementations.
 class ZddManager {
 public:
-    explicit ZddManager(Var num_vars);
-    /// Flushes the computed-cache counters into the global stats registry
-    /// ("zdd.cache_hits" / "zdd.cache_misses").
+    explicit ZddManager(Var num_vars, const DdOptions& options = {});
+    /// Flushes the cache and GC counters into the global stats registry
+    /// ("zdd.cache_hits" / "zdd.cache_misses" / "zdd.cache_resizes" /
+    /// "zdd.gc_runs" / "zdd.nodes_swept").
     ~ZddManager();
 
     ZddManager(const ZddManager&) = delete;
@@ -121,12 +129,41 @@ public:
     Zdd sup_set(const Zdd& a, const Zdd& b);
     /// { f ∈ a : ∃ g ∈ b, f ⊆ g }.
     Zdd sub_set(const Zdd& a, const Zdd& b);
-    /// Sets of `a` that are maximal under inclusion within `a`.
+    /// Sets of `a` that are maximal under inclusion within `a` (one-pass
+    /// Minato recursion over the fused non_sub_set operator).
     Zdd maximal(const Zdd& a);
-    /// Sets of `a` that are minimal under inclusion within `a`.
+    /// Sets of `a` that are minimal under inclusion within `a` (one-pass,
+    /// via non_sup_set).
     Zdd minimal(const Zdd& a);
 
+    // ---- fused compound operators -------------------------------------------
+    // Each fuses a two-operator pattern of the implicit covering phase into a
+    // single individually-memoised recursion. By canonicity the results are
+    // structurally identical (same NodeId) to the composed forms.
+    /// a \ (a ∩ b). Algebraically equal to diff(a, b), so the fusion is the
+    /// identity a \ (a∩b) ≡ a \ b computed in ONE pass sharing the diff memo
+    /// (the composed form walks both operands twice and allocates the
+    /// intermediate intersection).
+    Zdd diff_intersect(const Zdd& a, const Zdd& b);
+    /// { f ∈ a : ∀g ∈ b, f ⊄ g } — a − sub_set(a, b) in one pass.
+    Zdd non_sub_set(const Zdd& a, const Zdd& b);
+    /// { f ∈ a : ∀g ∈ b, f ⊉ g } — a − sup_set(a, b) in one pass.
+    Zdd non_sup_set(const Zdd& a, const Zdd& b);
+    /// (subset0(a, v), subset1(a, v)) in one walk with a pair-memo: each node
+    /// of `a` is visited once instead of twice.
+    std::pair<Zdd, Zdd> cofactors(const Zdd& a, Var v);
+
     // ---- queries -------------------------------------------------------------
+    /// True iff ∅ ∈ a (O(depth) walk down the lo-spine; replaces the
+    /// intersect-with-base idiom).
+    [[nodiscard]] bool has_empty_set(const Zdd& a) const noexcept {
+        return contains_empty(a.id());
+    }
+    /// True iff the single set represented by `single_set` (a one-member
+    /// family, e.g. from set_of) is a member of `family`. O(set size) walk —
+    /// replaces the intersect-then-compare idiom.
+    [[nodiscard]] bool contains_set(const Zdd& family,
+                                    const Zdd& single_set) const noexcept;
     double count(const Zdd& a);
     /// Exact cardinality as a decimal string (families beyond 2^53 overflow
     /// the double count; this never does).
@@ -148,14 +185,23 @@ public:
     struct CacheStats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        std::uint64_t resizes = 0;
         [[nodiscard]] double hit_rate() const noexcept {
             const std::uint64_t total = hits + misses;
             return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
         }
     };
-    [[nodiscard]] const CacheStats& cache_stats() const noexcept {
-        return cache_stats_;
+    [[nodiscard]] CacheStats cache_stats() const noexcept {
+        return CacheStats{cache_.hits() + pair_cache_.hits(),
+                          cache_.misses() + pair_cache_.misses(),
+                          cache_.resizes() + pair_cache_.resizes()};
     }
+    /// GC statistics since construction (also flushed by the destructor).
+    struct GcStats {
+        std::uint64_t runs = 0;
+        std::uint64_t nodes_swept = 0;
+    };
+    [[nodiscard]] const GcStats& gc_stats() const noexcept { return gc_stats_; }
 
     // ---- resource management --------------------------------------------------
     /// Live (allocated, non-freed) node count, excluding terminals.
@@ -180,6 +226,9 @@ public:
     [[nodiscard]] NodeId hi_of(NodeId n) const noexcept { return nodes_[n].hi; }
     /// Hash-consed node constructor enforcing the zero-suppression rule.
     NodeId make(Var v, NodeId lo, NodeId hi);
+    /// make() that first checks whether (lo, hi) are exactly node `a`'s
+    /// children (with a.var == v): then `a` is the result, probe-free.
+    NodeId make_like(NodeId a, Var v, NodeId lo, NodeId hi);
 
     /// Wraps a raw node id into an owning handle.
     Zdd handle(NodeId n) { return Zdd(this, n); }
@@ -199,6 +248,14 @@ private:
         kSubset0,
         kSubset1,
         kChange,
+        kNonSubSet,
+        kNonSupSet,
+        kCofactors,
+    };
+
+    struct NodePair {
+        NodeId lo = kEmpty;
+        NodeId hi = kEmpty;
     };
 
     // Recursive cores (operate on NodeIds).
@@ -208,11 +265,15 @@ private:
     NodeId product_rec(NodeId a, NodeId b);
     NodeId sup_set_rec(NodeId a, NodeId b);
     NodeId sub_set_rec(NodeId a, NodeId b);
+    NodeId non_sub_set_rec(NodeId a, NodeId b);
+    NodeId non_sup_set_rec(NodeId a, NodeId b);
     NodeId maximal_rec(NodeId a);
     NodeId minimal_rec(NodeId a);
     NodeId subset0_rec(NodeId a, Var v);
     NodeId subset1_rec(NodeId a, Var v);
+    NodePair cofactors_rec(NodeId a, Var v);
     NodeId change_rec(NodeId a, Var v);
+    NodeId drop_empty(NodeId a);
     bool contains_empty(NodeId a) const noexcept;
 
     // External reference bookkeeping (for GC roots).
@@ -220,33 +281,26 @@ private:
     void unref_external(NodeId n) noexcept;
     void maybe_gc();
 
-    // Unique table.
-    void rehash(std::size_t new_capacity);
-    static std::uint64_t triple_hash(Var v, NodeId lo, NodeId hi) noexcept;
-
-    // Computed cache.
-    struct CacheEntry {
-        std::uint64_t key = ~0ULL;
-        NodeId result = kEmpty;
-    };
-    static std::uint64_t cache_key(Op op, NodeId a, NodeId b) noexcept;
-    bool cache_lookup(Op op, NodeId a, NodeId b, NodeId& out) const noexcept;
-    void cache_store(Op op, NodeId a, NodeId b, NodeId result) noexcept;
+    bool cache_lookup(Op op, NodeId a, NodeId b, NodeId& out) noexcept {
+        return cache_.lookup(dd_cache_key(static_cast<std::uint8_t>(op), a, b), out);
+    }
+    void cache_store(Op op, NodeId a, NodeId b, NodeId result) {
+        cache_.store(dd_cache_key(static_cast<std::uint8_t>(op), a, b), result);
+    }
 
     Var num_vars_;
-    std::vector<Node> nodes_;
-    std::vector<std::uint32_t> extref_;  // external reference counts, per node
+    std::vector<Node> nodes_;            // hot arena: (var, lo, hi) only
+    std::vector<std::uint32_t> extref_;  // cold: external refcounts, per node
+    std::vector<std::uint8_t> flags_;    // cold: kFlagFree, reusable GC mark
     std::vector<NodeId> free_;           // freed node slots available for reuse
+    std::vector<NodeId> mark_stack_;     // reusable explicit GC mark stack
 
-    std::vector<NodeId> table_;  // open-addressing unique table (0 = empty slot)
-    std::size_t table_mask_ = 0;
-    std::size_t table_entries_ = 0;
+    UniqueTable<Node> table_;
+    ComputedCache<NodeId> cache_;
+    ComputedCache<NodePair> pair_cache_;  // memo for the fused cofactor pair
+    GcStats gc_stats_;
 
-    std::vector<CacheEntry> cache_;
-    std::size_t cache_mask_ = 0;
-    mutable CacheStats cache_stats_;
-
-    std::size_t gc_threshold_ = 1u << 18;
+    std::size_t gc_threshold_;
     bool gc_enabled_ = true;
 };
 
