@@ -79,14 +79,19 @@ public:
     [[nodiscard]] int starts() const noexcept { return starts_; }
     [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
 
-    /// Records one instance. `extra` appends bench-specific numeric fields.
+    /// Records one instance. `extra` appends bench-specific numeric fields;
+    /// `text_extra` appends string fields (e.g. the anytime "status", which
+    /// check_baselines.py asserts is "ok" on every baseline run).
     void record(const std::string& instance, double cost, double wall_ms,
-                const std::vector<std::pair<std::string, double>>& extra = {}) {
+                const std::vector<std::pair<std::string, double>>& extra = {},
+                const std::vector<std::pair<std::string, std::string>>&
+                    text_extra = {}) {
         Record r;
         r.instance = instance;
         r.cost = cost;
         r.wall_ms = wall_ms;
         r.extra = extra;
+        r.text_extra = text_extra;
         const auto now = stats::snapshot();
         for (const auto& [name, value] : now) {
             const auto it = baseline_.find(name);
@@ -108,6 +113,8 @@ public:
             os << "\n  {\"instance\": \"" << r.instance << "\", \"cost\": " << r.cost
                << ", \"wall_ms\": " << r.wall_ms;
             for (const auto& [k, v] : r.extra) os << ", \"" << k << "\": " << v;
+            for (const auto& [k, v] : r.text_extra)
+                os << ", \"" << k << "\": \"" << v << "\"";
             os << ", \"counters\": {";
             for (std::size_t c = 0; c < r.counters.size(); ++c) {
                 if (c > 0) os << ", ";
@@ -126,6 +133,7 @@ private:
         double cost = 0.0;
         double wall_ms = 0.0;
         std::vector<std::pair<std::string, double>> extra;
+        std::vector<std::pair<std::string, std::string>> text_extra;
         std::vector<std::pair<std::string, double>> counters;
     };
 

@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
         json.record(row.name, static_cast<double>(row.scg.cost),
                     row.scg.total_seconds * 1e3,
                     {{"lower_bound", static_cast<double>(row.scg.lower_bound)},
-                     {"proved_optimal", row.scg.proved_optimal ? 1.0 : 0.0}});
+                     {"proved_optimal", row.scg.proved_optimal ? 1.0 : 0.0}},
+                    {{"status", ucp::to_string(row.scg.status)}});
         total_cost += row.scg.cost;
         total_lb += row.scg.lower_bound;
         total_esp += static_cast<long>(row.espresso_sol);

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
         json.record(row.name, static_cast<double>(row.scg.cost),
                     row.scg.total_seconds * 1e3,
                     {{"cc_ms", row.scg.cyclic_core_seconds * 1e3},
-                     {"proved_optimal", row.scg.proved_optimal ? 1.0 : 0.0}});
+                     {"proved_optimal", row.scg.proved_optimal ? 1.0 : 0.0}},
+                    {{"status", ucp::to_string(row.scg.status)}});
         total_scg += row.scg.cost;
         total_esp += static_cast<long>(row.espresso_sol);
         total_strong += static_cast<long>(row.strong_sol);

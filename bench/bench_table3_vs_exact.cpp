@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
         const auto scg = ucp::solver::solve_scg(tab.matrix, sopt);
         const double scg_t = tscg.seconds();
         json.record(entry.name, static_cast<double>(scg.cost), scg_t * 1e3,
-                    {{"lower_bound", static_cast<double>(scg.lower_bound)}});
+                    {{"lower_bound", static_cast<double>(scg.lower_bound)}},
+                    {{"status", ucp::to_string(scg.status)}});
 
         ucp::solver::BnbOptions bopt;
         bopt.time_limit_seconds = 120.0;

@@ -5,6 +5,13 @@
 //
 //   $ ./minimize_pla --instance=bench1 [--solver=scg|exact|greedy]
 //   $ ./minimize_pla my_function.pla --out=min.pla --compare-espresso
+//   $ ./minimize_pla --instance=ex1010 --deadline-ms=500 --json
+//
+// The run is governed: --deadline-ms / --zdd-node-budget set the resource
+// budget, and SIGINT (Ctrl-C) requests cooperative cancellation — in all
+// three cases the best-so-far feasible cover is reported with its lower
+// bound and a non-"ok" status instead of the process dying mid-solve.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 
@@ -13,6 +20,25 @@
 #include "pla/pla_io.hpp"
 #include "solver/two_level.hpp"
 #include "util/options.hpp"
+
+namespace {
+
+ucp::CancelToken g_cancel;
+
+extern "C" void on_sigint(int) { g_cancel.cancel(); }
+
+void print_json(std::ostream& os, const ucp::solver::TwoLevelResult& r) {
+    os << "{\"status\": \"" << ucp::to_string(r.status) << "\""
+       << ", \"products\": " << r.cost << ", \"literals\": " << r.literals
+       << ", \"lower_bound\": " << r.lower_bound
+       << ", \"proved_optimal\": " << (r.proved_optimal ? "true" : "false")
+       << ", \"verified\": " << (r.verified ? "true" : "false")
+       << ", \"num_primes\": " << r.num_primes
+       << ", \"num_rows\": " << r.num_rows
+       << ", \"total_seconds\": " << r.total_seconds << "}\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     const ucp::Options opts(argc, argv);
@@ -25,19 +51,22 @@ int main(int argc, char** argv) {
         } else {
             std::cerr << "usage: minimize_pla <file.pla> | --instance=<name>\n"
                       << "       [--solver=scg|exact|greedy] [--out=<file>]\n"
-                      << "       [--compare-espresso]\n"
+                      << "       [--compare-espresso] [--json]\n"
+                      << "       [--deadline-ms=<n>] [--zdd-node-budget=<n>]\n"
                       << "       [--zdd-cache-entries=<n>] "
                          "[--zdd-gc-threshold=<n>]\n"
                       << "named instances: bench1, ex5, exam, max1024, prom2, "
                          "t1, test4, ex1010, test2, ...\n";
             return 2;
         }
+        const bool json = opts.get_bool("json", false);
 
         const auto& s = pla.space();
-        std::cout << "Function: " << pla.name << " — " << s.num_inputs
-                  << " inputs, " << s.num_outputs << " outputs, "
-                  << pla.on.size() << " on-cubes, " << pla.dc.size()
-                  << " dc-cubes\n";
+        if (!json)
+            std::cout << "Function: " << pla.name << " — " << s.num_inputs
+                      << " inputs, " << s.num_outputs << " outputs, "
+                      << pla.on.size() << " on-cubes, " << pla.dc.size()
+                      << " dc-cubes\n";
 
         ucp::solver::TwoLevelOptions tl;
         // ZDD/BDD engine knobs (defaults documented in README).
@@ -45,6 +74,13 @@ int main(int argc, char** argv) {
             "zdd-cache-entries", static_cast<long>(tl.table.dd.cache_entries)));
         tl.table.dd.gc_threshold = static_cast<std::size_t>(opts.get_int(
             "zdd-gc-threshold", static_cast<long>(tl.table.dd.gc_threshold)));
+        // Resource governor: deadline, DD node budget, SIGINT cancellation.
+        tl.budget.deadline_seconds =
+            static_cast<double>(opts.get_int("deadline-ms", 0)) / 1000.0;
+        tl.budget.zdd_node_budget =
+            static_cast<std::size_t>(opts.get_int("zdd-node-budget", 0));
+        tl.cancel = &g_cancel;
+        std::signal(SIGINT, on_sigint);
         const std::string solver = opts.get("solver", "scg");
         if (solver == "exact")
             tl.cover_solver = ucp::solver::CoverSolver::kExact;
@@ -56,20 +92,30 @@ int main(int argc, char** argv) {
         }
 
         const auto r = ucp::solver::minimize_two_level(pla, tl);
-        std::cout << "\nZDD_SCG pipeline (" << solver << "):\n"
-                  << "  primes               : " << r.num_primes << '\n'
-                  << "  covering rows        : " << r.num_rows
-                  << " (signature classes of " << r.onset_minterms
-                  << " on-set minterms)\n"
-                  << "  products             : " << r.cost
-                  << (r.proved_optimal ? "  (proved optimal, LB = " : "  (LB = ")
-                  << r.lower_bound << ")\n"
-                  << "  literals             : " << r.literals << '\n'
-                  << "  cyclic core time     : " << r.cyclic_core_seconds
-                  << " s\n"
-                  << "  total time           : " << r.total_seconds << " s\n"
-                  << "  equivalence verified : "
-                  << (r.verified ? "yes" : "NO — BUG") << '\n';
+        if (json) {
+            print_json(std::cout, r);
+        } else {
+            std::cout << "\nZDD_SCG pipeline (" << solver << "):\n"
+                      << "  primes               : " << r.num_primes << '\n'
+                      << "  covering rows        : " << r.num_rows
+                      << " (signature classes of " << r.onset_minterms
+                      << " on-set minterms)\n"
+                      << "  products             : " << r.cost
+                      << (r.proved_optimal ? "  (proved optimal, LB = "
+                                           : "  (LB = ")
+                      << r.lower_bound << ")\n"
+                      << "  literals             : " << r.literals << '\n'
+                      << "  cyclic core time     : " << r.cyclic_core_seconds
+                      << " s\n"
+                      << "  total time           : " << r.total_seconds
+                      << " s\n"
+                      << "  status               : " << ucp::to_string(r.status)
+                      << '\n'
+                      << "  equivalence verified : "
+                      << (r.verified ? "yes" : "NO — BUG") << '\n';
+            if (r.status != ucp::Status::kOk)
+                std::cout << "  (budget trip: best-so-far anytime result)\n";
+        }
 
         if (opts.get_bool("compare-espresso", false)) {
             const auto en = ucp::esp::espresso(pla);
@@ -89,9 +135,12 @@ int main(int argc, char** argv) {
             out.off = ucp::pla::Cover(s);
             std::ofstream f(opts.get("out"));
             ucp::pla::write_pla(f, out);
-            std::cout << "\nminimised PLA written to " << opts.get("out")
-                      << '\n';
+            if (!json)
+                std::cout << "\nminimised PLA written to " << opts.get("out")
+                          << '\n';
         }
+        // A budget trip still exits 0 when the anytime cover verifies — the
+        // caller distinguishes complete/truncated runs via the status field.
         return r.verified ? 0 : 1;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';

@@ -6,6 +6,11 @@ bit-identical across commits, thread counts and engine rewrites — a drift
 means the optimiser's *answers* changed, not just its speed. Timing fields
 and performance counters are expected to move and are ignored.
 
+The anytime "status" field is handled separately: it is excluded from the
+drift comparison (older baselines predate it) but every fresh record that
+carries one must say "ok" — a budget trip during an ungoverned baseline run
+is a bug, not a timing artefact.
+
 Usage: scripts/check_baselines.py [--baselines DIR] [--fresh DIR]
 
 Exit status is non-zero when any solution field drifted or a baseline has no
@@ -27,6 +32,7 @@ TIMING_FIELDS = {
     "speedup",
     "seconds",
     "counters",  # perf counters (cache hits, GC runs, ...) move freely
+    "status",  # checked separately: fresh runs must report "ok"
 }
 
 
@@ -59,6 +65,12 @@ def compare_file(baseline_path: Path, fresh_path: Path) -> list[str]:
                     f"{instance}.{key}: baseline={want.get(key)!r} "
                     f"fresh={got.get(key)!r}"
                 )
+        status = fresh_rec.get("status", "ok")
+        if status != "ok":
+            drifts.append(
+                f"{instance}.status: fresh run reports {status!r} "
+                f"(budget tripped during an ungoverned baseline run)"
+            )
     return drifts
 
 

@@ -1,11 +1,13 @@
 #include "cover/table_builder.hpp"
 
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "primes/explicit_primes.hpp"
 #include "primes/implicit_primes.hpp"
+#include "util/stats.hpp"
 #include "util/timer.hpp"
 #include "zdd/zdd_cubes.hpp"
 
@@ -34,7 +36,10 @@ std::vector<zdd::LitSpec> cube_spec(const CubeSpace& s, const Cube& c) {
     return spec;
 }
 
-/// Multi-output primes of the care function, per the chosen method.
+/// Multi-output primes of the care function, per the chosen method. Under
+/// kAuto a node-budget trip in the implicit generator degrades to the
+/// consensus path (the prime set of a function is canonical, so the columns
+/// are the same either way).
 Cover generate_primes(const pla::Pla& pla, const TableBuildOptions& opt,
                       bool& used_implicit) {
     const CubeSpace& s = pla.space();
@@ -46,52 +51,176 @@ Cover generate_primes(const pla::Pla& pla, const TableBuildOptions& opt,
     if (method == PrimeMethod::kAuto)
         method = single_output ? PrimeMethod::kImplicit : PrimeMethod::kConsensus;
     if (method == PrimeMethod::kImplicit && !single_output)
-        throw std::invalid_argument(
+        throw BadInputError(
             "implicit prime generation supports single-output functions only");
 
-    if (method == PrimeMethod::kConsensus) {
-        used_implicit = false;
-        return primes::primes_by_consensus(care, opt.max_primes);
+    if (method == PrimeMethod::kImplicit) {
+        try {
+            used_implicit = true;
+            ZddManager zmgr(2 * s.num_inputs, opt.dd);
+            const Cover care_in = care.restricted_to_output(0);
+            const auto result = primes::implicit_primes(zmgr, care_in, opt.dd);
+            if (result.prime_count > static_cast<double>(opt.max_primes))
+                throw ResourceError(Status::kNodeBudget,
+                                    "implicit prime count exceeds max_primes");
+            const Cover in_primes =
+                primes::primes_zdd_to_cover(zmgr, result.primes, s.num_inputs);
+
+            // Re-attach the single output.
+            Cover out(s);
+            const CubeSpace in_space{s.num_inputs, 0};
+            for (const auto& c : in_primes) {
+                Cube mc = Cube::full_inputs(s);
+                for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+                    mc.set_in(s, i, c.in(in_space, i));
+                mc.set_out(s, 0, true);
+                out.add(std::move(mc));
+            }
+            return out;
+        } catch (const ResourceError& e) {
+            // Graceful degradation: only a node-budget trip under kAuto falls
+            // through to consensus — deadline/cancel must propagate, and an
+            // explicitly requested implicit run must fail loudly.
+            if (opt.method != PrimeMethod::kAuto ||
+                e.status() != Status::kNodeBudget)
+                throw;
+            stats::counter("budget.zdd_fallbacks").add();
+        }
     }
 
-    used_implicit = true;
-    ZddManager zmgr(2 * s.num_inputs, opt.dd);
-    const Cover care_in = care.restricted_to_output(0);
-    const auto result = primes::implicit_primes(zmgr, care_in, opt.dd);
-    if (result.prime_count > static_cast<double>(opt.max_primes))
-        throw std::runtime_error("implicit prime count exceeds max_primes");
-    const Cover in_primes =
-        primes::primes_zdd_to_cover(zmgr, result.primes, s.num_inputs);
+    used_implicit = false;
+    return primes::primes_by_consensus(care, opt.max_primes);
+}
 
-    // Re-attach the single output.
-    Cover out(s);
-    const CubeSpace in_space{s.num_inputs, 0};
-    for (const auto& c : in_primes) {
-        Cube mc = Cube::full_inputs(s);
-        for (std::uint32_t i = 0; i < s.num_inputs; ++i)
-            mc.set_in(s, i, c.in(in_space, i));
-        mc.set_out(s, 0, true);
-        out.add(std::move(mc));
+/// The implicit phase's class emission order, reproduced on plain signature
+/// vectors: classes split member-first per processed column (ascending), so
+/// the final order compares signatures element-wise ascending with a proper
+/// prefix sorting AFTER its extensions. Both row paths dedupe through this
+/// order, which is what makes their matrices bit-identical.
+struct MemberFirstLess {
+    bool operator()(const std::vector<Index>& a,
+                    const std::vector<Index>& b) const noexcept {
+        const std::size_t n = std::min(a.size(), b.size());
+        for (std::size_t t = 0; t < n; ++t)
+            if (a[t] != b[t]) return a[t] < b[t];
+        return a.size() > b.size();
     }
+};
+
+/// Invokes fn(assignment) for every input minterm of `c` (outputs ignored).
+template <class Fn>
+void for_each_minterm(const CubeSpace& s, const Cube& c, Fn&& fn) {
+    std::vector<std::uint64_t> a(s.in_words(), 0);
+    std::vector<std::uint32_t> free_pos;
+    for (std::uint32_t i = 0; i < s.num_inputs; ++i) {
+        switch (c.in(s, i)) {
+            case pla::Lit::kOne: a[i / 64] |= std::uint64_t{1} << (i % 64); break;
+            case pla::Lit::kZero: break;
+            case pla::Lit::kDontCare: free_pos.push_back(i); break;
+            case pla::Lit::kEmpty: return;  // empty input part: no minterms
+        }
+    }
+    const std::uint64_t total = std::uint64_t{1} << free_pos.size();
+    for (std::uint64_t mask = 0; mask < total; ++mask) {
+        for (std::size_t t = 0; t < free_pos.size(); ++t) {
+            const std::uint32_t i = free_pos[t];
+            if ((mask >> t) & 1)
+                a[i / 64] |= std::uint64_t{1} << (i % 64);
+            else
+                a[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+        }
+        fn(a);
+    }
+}
+
+/// Explicit (ZDD-free) signature-class matrix: enumerate the care on-set
+/// minterms per output, compute each one's covering-column signature and
+/// dedupe in the implicit phase's class order.
+OnsetMatrix onset_matrix_explicit(const pla::Pla& pla, const Cover& columns,
+                                  std::size_t max_rows, Budget* governor) {
+    const CubeSpace& s = pla.space();
+    const std::size_t P = columns.size();
+    // Enumeration work cap, applied per output across the on+dc cubes.
+    constexpr std::uint64_t kPointCap = std::uint64_t{1} << 26;
+
+    OnsetMatrix out;
+    std::map<std::vector<Index>, Index> row_of_signature;
+    std::vector<std::vector<Index>> rows;
+    std::unordered_set<Index> essential_set;
+
+    for (std::uint32_t k = 0; k < s.num_outputs; ++k) {
+        if (governor != nullptr)
+            throw_if_error(governor->check(), "explicit onset rows");
+
+        std::vector<Index> cols_k;
+        for (Index j = 0; j < static_cast<Index>(P); ++j)
+            if (columns[j].out(s, k)) cols_k.push_back(j);
+
+        // Care on-set points of output k: ON minus DC (Espresso semantics).
+        std::set<std::vector<std::uint64_t>> points;
+        std::uint64_t point_budget = kPointCap;
+        const auto charge_cube = [&](const Cube& c) {
+            std::uint32_t free_bits = 0;
+            for (std::uint32_t i = 0; i < s.num_inputs; ++i)
+                if (c.in(s, i) == pla::Lit::kDontCare) ++free_bits;
+            if (free_bits >= 26 ||
+                (std::uint64_t{1} << free_bits) > point_budget)
+                throw ResourceError(
+                    Status::kNodeBudget,
+                    "explicit row enumeration exceeds the point cap");
+            point_budget -= std::uint64_t{1} << free_bits;
+        };
+        for (const auto& c : pla.on) {
+            if (!c.out(s, k)) continue;
+            charge_cube(c);
+            for_each_minterm(s, c, [&](const std::vector<std::uint64_t>& a) {
+                points.insert(a);
+            });
+        }
+        for (const auto& c : pla.dc) {
+            if (!c.out(s, k)) continue;
+            charge_cube(c);
+            for_each_minterm(s, c, [&](const std::vector<std::uint64_t>& a) {
+                points.erase(a);
+            });
+        }
+        if (points.empty()) continue;
+        out.onset_minterms += static_cast<double>(points.size());
+
+        std::set<std::vector<Index>, MemberFirstLess> sigs;
+        for (const auto& a : points) {
+            std::vector<Index> sig;
+            for (const Index j : cols_k)
+                if (columns[j].covers_assignment(s, a)) sig.push_back(j);
+            if (sig.empty())
+                throw BadInputError("columns do not cover the care on-set");
+            sigs.insert(std::move(sig));
+            if (sigs.size() > max_rows)
+                throw ResourceError(Status::kNodeBudget,
+                                    "signature classes exceed max_rows guard");
+        }
+        for (const auto& sig : sigs) {
+            if (sig.size() == 1) essential_set.insert(sig[0]);
+            const auto [it, inserted] = row_of_signature.emplace(
+                sig, static_cast<Index>(rows.size()));
+            if (inserted) rows.push_back(it->first);
+        }
+    }
+
+    out.essential_columns = essential_set.size();
+    out.matrix =
+        cov::CoverMatrix::from_rows(static_cast<Index>(P), std::move(rows));
     return out;
 }
 
-}  // namespace
-
-OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
+/// ZDD partition-refinement signature-class matrix (the implicit phase).
+OnsetMatrix onset_matrix_implicit(const pla::Pla& pla, const Cover& columns,
                                   std::size_t max_rows,
                                   const zdd::DdOptions& dd) {
     const CubeSpace& s = pla.space();
-    UCP_REQUIRE(s.num_outputs >= 1, "PLA must have at least one output");
-    UCP_REQUIRE(columns.space() == s, "column cover space mismatch");
     const std::size_t P = columns.size();
 
     OnsetMatrix out;
-    if (P == 0) {
-        // Legal only when the on-set is empty; checked below through the
-        // empty-signature guard.
-    }
-
     ZddManager mgr(s.num_inputs == 0 ? 1 : s.num_inputs, dd);
 
     // Per-column input minterm sets (shared across outputs).
@@ -130,6 +259,8 @@ OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
         classes.push_back({onset, {}});
         for (Index j = 0; j < static_cast<Index>(P); ++j) {
             if (!columns[j].out(s, k)) continue;
+            if (mgr.governor() != nullptr)
+                throw_if_error(mgr.governor()->check(), "partition refinement");
             std::vector<Class> next;
             next.reserve(classes.size() * 2);
             for (auto& cl : classes) {
@@ -147,14 +278,13 @@ OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
             }
             classes = std::move(next);
             if (classes.size() > max_rows)
-                throw std::runtime_error(
-                    "signature classes exceed max_rows guard");
+                throw ResourceError(Status::kNodeBudget,
+                                    "signature classes exceed max_rows guard");
         }
 
         for (auto& cl : classes) {
             if (cl.sig.empty())
-                throw std::invalid_argument(
-                    "columns do not cover the care on-set");
+                throw BadInputError("columns do not cover the care on-set");
             if (cl.sig.size() == 1) essential_set.insert(cl.sig[0]);
             const auto [it, inserted] = row_of_signature.emplace(
                 std::move(cl.sig), static_cast<Index>(rows.size()));
@@ -166,6 +296,30 @@ OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
     out.matrix =
         cov::CoverMatrix::from_rows(static_cast<Index>(P), std::move(rows));
     return out;
+}
+
+}  // namespace
+
+OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
+                                  std::size_t max_rows,
+                                  const zdd::DdOptions& dd, RowMethod method) {
+    const CubeSpace& s = pla.space();
+    UCP_REQUIRE(s.num_outputs >= 1, "PLA must have at least one output");
+    UCP_REQUIRE(columns.space() == s, "column cover space mismatch");
+
+    if (method != RowMethod::kExplicit) {
+        try {
+            return onset_matrix_implicit(pla, columns, max_rows, dd);
+        } catch (const ResourceError& e) {
+            // Node-budget trips degrade to the explicit path under kAuto;
+            // deadline/cancel (and forced-implicit runs) propagate.
+            if (method == RowMethod::kImplicit ||
+                e.status() != Status::kNodeBudget)
+                throw;
+            stats::counter("budget.zdd_fallbacks").add();
+        }
+    }
+    return onset_matrix_explicit(pla, columns, max_rows, dd.governor);
 }
 
 CoveringTable build_covering_table(const pla::Pla& pla,
@@ -182,7 +336,8 @@ CoveringTable build_covering_table(const pla::Pla& pla,
     }
     const std::size_t P = table.primes.size();
     if (P > opt.max_cols)
-        throw std::runtime_error("prime count exceeds max_cols guard");
+        throw ResourceError(Status::kNodeBudget,
+                            "prime count exceeds max_cols guard");
     if (P == 0) {
         // Empty on-set: nothing to cover.
         table.matrix = cov::CoverMatrix::from_rows(0, {});
@@ -190,7 +345,8 @@ CoveringTable build_covering_table(const pla::Pla& pla,
         return table;
     }
 
-    OnsetMatrix onset = onset_covering_matrix(pla, table.primes, opt.max_rows, opt.dd);
+    OnsetMatrix onset = onset_covering_matrix(pla, table.primes, opt.max_rows,
+                                              opt.dd, opt.row_method);
     table.onset_minterms = onset.onset_minterms;
     table.num_essential_primes = onset.essential_columns;
 

@@ -31,6 +31,19 @@ enum class PrimeMethod {
     kImplicit,   ///< Coudert–Madre implicit primes (single-output only)
 };
 
+/// How the signature-class rows are computed. kAuto runs the ZDD partition
+/// refinement and, if a governed node budget trips mid-flight
+/// (ResourceError with Status::kNodeBudget), abandons it and falls back to
+/// the explicit minterm-enumeration path — recording the switch in the
+/// "budget.zdd_fallbacks" stats counter. Both paths produce the identical
+/// matrix (same rows in the same order), so the fallback changes wall-clock
+/// and memory shape, never the answer.
+enum class RowMethod {
+    kAuto,      ///< implicit with graceful explicit fallback
+    kImplicit,  ///< ZDD partition refinement only (trips propagate)
+    kExplicit,  ///< explicit minterm enumeration only (no ZDD use)
+};
+
 /// Column-cost model. The paper's primary objective is the number of
 /// products "with only a secondary concern given to the number of literals"
 /// (§5) — the lexicographic model encodes that as W·1 + literals with W
@@ -43,6 +56,7 @@ enum class CostModel {
 
 struct TableBuildOptions {
     PrimeMethod method = PrimeMethod::kAuto;
+    RowMethod row_method = RowMethod::kAuto;
     CostModel cost_model = CostModel::kProducts;
     std::size_t max_primes = 200'000;
     /// Guard corresponding to the paper's MaxR/MaxC decode thresholds; the
@@ -75,7 +89,12 @@ struct CoveringTable {
 
 /// Builds the covering table for the PLA's care function.
 /// Rows are the ON-set points only (don't-cares need not be covered);
-/// primes are primes of ON ∪ DC. Throws if the problem exceeds the guards.
+/// primes are primes of ON ∪ DC. Resource trips surface as ResourceError
+/// (Status::kNodeBudget for the MaxR/MaxC guards and governed node budgets,
+/// kDeadline/kCancelled from the governor in opt.dd); bad input as
+/// BadInputError. Under PrimeMethod/RowMethod kAuto a governed node-budget
+/// trip degrades gracefully to the explicit (consensus primes + minterm
+/// enumeration) path instead of failing.
 CoveringTable build_covering_table(const pla::Pla& pla,
                                    const TableBuildOptions& opt = {});
 
@@ -94,7 +113,8 @@ struct OnsetMatrix {
 OnsetMatrix onset_covering_matrix(const pla::Pla& pla,
                                   const pla::Cover& columns,
                                   std::size_t max_rows = 50'000,
-                                  const zdd::DdOptions& dd = {});
+                                  const zdd::DdOptions& dd = {},
+                                  RowMethod method = RowMethod::kAuto);
 
 /// Converts a covering-matrix solution (matrix column indices) back to a
 /// two-level cover (subset of `table.primes`).

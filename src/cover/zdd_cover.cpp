@@ -108,9 +108,12 @@ private:
         const auto it = memo_.find(rows);
         if (it != memo_.end()) return it->second;
         if (mgr_.live_nodes() > node_guard_)
-            throw std::runtime_error(
+            throw ResourceError(
+                Status::kNodeBudget,
                 "minimal_covers: ZDD node guard exceeded — the cover family "
                 "is too large for implicit enumeration");
+        if (mgr_.governor() != nullptr)
+            throw_if_error(mgr_.governor()->check(), "minimal_covers");
 
         const Var v = mgr_.var_of(rows);
         // One fused walk yields both cofactors: rows without v and rows with

@@ -60,12 +60,15 @@ struct ImplicitColumnDominanceResult {
 ImplicitColumnDominanceResult implicit_column_dominance(
     const cov::CoverMatrix& m, const zdd::DdOptions& dd = {});
 
+/// Default live-node guard for the implicit cover enumeration.
+inline constexpr std::size_t kDefaultNodeGuard = 2'000'000;
+
 /// All minimal covers (irredundant feasible solutions) of `m` as a ZDD
-/// family over column variables. Throws std::runtime_error when the
-/// intermediate families exceed `node_guard` live nodes (the family can be
-/// exponentially large — this is an exact method for small cores).
+/// family over column variables. Throws ResourceError (Status::kNodeBudget)
+/// when the intermediate families exceed `node_guard` live nodes (the family
+/// can be exponentially large — this is an exact method for small cores).
 zdd::Zdd minimal_covers(zdd::ZddManager& mgr, const cov::CoverMatrix& m,
-                        std::size_t node_guard = 2'000'000);
+                        std::size_t node_guard = kDefaultNodeGuard);
 
 struct BestMember {
     std::vector<zdd::Var> members;  ///< chosen column variables
@@ -81,7 +84,7 @@ std::optional<BestMember> min_cost_member(const zdd::ZddManager& mgr,
 /// Convenience: exact minimum-cost cover of `m` through the implicit
 /// pipeline (minimal_covers + min_cost_member).
 BestMember implicit_exact_cover(const cov::CoverMatrix& m,
-                                std::size_t node_guard = 2'000'000,
+                                std::size_t node_guard = kDefaultNodeGuard,
                                 const zdd::DdOptions& dd = {});
 
 }  // namespace ucp::cover

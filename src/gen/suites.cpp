@@ -105,13 +105,23 @@ std::vector<SuiteEntry> challenging_suite() {
     return suite;
 }
 
-pla::Pla instance_by_name(const std::string& name) {
+Status try_instance_by_name(const std::string& name, pla::Pla& out) {
     for (auto maker : {easy_cyclic_suite, difficult_cyclic_suite,
                        challenging_suite}) {
         for (auto& entry : maker())
-            if (entry.name == name) return std::move(entry.pla);
+            if (entry.name == name) {
+                out = std::move(entry.pla);
+                return Status::kOk;
+            }
     }
-    throw std::invalid_argument("unknown benchmark instance: " + name);
+    return Status::kBadInput;
+}
+
+pla::Pla instance_by_name(const std::string& name) {
+    pla::Pla out;
+    if (try_instance_by_name(name, out) != Status::kOk)
+        throw BadInputError("unknown benchmark instance: " + name);
+    return out;
 }
 
 }  // namespace ucp::gen

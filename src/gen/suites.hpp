@@ -34,7 +34,11 @@ std::vector<SuiteEntry> difficult_cyclic_suite();
 /// (the paper's Table 2 / Table 4 rows).
 std::vector<SuiteEntry> challenging_suite();
 
-/// Looks an instance up by name across all three suites; throws if unknown.
+/// Looks an instance up by name across all three suites. Returns kBadInput
+/// (leaving `out` untouched) for an unknown name.
+Status try_instance_by_name(const std::string& name, pla::Pla& out);
+
+/// Throwing wrapper: BadInputError (std::invalid_argument) if unknown.
 pla::Pla instance_by_name(const std::string& name);
 
 }  // namespace ucp::gen

@@ -16,7 +16,8 @@ using cov::SubMatrix;
 template <class Matrix>
 DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
                              const std::vector<double>& warm_start,
-                             const std::vector<double>& cost_override) {
+                             const std::vector<double>& cost_override,
+                             Budget* governor) {
     const Index R = a.num_rows();
     const Index C = a.num_cols();
 
@@ -94,19 +95,23 @@ DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
     // Phase 1 guarantees: every column containing a still-positive variable is
     // satisfied; a final sweep handles rounding slack.
     // ---- phase 2: increase in increasing occurrence order ---------------------
-    std::stable_sort(order.begin(), order.end(), [&](Index x, Index y) {
-        return a.live_row_size(x) < a.live_row_size(y);
-    });
-    for (const Index i : order) {
-        double slack = cbar[i] - m[i];  // respect the m ≤ c̄ box
-        for (const Index j : a.row(i)) {
-            if (!a.col_alive(j)) continue;
-            if (!std::isfinite(cost[j])) continue;
-            slack = std::min(slack, cost[j] - load[j]);
-        }
-        if (slack > 1e-12) {
-            m[i] += slack;
-            for (const Index j : a.row(i)) load[j] += slack;
+    // On a tripped governor the re-increase is skipped: the repaired m is
+    // already dual feasible, so stopping here keeps the bound valid.
+    if (governor == nullptr || governor->check() == Status::kOk) {
+        std::stable_sort(order.begin(), order.end(), [&](Index x, Index y) {
+            return a.live_row_size(x) < a.live_row_size(y);
+        });
+        for (const Index i : order) {
+            double slack = cbar[i] - m[i];  // respect the m ≤ c̄ box
+            for (const Index j : a.row(i)) {
+                if (!a.col_alive(j)) continue;
+                if (!std::isfinite(cost[j])) continue;
+                slack = std::min(slack, cost[j] - load[j]);
+            }
+            if (slack > 1e-12) {
+                m[i] += slack;
+                for (const Index j : a.row(i)) load[j] += slack;
+            }
         }
     }
 
@@ -121,10 +126,10 @@ DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
 
 template DualAscentResult dual_ascent<CoverMatrix>(
     const CoverMatrix&, LagrangianWorkspace&, const std::vector<double>&,
-    const std::vector<double>&);
+    const std::vector<double>&, Budget*);
 template DualAscentResult dual_ascent<SubMatrix>(
     const SubMatrix&, LagrangianWorkspace&, const std::vector<double>&,
-    const std::vector<double>&);
+    const std::vector<double>&, Budget*);
 
 DualAscentResult dual_ascent(const CoverMatrix& a,
                              const std::vector<double>& warm_start,

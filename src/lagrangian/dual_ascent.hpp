@@ -14,6 +14,7 @@
 
 #include "lagrangian/workspace.hpp"
 #include "matrix/sparse_matrix.hpp"
+#include "util/budget.hpp"
 
 namespace ucp::lagr {
 
@@ -32,10 +33,16 @@ struct DualAscentResult {
 /// columns are skipped and the result is bit-identical to running on the
 /// compacted matrix (monotone renumbering, see DESIGN.md §7). Scratch comes
 /// from `ws` — no allocations after the workspace warm-up.
+///
+/// If `governor` is set and has tripped (deadline/cancel), phase 2 is skipped:
+/// the phase-1 repair always runs to completion because only a fully repaired
+/// m is dual feasible, and the early return is then still a valid (merely
+/// weaker) lower bound. No exception escapes this function.
 template <class Matrix>
 DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
                              const std::vector<double>& warm_start = {},
-                             const std::vector<double>& cost_override = {});
+                             const std::vector<double>& cost_override = {},
+                             Budget* governor = nullptr);
 
 /// Convenience overload with a throwaway workspace.
 DualAscentResult dual_ascent(const cov::CoverMatrix& a,

@@ -79,7 +79,7 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
     }
 
     // --- initialisation (paper §3.3 / §3.5) -------------------------------------
-    if (lambda0.empty()) lambda0 = dual_ascent(a, ws).m;
+    if (lambda0.empty()) lambda0 = dual_ascent(a, ws, {}, {}, opt.governor).m;
     UCP_REQUIRE(lambda0.size() == R, "lambda0 size mismatch");
 
     // Incumbent: greedy on original costs if none supplied.
@@ -118,6 +118,16 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
     };
 
     for (int k = 0; k < opt.max_iterations; ++k) {
+        // A governor trip ends the ascent with the best-so-far incumbent and
+        // bound — both stay valid (the incumbent is always feasible, lb_best
+        // is a max over valid Lagrangian values).
+        if (opt.governor != nullptr) {
+            const Status st = opt.governor->charge_iteration();
+            if (st != Status::kOk) {
+                out.status = st;
+                break;
+            }
+        }
         ++out.iterations;
 
         // ---- primal Lagrangian evaluation -------------------------------------

@@ -21,6 +21,7 @@
 #include "lagrangian/greedy_heuristics.hpp"
 #include "lagrangian/workspace.hpp"
 #include "matrix/sparse_matrix.hpp"
+#include "util/budget.hpp"
 
 namespace ucp::lagr {
 
@@ -34,6 +35,11 @@ struct SubgradientOptions {
     bool use_dual_lagrangian = true;  ///< maintain µ via (LD); off = primal only
     bool integer_costs = true;       ///< enables the ⌈LB⌉ = z_best optimality proof
     bool record_trace = false;       ///< fill SubgradientResult::trace
+    /// Optional resource governor. Each iteration is charged against it; a
+    /// trip (deadline/cancel/iteration cap) breaks the loop and the result
+    /// carries the best-so-far incumbent + bound with the trip Status. Not
+    /// owned; nullptr = ungoverned (bit-identical to the pre-governor code).
+    Budget* governor = nullptr;
 };
 
 /// One iteration snapshot (for convergence plots / diagnostics).
@@ -57,6 +63,7 @@ struct SubgradientResult {
     double w_ld_best = 0.0;  ///< best (lowest) dual-Lagrangian value ≥ z*_P
     int iterations = 0;
     bool proved_optimal = false;  ///< z_best == ⌈LB⌉
+    Status status = Status::kOk;  ///< non-kOk when a governor trip ended the run
     std::vector<SubgradientTracePoint> trace;  ///< when opt.record_trace
 };
 

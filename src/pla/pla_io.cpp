@@ -1,41 +1,81 @@
 #include "pla/pla_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 namespace ucp::pla {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& name, std::size_t line,
-                       const std::string& what) {
-    throw std::invalid_argument("PLA '" + name + "' line " + std::to_string(line) +
-                                ": " + what);
+/// Overlong lines are rejected before any per-character work: a multi-MB
+/// "line" is a corrupt or hostile input, not a PLA.
+constexpr std::size_t kMaxLineLength = std::size_t{1} << 20;
+
+struct Token {
+    std::string text;
+    std::size_t column;  ///< 1-based column of the first character
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i >= line.size()) break;
+        const std::size_t start = i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        out.push_back({line.substr(start, i - start), start + 1});
+    }
+    return out;
 }
 
-std::vector<std::string> tokenize(const std::string& line) {
-    std::vector<std::string> out;
-    std::istringstream is(line);
-    std::string tok;
-    while (is >> tok) out.push_back(tok);
-    return out;
+/// Strict positive-integer parse (the .i/.o values). Rejects trailing
+/// garbage, overflow and non-positive values — std::stol would throw
+/// std::out_of_range on a 40-digit value, which the old reader leaked.
+bool parse_positive(const std::string& s, long& value) {
+    long v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || v <= 0) return false;
+    value = v;
+    return true;
 }
 
 }  // namespace
 
-Pla read_pla(std::istream& is, const std::string& name) {
-    Pla pla;
+std::string PlaDiagnostic::to_string(const std::string& name) const {
+    std::string out = "PLA '" + name + "' line " + std::to_string(line);
+    if (column > 0) out += " col " + std::to_string(column);
+    out += ": " + message;
+    return out;
+}
+
+Status parse_pla(std::istream& is, Pla& pla, PlaDiagnostic& diag,
+                 const std::string& name) {
+    pla = Pla{};
     pla.name = name;
+    diag = PlaDiagnostic{};
     long ni = -1, no = -1;
     bool space_ready = false;
     CubeSpace space;
     std::string line;
     std::size_t lineno = 0;
 
-    auto ensure_space = [&](std::size_t at_line) {
-        if (space_ready) return;
-        if (ni < 0) fail(name, at_line, "cube line before .i");
+    const auto fail = [&](std::size_t at_line, std::size_t at_col,
+                          std::string what) {
+        diag.status = Status::kBadInput;
+        diag.line = at_line;
+        diag.column = at_col;
+        diag.message = std::move(what);
+        return Status::kBadInput;
+    };
+
+    const auto ensure_space = [&](std::size_t at_line) {
+        if (space_ready) return true;
+        if (ni < 0) return false;
         if (no < 0) no = 1;  // tolerate missing .o: single output
         space = CubeSpace{static_cast<std::uint32_t>(ni),
                           static_cast<std::uint32_t>(no)};
@@ -43,35 +83,52 @@ Pla read_pla(std::istream& is, const std::string& name) {
         pla.dc = Cover(space);
         pla.off = Cover(space);
         space_ready = true;
+        (void)at_line;
+        return true;
     };
 
     while (std::getline(is, line)) {
         ++lineno;
+        if (line.size() > kMaxLineLength)
+            return fail(lineno, 0, "line exceeds maximum length (" +
+                                       std::to_string(kMaxLineLength) +
+                                       " characters)");
         // Strip comments.
         const auto hash = line.find('#');
         if (hash != std::string::npos) line.erase(hash);
         const auto toks = tokenize(line);
         if (toks.empty()) continue;
 
-        if (toks[0][0] == '.') {
-            const std::string& dir = toks[0];
+        if (toks[0].text[0] == '.') {
+            const std::string& dir = toks[0].text;
             if (dir == ".i") {
-                if (toks.size() < 2) fail(name, lineno, ".i needs a value");
-                ni = std::stol(toks[1]);
-                if (ni <= 0) fail(name, lineno, ".i must be positive");
+                if (toks.size() < 2)
+                    return fail(lineno, toks[0].column, ".i needs a value");
+                if (!parse_positive(toks[1].text, ni))
+                    return fail(lineno, toks[1].column,
+                                ".i must be a positive integer (got '" +
+                                    toks[1].text + "')");
             } else if (dir == ".o") {
-                if (toks.size() < 2) fail(name, lineno, ".o needs a value");
-                no = std::stol(toks[1]);
-                if (no <= 0) fail(name, lineno, ".o must be positive");
+                if (toks.size() < 2)
+                    return fail(lineno, toks[0].column, ".o needs a value");
+                if (!parse_positive(toks[1].text, no))
+                    return fail(lineno, toks[1].column,
+                                ".o must be a positive integer (got '" +
+                                    toks[1].text + "')");
             } else if (dir == ".p") {
                 // cube-count hint; ignored (we count what we read)
             } else if (dir == ".type") {
-                if (toks.size() < 2) fail(name, lineno, ".type needs a value");
-                pla.type = toks[1];
+                if (toks.size() < 2)
+                    return fail(lineno, toks[0].column, ".type needs a value");
+                pla.type = toks[1].text;
             } else if (dir == ".ilb") {
-                pla.input_labels.assign(toks.begin() + 1, toks.end());
+                pla.input_labels.clear();
+                for (std::size_t t = 1; t < toks.size(); ++t)
+                    pla.input_labels.push_back(toks[t].text);
             } else if (dir == ".ob") {
-                pla.output_labels.assign(toks.begin() + 1, toks.end());
+                pla.output_labels.clear();
+                for (std::size_t t = 1; t < toks.size(); ++t)
+                    pla.output_labels.push_back(toks[t].text);
             } else if (dir == ".e" || dir == ".end") {
                 break;
             }
@@ -80,23 +137,35 @@ Pla read_pla(std::istream& is, const std::string& name) {
         }
 
         // Cube line: input plane then (optionally) output plane.
-        ensure_space(lineno);
+        if (!ensure_space(lineno))
+            return fail(lineno, toks[0].column, "cube line before .i");
         std::string in_part, out_part;
+        // Column of each character of the (possibly re-concatenated) cube.
+        std::vector<std::size_t> col_of;
         if (toks.size() == 1 && space.num_outputs == 1 &&
-            toks[0].size() == space.num_inputs) {
-            in_part = toks[0];
+            toks[0].text.size() == space.num_inputs) {
+            in_part = toks[0].text;
             out_part = "1";
+            col_of.resize(in_part.size() + 1);
+            for (std::size_t i = 0; i < in_part.size(); ++i)
+                col_of[i] = toks[0].column + i;
+            col_of[in_part.size()] = toks[0].column + in_part.size() - 1;
         } else {
             // Espresso allows arbitrary whitespace: concatenate tokens and
             // split by counts.
             std::string all;
-            for (const auto& t : toks) all += t;
+            for (const auto& t : toks) {
+                for (std::size_t i = 0; i < t.text.size(); ++i)
+                    col_of.push_back(t.column + i);
+                all += t.text;
+            }
             if (all.size() != space.num_inputs + space.num_outputs)
-                fail(name, lineno, "cube width mismatch (have " +
-                                       std::to_string(all.size()) + ", expected " +
-                                       std::to_string(space.num_inputs +
-                                                      space.num_outputs) +
-                                       ")");
+                return fail(lineno, toks[0].column,
+                            "cube width mismatch (have " +
+                                std::to_string(all.size()) + ", expected " +
+                                std::to_string(space.num_inputs +
+                                               space.num_outputs) +
+                                ")");
             in_part = all.substr(0, space.num_inputs);
             out_part = all.substr(space.num_inputs);
         }
@@ -105,7 +174,10 @@ Pla read_pla(std::istream& is, const std::string& name) {
         Cube base = Cube::full_inputs(space);
         for (std::uint32_t i = 0; i < space.num_inputs; ++i) {
             const auto l = lit_from_char(in_part[i]);
-            if (!l.has_value()) fail(name, lineno, "bad input character");
+            if (!l.has_value())
+                return fail(lineno, col_of[i],
+                            std::string("bad input character '") + in_part[i] +
+                                "'");
             base.set_in(space, i, *l);
         }
         // Dispatch output characters to the three planes.
@@ -131,7 +203,9 @@ Pla read_pla(std::istream& is, const std::string& name) {
                 case '~':
                     break;
                 default:
-                    fail(name, lineno, "bad output character");
+                    return fail(lineno, col_of[space.num_inputs + k],
+                                std::string("bad output character '") +
+                                    out_part[k] + "'");
             }
         }
         if (has_on && base.inputs_valid(space)) pla.on.add(std::move(on_c));
@@ -139,7 +213,34 @@ Pla read_pla(std::istream& is, const std::string& name) {
         if (has_off && base.inputs_valid(space)) pla.off.add(std::move(off_c));
     }
 
-    ensure_space(lineno);
+    if (!ensure_space(lineno))
+        return fail(lineno, 0, "no .i directive in input");
+    return Status::kOk;
+}
+
+Status parse_pla_string(const std::string& text, Pla& out, PlaDiagnostic& diag,
+                        const std::string& name) {
+    std::istringstream is(text);
+    return parse_pla(is, out, diag, name);
+}
+
+Status parse_pla_file(const std::string& path, Pla& out, PlaDiagnostic& diag) {
+    std::ifstream is(path);
+    if (!is) {
+        diag.status = Status::kBadInput;
+        diag.line = 0;
+        diag.column = 0;
+        diag.message = "cannot open PLA file";
+        return Status::kBadInput;
+    }
+    return parse_pla(is, out, diag, path);
+}
+
+Pla read_pla(std::istream& is, const std::string& name) {
+    Pla pla;
+    PlaDiagnostic diag;
+    if (parse_pla(is, pla, diag, name) != Status::kOk)
+        throw BadInputError(diag.to_string(name));
     return pla;
 }
 
@@ -149,9 +250,11 @@ Pla read_pla_string(const std::string& text, const std::string& name) {
 }
 
 Pla read_pla_file(const std::string& path) {
-    std::ifstream is(path);
-    if (!is) throw std::invalid_argument("cannot open PLA file: " + path);
-    return read_pla(is, path);
+    Pla pla;
+    PlaDiagnostic diag;
+    if (parse_pla_file(path, pla, diag) != Status::kOk)
+        throw BadInputError(diag.to_string(path));
+    return pla;
 }
 
 void write_pla(std::ostream& os, const Pla& pla) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pla/cover.hpp"
+#include "util/status.hpp"
 
 namespace ucp::pla {
 
@@ -30,7 +31,31 @@ struct Pla {
     [[nodiscard]] const CubeSpace& space() const { return on.space(); }
 };
 
-/// Parses PLA text. Throws std::invalid_argument on malformed input.
+/// Where and why a parse failed. `line` is 1-based; `column` is 1-based and
+/// 0 when the error is not tied to a specific character (e.g. a truncated
+/// directive or an unopenable file).
+struct PlaDiagnostic {
+    Status status = Status::kOk;
+    std::size_t line = 0;
+    std::size_t column = 0;
+    std::string message;
+
+    /// "PLA 'name' line L col C: message" (name passed by the caller).
+    [[nodiscard]] std::string to_string(const std::string& name) const;
+};
+
+/// Non-throwing parser core: fills `out` and returns kOk, or leaves `out`
+/// partially filled and returns kBadInput with `diag` describing the first
+/// error (line/column/message). Never throws on malformed input.
+Status parse_pla(std::istream& is, Pla& out, PlaDiagnostic& diag,
+                 const std::string& name = "pla");
+Status parse_pla_string(const std::string& text, Pla& out, PlaDiagnostic& diag,
+                        const std::string& name = "pla");
+Status parse_pla_file(const std::string& path, Pla& out, PlaDiagnostic& diag);
+
+/// Throwing convenience wrappers over parse_pla: throw BadInputError (an
+/// std::invalid_argument carrying Status::kBadInput) with the diagnostic's
+/// line/column in the message.
 Pla read_pla(std::istream& is, const std::string& name = "pla");
 Pla read_pla_string(const std::string& text, const std::string& name = "pla");
 Pla read_pla_file(const std::string& path);

@@ -54,6 +54,8 @@ public:
         if (f == zdd::kBddTrue) return zdd::kBase;
         const auto it = memo_.find(f);
         if (it != memo_.end()) return it->second;
+        if (zmgr_.governor() != nullptr)
+            throw_if_error(zmgr_.governor()->check(), "implicit_primes");
 
         const std::uint32_t v = bmgr_.var_of(f);
         const BddId f0 = bmgr_.lo_of(f);

@@ -26,11 +26,15 @@ struct Ctx {
     Timer timer;
     std::size_t nodes = 0;
     bool aborted = false;
+    Status stop = Status::kOk;
     Cost best_cost = 0;
     std::vector<Index> best_solution;  // original column indices
 
     bool out_of_budget() {
         if (nodes >= opt.max_nodes) return true;
+        if (opt.governor != nullptr && stop == Status::kOk)
+            stop = opt.governor->charge_iteration();
+        if (stop != Status::kOk) return true;
         if (opt.time_limit_seconds > 0.0 &&
             timer.seconds() >= opt.time_limit_seconds)
             return true;
@@ -293,6 +297,7 @@ BnbResult solve_exact(const CoverMatrix& m, const BnbOptions& opt) {
         out.lower_bound += r.lower_bound;
         out.nodes += r.nodes;
         out.optimal = out.optimal && r.optimal;
+        if (out.status == Status::kOk) out.status = r.status;
     }
     out.seconds = timer.seconds();
     UCP_ASSERT(m.is_feasible(out.solution));
@@ -326,6 +331,7 @@ BnbResult solve_exact_single(const CoverMatrix& m, const BnbOptions& opt) {
     out.nodes = ctx.nodes;
     out.optimal = !ctx.aborted;
     out.lower_bound = out.optimal ? out.cost : std::min(root_lb, out.cost);
+    out.status = ctx.stop;
     out.seconds = ctx.timer.seconds();
     return out;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "matrix/sparse_matrix.hpp"
+#include "util/budget.hpp"
 
 namespace ucp::solver {
 
@@ -36,6 +37,11 @@ struct BnbOptions {
     int incremental_mis_extra_rows = 6;
     /// kLp: cores larger than this (rows × cols) fall back to dual ascent.
     std::size_t lp_cell_limit = 40'000;
+    /// Optional resource governor, charged one iteration per expanded node.
+    /// A trip truncates the search exactly like max_nodes: the incumbent and
+    /// root bound stay valid, `optimal` is false, and BnbResult::status
+    /// reports the trip. Not owned; nullptr = ungoverned.
+    Budget* governor = nullptr;
 };
 
 /// The Aura-flavoured bound [14]: the optimum of the sub-problem induced by
@@ -51,6 +57,8 @@ struct BnbResult {
     bool optimal = false;
     std::size_t nodes = 0;
     double seconds = 0.0;
+    /// kOk, or the governor trip that truncated the search.
+    Status status = Status::kOk;
 };
 
 BnbResult solve_exact(const cov::CoverMatrix& m, const BnbOptions& opt = {});

@@ -102,6 +102,7 @@ ScgResult solve_scg_one_start(const CoverMatrix& m, const ScgOptions& opt) {
         out.subgradient_calls += r.subgradient_calls;
         out.columns_fixed_by_penalties += r.columns_fixed_by_penalties;
         out.columns_removed_by_penalties += r.columns_removed_by_penalties;
+        if (out.status == Status::kOk) out.status = r.status;
     }
     out.seconds = timer.seconds();
     UCP_ASSERT(m.is_feasible(out.solution));
@@ -153,6 +154,15 @@ ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
             local.num_starts = 1;
             local.seed = start_seed(opt.seed, static_cast<int>(s));
             local.log = s == 0 ? opt.log : nullptr;
+            // Each start governs itself through a fork: shared cancel token
+            // and absolute deadline, private iteration/fault counters — so
+            // injected faults trip at the same point in every start no matter
+            // how the starts are scheduled across threads.
+            Budget forked;
+            if (opt.governor != nullptr) {
+                forked = opt.governor->fork();
+                local.governor = &forked;
+            }
             results[s] = solve_scg_one_start(m, local);
         });
     }
@@ -164,8 +174,11 @@ ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
     ScgResult out = results[best];
     out.starts_executed = starts;
     out.start_of_best = static_cast<int>(best);
+    out.status = Status::kOk;
     for (std::size_t s = 0; s < results.size(); ++s) {
-        // Every start's Lagrangian bound is valid; keep the strongest.
+        // Every start's Lagrangian bound is valid; keep the strongest. The
+        // status merge is deterministic too: first non-kOk by start index.
+        if (out.status == Status::kOk) out.status = results[s].status;
         out.lower_bound = std::max(out.lower_bound, results[s].lower_bound);
         out.lower_bound_fractional = std::max(out.lower_bound_fractional,
                                               results[s].lower_bound_fractional);
@@ -191,7 +204,17 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
     ScgResult out;
     lagr::LagrangianWorkspace ws;
 
+    // The subgradient phases charge their iterations against the same
+    // governor, so a deadline/cancel trip surfaces both here (between fixing
+    // steps) and inside the ascent (between iterations).
+    lagr::SubgradientOptions subopt = opt.subgradient;
+    if (subopt.governor == nullptr) subopt.governor = opt.governor;
+
+    Status stop = Status::kOk;
     const auto expired = [&] {
+        if (stop == Status::kOk && opt.governor != nullptr)
+            stop = opt.governor->check();
+        if (stop != Status::kOk) return true;
         return opt.time_limit_seconds > 0.0 &&
                timer.seconds() >= opt.time_limit_seconds;
     };
@@ -220,8 +243,7 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
     }
 
     // ---- root subgradient: global bound + first incumbent ----------------------
-    const auto root_sub =
-        lagr::subgradient_ascent(root.mat, ws, opt.subgradient);
+    const auto root_sub = lagr::subgradient_ascent(root.mat, ws, subopt);
     ++out.subgradient_calls;
     root.lambda = root_sub.lambda;
     root.mu = root_sub.mu;
@@ -380,8 +402,7 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
             // Re-optimise the multipliers on the reduced problem, warm-started
             // from the previous ones (paper §3.2: "the best value determined
             // for the previous problem is assumed as the initial one").
-            sub = lagr::subgradient_ascent(w.view, ws, opt.subgradient,
-                                           w.lambda, w.mu);
+            sub = lagr::subgradient_ascent(w.view, ws, subopt, w.lambda, w.mu);
             ++out.subgradient_calls;
             w.lambda = sub.lambda;
             w.mu = sub.mu;
@@ -408,6 +429,7 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
     out.solution = std::move(best);
     out.cost = best_cost;
     out.proved_optimal = out.cost <= out.lower_bound;
+    out.status = stop;
     out.seconds = timer.seconds();
     return out;
 }

@@ -57,6 +57,14 @@ struct ScgOptions {
     /// 1 = serial. Has no effect when num_starts ≤ 1.
     int num_threads = 1;
     lagr::SubgradientOptions subgradient{};
+    /// Optional resource governor (deadline / cancellation / iteration cap).
+    /// Polled between fixing steps and charged per subgradient iteration; a
+    /// trip ends the solve with the best-so-far incumbent and bound, reported
+    /// through ScgResult::status. Multi-starts each run on a fork of this
+    /// budget (shared deadline + cancel token, private fault/iteration
+    /// counters) so fault injection trips deterministically regardless of
+    /// num_threads. Not owned; nullptr = ungoverned.
+    Budget* governor = nullptr;
     /// Optional progress log (one line per subgradient phase / run).
     /// Ignored by the parallel starts (s > 0) to keep output deterministic.
     std::ostream* log = nullptr;
@@ -76,6 +84,9 @@ struct ScgResult {
     std::size_t columns_fixed_by_penalties = 0;
     std::size_t columns_removed_by_penalties = 0;
     double seconds = 0.0;
+    /// kOk, or the governor trip that ended the solve early. The solution is
+    /// feasible and lower_bound valid either way (anytime contract).
+    Status status = Status::kOk;
 };
 
 /// Solves the unate covering problem heuristically with the SCG scheme.

@@ -4,6 +4,7 @@
 #include "matrix/reductions.hpp"
 #include "pla/urp.hpp"
 #include "solver/greedy.hpp"
+#include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace ucp::solver {
@@ -35,7 +36,24 @@ TwoLevelResult minimize_two_level(const pla::Pla& pla,
     Timer total;
     TwoLevelResult res;
 
-    const cover::CoveringTable table = cover::build_covering_table(pla, opt.table);
+    // One governor for the whole pipeline: DD managers charge node growth,
+    // the solvers charge iterations, everything shares the deadline and the
+    // cancel token.
+    Budget gov(opt.budget, opt.cancel);
+    cover::TableBuildOptions topt = opt.table;
+    if (topt.dd.governor == nullptr) topt.dd.governor = &gov;
+
+    cover::CoveringTable table;
+    try {
+        table = cover::build_covering_table(pla, topt);
+    } catch (const ResourceError& e) {
+        // A deadline/cancel (or forced-implicit node budget) trip before any
+        // cover exists: report the empty anytime result instead of failing.
+        res.cover = pla::Cover(pla.space());
+        res.status = e.status();
+        res.total_seconds = total.seconds();
+        return res;
+    }
     res.num_primes = table.primes.size();
     res.num_rows = table.matrix.num_rows();
     res.onset_minterms = table.onset_minterms;
@@ -44,11 +62,14 @@ TwoLevelResult minimize_two_level(const pla::Pla& pla,
     std::vector<Index> solution;
     switch (opt.cover_solver) {
         case CoverSolver::kScg: {
-            const ScgResult r = solve_scg(table.matrix, opt.scg);
+            ScgOptions sopt = opt.scg;
+            if (sopt.governor == nullptr) sopt.governor = &gov;
+            const ScgResult r = solve_scg(table.matrix, sopt);
             solution = r.solution;
             res.weighted_lower_bound = r.lower_bound;
             res.proved_optimal = r.proved_optimal;
             res.run_of_best = r.run_of_best;
+            res.status = r.status;
             break;
         }
         case CoverSolver::kGreedy: {
@@ -58,27 +79,47 @@ TwoLevelResult minimize_two_level(const pla::Pla& pla,
             break;
         }
         case CoverSolver::kExact: {
-            const BnbResult r = solve_exact(table.matrix, opt.bnb);
+            BnbOptions bopt = opt.bnb;
+            if (bopt.governor == nullptr) bopt.governor = &gov;
+            const BnbResult r = solve_exact(table.matrix, bopt);
             solution = r.solution;
             res.weighted_lower_bound = r.lower_bound;
             res.proved_optimal = r.optimal;
+            res.status = r.status;
             break;
         }
         case CoverSolver::kImplicitExact: {
             // Reduce explicitly first (essentials + dominance), then let the
-            // ZDD enumeration solve the cyclic core exactly.
+            // ZDD enumeration solve the cyclic core exactly. A node-budget
+            // trip falls back to explicit branch-and-bound on the same core.
             const cov::ReduceResult red = cov::reduce(table.matrix);
             solution = red.essential_cols;
             Cost lb = red.fixed_cost;
             if (!red.solved()) {
-                const auto best = cover::implicit_exact_cover(red.core);
-                for (const auto v : best.members)
-                    solution.push_back(red.core_col_map[v]);
-                lb += best.cost;
+                try {
+                    const auto best = cover::implicit_exact_cover(
+                        red.core, cover::kDefaultNodeGuard, topt.dd);
+                    for (const auto v : best.members)
+                        solution.push_back(red.core_col_map[v]);
+                    lb += best.cost;
+                    res.proved_optimal = true;
+                } catch (const ResourceError& e) {
+                    if (e.status() != Status::kNodeBudget) throw;
+                    stats::counter("budget.zdd_fallbacks").add();
+                    BnbOptions bopt = opt.bnb;
+                    if (bopt.governor == nullptr) bopt.governor = &gov;
+                    const BnbResult r = solve_exact(red.core, bopt);
+                    for (const Index v : r.solution)
+                        solution.push_back(red.core_col_map[v]);
+                    lb += r.lower_bound;
+                    res.proved_optimal = r.optimal;
+                    res.status = r.status;
+                }
+            } else {
+                res.proved_optimal = true;
             }
             solution = table.matrix.make_irredundant(std::move(solution));
             res.weighted_lower_bound = lb;
-            res.proved_optimal = true;
             break;
         }
     }

@@ -30,6 +30,15 @@ struct TwoLevelOptions {
     /// URP equivalence check of the result against the specification
     /// (ON ≤ result + DC and result ≤ ON + DC).
     bool verify = true;
+    /// Resource limits for the whole pipeline. minimize_two_level constructs
+    /// one Budget from these and threads it through the table build, the DD
+    /// managers and the covering solver. A node-budget trip silently degrades
+    /// the implicit phase to the explicit path ("budget.zdd_fallbacks"
+    /// counter); a deadline/cancel trip ends the solve with the best-so-far
+    /// feasible cover and bound, reported via TwoLevelResult::status.
+    BudgetOptions budget{};
+    /// Optional cooperative cancellation (e.g. a SIGINT handler). Not owned.
+    CancelToken* cancel = nullptr;
 };
 
 struct TwoLevelResult {
@@ -49,6 +58,11 @@ struct TwoLevelResult {
     double cyclic_core_seconds = 0.0; ///< CC(s): implicit phase + decode
     double total_seconds = 0.0;       ///< T(s)
     int run_of_best = 0;              ///< SCG restart that found the solution
+    /// kOk for a complete solve; kDeadline/kCancelled when a budget trip made
+    /// this an anytime result. The cover is feasible and lower_bound valid in
+    /// either case — except after a trip inside the table build, where no
+    /// cover exists yet and the result is empty (cost 0, verified false).
+    Status status = Status::kOk;
 };
 
 TwoLevelResult minimize_two_level(const pla::Pla& pla,

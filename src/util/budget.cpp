@@ -1,0 +1,90 @@
+#include "util/budget.hpp"
+
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace ucp {
+
+Budget::Budget(const BudgetOptions& opt, CancelToken* cancel)
+    : opt_(opt),
+      cancel_(cancel),
+      fault_(opt.fault.enabled() ? opt.fault : fault::spec_from_env()) {
+    if (opt_.deadline_seconds > 0.0) {
+        has_deadline_ = true;
+        deadline_at_ =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   opt_.deadline_seconds));
+    }
+}
+
+Budget Budget::fork() const {
+    Budget child;
+    child.opt_ = opt_;
+    child.cancel_ = cancel_;
+    child.deadline_at_ = deadline_at_;
+    child.has_deadline_ = has_deadline_;
+    child.fault_ = fault_.fresh();
+    return child;
+}
+
+Status Budget::trip(Status s) noexcept {
+    if (s == Status::kNodeBudget) {
+        if (!node_tripped_) {
+            node_tripped_ = true;
+            stats::counter("budget.node_budget_trips").add();
+        }
+        return s;
+    }
+    if (tripped_ == Status::kOk) {
+        tripped_ = s;
+        stats::counter(s == Status::kDeadline ? "budget.deadline_trips"
+                                              : "budget.cancel_trips")
+            .add();
+    }
+    return tripped_;
+}
+
+Status Budget::check_slow() noexcept {
+    if (fault_.enabled()) {
+        if (fault_.should_fail(fault::Kind::kCancel))
+            return trip(Status::kCancelled);
+        if (fault_.should_fail(fault::Kind::kDeadline))
+            return trip(Status::kDeadline);
+    }
+    if (cancel_ != nullptr && cancel_->cancelled())
+        return trip(Status::kCancelled);
+    if (has_deadline_ && Clock::now() >= deadline_at_)
+        return trip(Status::kDeadline);
+    return Status::kOk;
+}
+
+Status Budget::charge_iteration() noexcept {
+    if (tripped_ != Status::kOk) return tripped_;
+    ++iterations_;
+    if (opt_.iteration_cap != 0 && iterations_ > opt_.iteration_cap)
+        return trip(Status::kDeadline);
+    return check_slow();
+}
+
+Status Budget::charge_node(std::size_t n) noexcept {
+    if (tripped_ != Status::kOk) return tripped_;
+    if (node_tripped_) return Status::kNodeBudget;
+    const std::uint64_t before = nodes_;
+    nodes_ += n;
+    if (fault_.enabled() && fault_.should_fail(fault::Kind::kAlloc))
+        return trip(Status::kNodeBudget);
+    if (opt_.zdd_node_budget != 0 && nodes_ > opt_.zdd_node_budget)
+        return trip(Status::kNodeBudget);
+    // Amortised deadline/cancel poll: at most one clock read per 1024 nodes.
+    if ((before >> 10) != (nodes_ >> 10)) return check_slow();
+    return Status::kOk;
+}
+
+void throw_if_error(Status st, const char* where) {
+    if (st == Status::kOk) return;
+    throw ResourceError(st, std::string(where) + ": " + to_string(st));
+}
+
+}  // namespace ucp

@@ -1,22 +1,25 @@
 // Lightweight precondition / invariant checking.
 //
-// Library code validates its *public* preconditions with UCP_REQUIRE (always on,
-// throws std::invalid_argument) and internal invariants with UCP_ASSERT (throws
-// std::logic_error; compiled in all build types — the solvers here are not on a
-// nanosecond-critical path, and a corrupted covering matrix must never silently
-// produce a "solution").
+// Library code validates its *public* preconditions with UCP_REQUIRE (always
+// on, throws ucp::BadInputError — a Status::kBadInput-carrying
+// std::invalid_argument, see util/status.hpp) and internal invariants with
+// UCP_ASSERT (throws std::logic_error; compiled in all build types — the
+// solvers here are not on a nanosecond-critical path, and a corrupted
+// covering matrix must never silently produce a "solution").
 #pragma once
 
 #include <stdexcept>
 #include <string>
 
+#include "util/status.hpp"
+
 namespace ucp::detail {
 
 [[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
                                         const std::string& msg) {
-    throw std::invalid_argument(std::string("precondition failed: ") + expr + " at " +
-                                file + ":" + std::to_string(line) +
-                                (msg.empty() ? "" : (" — " + msg)));
+    throw BadInputError(std::string("precondition failed: ") + expr + " at " +
+                        file + ":" + std::to_string(line) +
+                        (msg.empty() ? "" : (" — " + msg)));
 }
 
 [[noreturn]] inline void assert_failed(const char* expr, const char* file, int line) {

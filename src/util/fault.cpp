@@ -1,0 +1,43 @@
+#include "util/fault.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace ucp::fault {
+
+Spec parse_spec(const char* text) noexcept {
+    if (text == nullptr) return {};
+    const std::string_view sv(text);
+    const auto colon = sv.find(':');
+    if (colon == std::string_view::npos) return {};
+
+    const std::string_view kind = sv.substr(0, colon);
+    const std::string_view count = sv.substr(colon + 1);
+
+    Spec spec;
+    if (kind == "alloc") {
+        spec.kind = Kind::kAlloc;
+    } else if (kind == "deadline") {
+        spec.kind = Kind::kDeadline;
+    } else if (kind == "cancel") {
+        spec.kind = Kind::kCancel;
+    } else {
+        return {};
+    }
+
+    std::uint64_t n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(count.data(), count.data() + count.size(), n);
+    if (ec != std::errc{} || ptr != count.data() + count.size() || n == 0)
+        return {};
+    spec.at = n;
+    return spec;
+}
+
+Spec spec_from_env() noexcept {
+    return parse_spec(std::getenv("UCP_FAULT"));
+}
+
+}  // namespace ucp::fault

@@ -1,0 +1,65 @@
+// Deterministic fault injection for the anytime-degradation paths.
+//
+// The env variable UCP_FAULT forces the N-th resource check of a kind to
+// fail:
+//
+//   UCP_FAULT=alloc:N      the N-th charged DD node allocation fails
+//                          (reported as Status::kNodeBudget)
+//   UCP_FAULT=deadline:N   the N-th governor poll reports Status::kDeadline
+//   UCP_FAULT=cancel:N     the N-th governor poll reports Status::kCancelled
+//
+// Counters are per-Budget (each Budget::fork() starts fresh), so a
+// multi-start solve trips each start at its own N-th check and the result is
+// bit-identical for every thread count. Off by default: with no spec the
+// per-check cost is a single enum compare.
+#pragma once
+
+#include <cstdint>
+
+namespace ucp::fault {
+
+enum class Kind : std::uint8_t { kNone = 0, kAlloc, kDeadline, kCancel };
+
+struct Spec {
+    Kind kind = Kind::kNone;
+    std::uint64_t at = 0;  ///< 1-based index of the check that fails
+
+    [[nodiscard]] bool enabled() const noexcept { return kind != Kind::kNone; }
+};
+
+/// Parses a "kind:N" spec ("alloc:3", "deadline:10", "cancel:1").
+/// Returns a disabled Spec on anything malformed — fault injection is a
+/// debugging aid and must never take the process down itself.
+[[nodiscard]] Spec parse_spec(const char* text) noexcept;
+
+/// The spec from the UCP_FAULT environment variable (re-read on every call,
+/// so tests can sweep values within one process). Disabled when unset.
+[[nodiscard]] Spec spec_from_env() noexcept;
+
+/// Per-Budget injection state: counts checks of the spec'd kind and fires —
+/// stickily — at the N-th one.
+class Injector {
+public:
+    Injector() = default;
+    explicit Injector(const Spec& spec) noexcept : spec_(spec) {}
+
+    /// True when this check must fail. Sticky once fired.
+    [[nodiscard]] bool should_fail(Kind kind) noexcept {
+        if (spec_.kind != kind) return false;
+        if (fired_) return true;
+        if (++count_ >= spec_.at) fired_ = true;
+        return fired_;
+    }
+
+    /// Same spec, counters rewound — for Budget::fork().
+    [[nodiscard]] Injector fresh() const noexcept { return Injector(spec_); }
+
+    [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
+
+private:
+    Spec spec_{};
+    std::uint64_t count_ = 0;
+    bool fired_ = false;
+};
+
+}  // namespace ucp::fault

@@ -1,0 +1,76 @@
+// Structured outcome codes for the anytime solver harness.
+//
+// Library code never calls exit()/abort(): recoverable resource trips
+// (deadline, node budget, cancellation) and input errors surface either as a
+// Status field on a result struct (solver boundaries, parser API) or as a
+// Status-carrying exception (deep recursions, where unwinding through RAII
+// handles is the only sane exit). The exception types deliberately derive
+// from the std bases the pre-Status API threw — std::invalid_argument for
+// bad input, std::runtime_error for resource trips — so existing callers and
+// tests keep working while new code can switch on status_of().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ucp {
+
+enum class Status : std::uint8_t {
+    kOk = 0,
+    kDeadline,    ///< wall-clock deadline expired (anytime result returned)
+    kNodeBudget,  ///< DD node / decode-size budget exceeded
+    kCancelled,   ///< cooperative cancellation (CancelToken / SIGINT)
+    kBadInput,    ///< malformed input or violated public precondition
+};
+
+[[nodiscard]] inline const char* to_string(Status s) noexcept {
+    switch (s) {
+        case Status::kOk: return "ok";
+        case Status::kDeadline: return "deadline";
+        case Status::kNodeBudget: return "node_budget";
+        case Status::kCancelled: return "cancelled";
+        case Status::kBadInput: return "bad_input";
+    }
+    return "unknown";
+}
+
+/// Mixin interface implemented by every Status-carrying exception.
+class StatusCarrier {
+public:
+    [[nodiscard]] virtual Status status() const noexcept = 0;
+
+protected:
+    ~StatusCarrier() = default;
+};
+
+/// Violated public precondition / malformed input (always kBadInput).
+class BadInputError : public std::invalid_argument, public StatusCarrier {
+public:
+    explicit BadInputError(const std::string& what)
+        : std::invalid_argument(what) {}
+    [[nodiscard]] Status status() const noexcept override {
+        return Status::kBadInput;
+    }
+};
+
+/// Resource trip (deadline / node budget / cancellation) thrown from deep
+/// recursions; callers at solver boundaries convert it into a Status result.
+class ResourceError : public std::runtime_error, public StatusCarrier {
+public:
+    ResourceError(Status s, const std::string& what)
+        : std::runtime_error(what), status_(s) {}
+    [[nodiscard]] Status status() const noexcept override { return status_; }
+
+private:
+    Status status_;
+};
+
+/// The Status carried by an exception, or kBadInput for plain std exceptions
+/// (the pre-Status convention: anything thrown on bad input).
+[[nodiscard]] inline Status status_of(const std::exception& e) noexcept {
+    if (const auto* c = dynamic_cast<const StatusCarrier*>(&e))
+        return c->status();
+    return Status::kBadInput;
+}
+
+}  // namespace ucp

@@ -16,7 +16,8 @@ constexpr std::size_t kInitialTable = 1u << 12;
 BddManager::BddManager(std::uint32_t num_vars, const DdOptions& options)
     : num_vars_(num_vars),
       table_(kInitialTable),
-      cache_(options.cache_entries, options.max_cache_entries) {
+      cache_(options.cache_entries, options.max_cache_entries),
+      governor_(options.governor) {
     UCP_REQUIRE(num_vars < kBddTermVar, "variable count out of range");
     nodes_.resize(2);
     nodes_[0] = {kBddTermVar, 0, 0};
@@ -36,6 +37,8 @@ BddId BddManager::make(std::uint32_t v, BddId lo, BddId hi) {
 
     std::size_t slot;
     if (const BddId found = table_.find(nodes_, v, lo, hi, slot)) return found;
+    if (governor_ != nullptr)
+        throw_if_error(governor_->charge_node(), "bdd arena");
     const BddId id = static_cast<BddId>(nodes_.size());
     nodes_.push_back({v, lo, hi});
     table_.insert(nodes_, slot, id);

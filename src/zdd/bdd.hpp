@@ -92,6 +92,7 @@ private:
     std::vector<Node> nodes_;
     UniqueTable<Node> table_;
     ComputedCache<BddId> cache_;
+    Budget* governor_ = nullptr;
 };
 
 }  // namespace ucp::zdd

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/budget.hpp"
+
 namespace ucp::zdd {
 
 /// Construction-time tuning knobs shared by ZddManager and BddManager.
@@ -43,6 +45,12 @@ struct DdOptions {
     /// once live nodes exceed this. The threshold self-doubles when a
     /// collection reclaims little (anti-thrash), exactly as before.
     std::size_t gc_threshold = std::size_t{1} << 18;
+    /// Optional resource governor (util/budget.hpp). When set, both managers
+    /// charge every arena growth against its node budget and throw a
+    /// ResourceError when it (or the deadline / cancel token) trips; the
+    /// implicit covering phase catches kNodeBudget and falls back to the
+    /// explicit path. nullptr = ungoverned (the default).
+    Budget* governor = nullptr;
 };
 
 /// Mixes a (var, lo, hi) triple into a well-distributed 64-bit hash

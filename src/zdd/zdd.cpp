@@ -104,7 +104,8 @@ ZddManager::ZddManager(Var num_vars, const DdOptions& options)
                       ? ComputedCache<NodePair>::kWays
                       : options.cache_entries / 4,
                   options.max_cache_entries),
-      gc_threshold_(options.gc_threshold) {
+      gc_threshold_(options.gc_threshold),
+      governor_(options.governor) {
     UCP_REQUIRE(num_vars < kTermVar, "variable count out of range");
     nodes_.resize(2);  // terminals; var/lo/hi of terminals are never read
     nodes_[0] = {kTermVar, 0, 0};
@@ -147,6 +148,10 @@ NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
         extref_[id] = 0;
         flags_[id] = 0;
     } else {
+        // Arena growth (free-list reuse is not charged: it cannot increase
+        // the memory footprint).
+        if (governor_ != nullptr)
+            throw_if_error(governor_->charge_node(), "zdd arena");
         id = static_cast<NodeId>(nodes_.size());
         nodes_.push_back({v, lo, hi});
         extref_.push_back(0);

@@ -212,6 +212,11 @@ public:
     /// Returns the number of nodes reclaimed.
     std::size_t gc();
 
+    /// The resource governor this manager charges arena growth to (from
+    /// DdOptions::governor; nullptr = ungoverned). Recursion roots built on
+    /// top of the manager (zdd_cover, implicit_primes) poll it too.
+    [[nodiscard]] Budget* governor() const noexcept { return governor_; }
+
     // Internal node accessors — used by the BDD/prime layers which share the
     // recursion style; exposed as public-but-low-level API.
     struct Node {
@@ -302,6 +307,7 @@ private:
 
     std::size_t gc_threshold_;
     bool gc_enabled_ = true;
+    Budget* governor_ = nullptr;
 };
 
 }  // namespace ucp::zdd

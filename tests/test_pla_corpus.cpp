@@ -1,0 +1,110 @@
+// Table-driven diagnostics test over tests/corpus/ — every malformed PLA in
+// the corpus must be rejected with Status::kBadInput and a diagnostic that
+// points at the right line, and the parser must never throw on any of them.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pla/pla_io.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+using ucp::Status;
+using ucp::pla::Pla;
+using ucp::pla::PlaDiagnostic;
+
+std::string corpus(const std::string& file) {
+    return std::string(UCP_TEST_CORPUS_DIR) + "/" + file;
+}
+
+struct CorpusCase {
+    const char* file;
+    std::size_t line;          ///< expected diag.line (0 = don't check)
+    std::size_t column;        ///< expected diag.column (0 = don't check)
+    const char* message_part;  ///< substring expected in diag.message
+};
+
+// One row per corpus file; columns follow the 1-based convention of the
+// diagnostics (column 0 = error not tied to a character).
+const CorpusCase kCases[] = {
+    {"truncated_directive.pla", 1, 1, ".i needs a value"},
+    {"bad_i_zero.pla", 1, 4, ".i must be a positive integer"},
+    {"bad_i_negative.pla", 1, 4, ".i must be a positive integer"},
+    {"bad_i_nonnumeric.pla", 1, 4, ".i must be a positive integer"},
+    {"bad_i_huge.pla", 1, 4, ".i must be a positive integer"},
+    {"bad_i_trailing.pla", 1, 4, ".i must be a positive integer"},
+    {"bad_o_nonnumeric.pla", 2, 4, ".o must be a positive integer"},
+    {"cube_before_i.pla", 2, 1, "cube line before .i"},
+    {"width_mismatch.pla", 4, 1, "cube width mismatch"},
+    {"bad_input_char.pla", 3, 2, "bad input character '*'"},
+    {"bad_output_char.pla", 3, 6, "bad output character 'z'"},
+    {"missing_i.pla", 3, 0, "no .i directive"},
+    {"empty.pla", 1, 0, "no .i directive"},
+    {"comment_only.pla", 2, 0, "no .i directive"},
+};
+
+TEST(PlaCorpus, MalformedFilesAreDiagnosedNotThrown) {
+    for (const CorpusCase& c : kCases) {
+        SCOPED_TRACE(c.file);
+        Pla pla;
+        PlaDiagnostic diag;
+        Status st = Status::kOk;
+        ASSERT_NO_THROW(st = ucp::pla::parse_pla_file(corpus(c.file), pla, diag));
+        EXPECT_EQ(st, Status::kBadInput);
+        EXPECT_EQ(diag.status, Status::kBadInput);
+        if (c.line > 0) EXPECT_EQ(diag.line, c.line);
+        if (c.column > 0) EXPECT_EQ(diag.column, c.column);
+        EXPECT_NE(diag.message.find(c.message_part), std::string::npos)
+            << "got: " << diag.message;
+        // The rendered form carries the location for error messages.
+        const std::string rendered = diag.to_string(c.file);
+        EXPECT_NE(rendered.find("line"), std::string::npos) << rendered;
+    }
+}
+
+TEST(PlaCorpus, GoodFileStillParses) {
+    Pla pla;
+    PlaDiagnostic diag;
+    EXPECT_EQ(ucp::pla::parse_pla_file(corpus("good_minimal.pla"), pla, diag),
+              Status::kOk);
+    EXPECT_EQ(diag.status, Status::kOk);
+    EXPECT_EQ(pla.space().num_inputs, 2u);
+    EXPECT_EQ(pla.on.size(), 2u);
+}
+
+TEST(PlaCorpus, ThrowingWrapperReportsLocation) {
+    try {
+        (void)ucp::pla::read_pla_file(corpus("bad_input_char.pla"));
+        FAIL() << "expected BadInputError";
+    } catch (const ucp::BadInputError& e) {
+        EXPECT_EQ(e.status(), Status::kBadInput);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("col 2"), std::string::npos) << what;
+    }
+}
+
+TEST(PlaCorpus, UnopenableFile) {
+    Pla pla;
+    PlaDiagnostic diag;
+    EXPECT_EQ(ucp::pla::parse_pla_file(corpus("does_not_exist.pla"), pla, diag),
+              Status::kBadInput);
+    EXPECT_EQ(diag.line, 0u);
+    EXPECT_NE(diag.message.find("cannot open"), std::string::npos);
+}
+
+TEST(PlaCorpus, OverlongLineRejected) {
+    // A multi-megabyte "line" is corrupt or hostile input, not a PLA. Built
+    // in memory so the corpus directory stays reviewable.
+    std::string text = ".i 1\n.o 1\n";
+    text += std::string((std::size_t{1} << 20) + 1, '0');
+    text += "\n";
+    Pla pla;
+    PlaDiagnostic diag;
+    EXPECT_EQ(ucp::pla::parse_pla_string(text, pla, diag), Status::kBadInput);
+    EXPECT_EQ(diag.line, 3u);
+    EXPECT_NE(diag.message.find("maximum length"), std::string::npos);
+}
+
+}  // namespace
