@@ -23,6 +23,7 @@
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::bench {
 
@@ -67,6 +68,22 @@ public:
         threads_ = static_cast<int>(
             opts.get_int("threads", static_cast<long>(ThreadPool::default_threads())));
         starts_ = static_cast<int>(opts.get_int("starts", 1));
+        // --trace=<file> [--trace-level=phase|iter] [--trace-format=jsonl|
+        // chrome]: arm tracing for the whole bench run; the destructor exports
+        // after the instances finish (docs/OBSERVABILITY.md).
+        if (opts.has("trace")) {
+            trace_path_ = opts.get("trace");
+            trace::Level lvl = trace::Level::kPhase;
+            if (!trace::parse_level(opts.get("trace-level", "phase"), lvl)) {
+                std::cerr << "[trace] unknown --trace-level, using phase\n";
+                lvl = trace::Level::kPhase;
+            }
+            trace_chrome_ = opts.get("trace-format", "jsonl") == "chrome";
+            if (!trace::compiled_in())
+                std::cerr << "[trace] built with -DUCP_TRACE=OFF; trace will "
+                             "be empty\n";
+            trace::start(lvl);
+        }
     }
 
     JsonReporter(const JsonReporter&) = delete;
@@ -103,6 +120,15 @@ public:
     }
 
     ~JsonReporter() {
+        if (!trace_path_.empty()) {
+            trace::stop();
+            std::ofstream tf(trace_path_);
+            if (trace_chrome_)
+                trace::write_chrome(tf);
+            else
+                trace::write_jsonl(tf);
+            std::cout << "[trace] wrote " << trace_path_ << '\n';
+        }
         if (path_.empty()) return;
         std::ofstream os(path_);
         os << "{\"bench\": \"" << bench_ << "\", \"threads\": " << threads_
@@ -139,6 +165,8 @@ private:
 
     std::string bench_;
     std::string path_;
+    std::string trace_path_;
+    bool trace_chrome_ = false;
     int threads_ = 1;
     int starts_ = 1;
     std::map<std::string, double> baseline_;

@@ -20,6 +20,7 @@
 #include "pla/pla_io.hpp"
 #include "solver/two_level.hpp"
 #include "util/options.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -55,6 +56,9 @@ int main(int argc, char** argv) {
                       << "       [--deadline-ms=<n>] [--zdd-node-budget=<n>]\n"
                       << "       [--zdd-cache-entries=<n>] "
                          "[--zdd-gc-threshold=<n>]\n"
+                      << "       [--trace=<file>] "
+                         "[--trace-level=phase|iter] "
+                         "[--trace-format=jsonl|chrome]\n"
                       << "named instances: bench1, ex5, exam, max1024, prom2, "
                          "t1, test4, ex1010, test2, ...\n";
             return 2;
@@ -81,6 +85,26 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(opts.get_int("zdd-node-budget", 0));
         tl.cancel = &g_cancel;
         std::signal(SIGINT, on_sigint);
+        // Tracing (docs/OBSERVABILITY.md): arm before the solve, export after.
+        const std::string trace_path = opts.get("trace", "");
+        const std::string trace_format = opts.get("trace-format", "jsonl");
+        ucp::trace::Level trace_level = ucp::trace::Level::kPhase;
+        if (!ucp::trace::parse_level(opts.get("trace-level", "phase"),
+                                     trace_level)) {
+            std::cerr << "unknown --trace-level (want phase|iter)\n";
+            return 2;
+        }
+        if (trace_format != "jsonl" && trace_format != "chrome") {
+            std::cerr << "unknown --trace-format (want jsonl|chrome)\n";
+            return 2;
+        }
+        if (!trace_path.empty()) {
+            if (!ucp::trace::compiled_in()) {
+                std::cerr << "warning: built with -DUCP_TRACE=OFF; --trace "
+                             "will produce an empty trace\n";
+            }
+            ucp::trace::start(trace_level);
+        }
         const std::string solver = opts.get("solver", "scg");
         if (solver == "exact")
             tl.cover_solver = ucp::solver::CoverSolver::kExact;
@@ -92,6 +116,22 @@ int main(int argc, char** argv) {
         }
 
         const auto r = ucp::solver::minimize_two_level(pla, tl);
+        if (!trace_path.empty()) {
+            ucp::trace::stop();
+            std::ofstream tf(trace_path);
+            if (!tf) {
+                std::cerr << "error: cannot write trace file " << trace_path
+                          << '\n';
+                return 1;
+            }
+            if (trace_format == "chrome")
+                ucp::trace::write_chrome(tf);
+            else
+                ucp::trace::write_jsonl(tf);
+            if (!json)
+                std::cout << "trace written to " << trace_path << " ("
+                          << trace_format << ")\n";
+        }
         if (json) {
             print_json(std::cout, r);
         } else {

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs.
+
+Scans the given markdown files (default: README.md, DESIGN.md, EXPERIMENTS.md,
+ROADMAP.md, CHANGES.md and everything under docs/) and fails if:
+
+  * a relative link / image target does not exist on disk, or
+  * an intra-document anchor (#section) has no matching heading.
+
+External (http/https/mailto) links are NOT fetched — CI must stay hermetic —
+they are only counted. Run from anywhere; paths resolve against the repo root
+(the parent of this script's directory).
+
+Usage:
+    scripts/check_docs.py            # default file set
+    scripts/check_docs.py FILE...    # explicit files
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def anchor_of(heading):
+    """GitHub-style anchor: lowercase, drop punctuation, each space to a dash
+    (runs are NOT collapsed — "a & b" slugs to "a--b")."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- §]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def default_files():
+    files = []
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                 "CHANGES.md", "PAPER.md"):
+        p = ROOT / name
+        if p.exists():
+            files.append(p)
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def check_file(path):
+    errors = []
+    raw = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", raw)  # links inside code blocks are examples
+    anchors = {anchor_of(h) for h in HEADING_RE.findall(raw)}
+    external = 0
+
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            external += 1
+            continue
+        if target.startswith("#"):
+            if anchor_of(target[1:]) not in anchors and target[1:] not in anchors:
+                errors.append(f"{path.relative_to(ROOT)}: broken anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(ROOT)}: missing target {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            dest_anchors = {anchor_of(h)
+                            for h in HEADING_RE.findall(
+                                dest.read_text(encoding="utf-8"))}
+            if anchor_of(anchor) not in dest_anchors and anchor not in dest_anchors:
+                errors.append(
+                    f"{path.relative_to(ROOT)}: broken anchor {target}")
+    return errors, external
+
+
+def main():
+    files = [pathlib.Path(a).resolve() for a in sys.argv[1:]] or default_files()
+    all_errors, checked, external = [], 0, 0
+    for path in files:
+        if not path.exists():
+            all_errors.append(f"{path}: file not found")
+            continue
+        errors, ext = check_file(path)
+        all_errors.extend(errors)
+        checked += 1
+        external += ext
+    for err in all_errors:
+        print(f"error: {err}", file=sys.stderr)
+    print(f"check_docs: {checked} files, {external} external links skipped, "
+          f"{len(all_errors)} errors")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

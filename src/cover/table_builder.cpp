@@ -9,6 +9,7 @@
 #include "primes/implicit_primes.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 #include "zdd/zdd_cubes.hpp"
 
 namespace ucp::cover {
@@ -42,6 +43,7 @@ std::vector<zdd::LitSpec> cube_spec(const CubeSpace& s, const Cube& c) {
 /// are the same either way).
 Cover generate_primes(const pla::Pla& pla, const TableBuildOptions& opt,
                       bool& used_implicit) {
+    TRACE_SPAN("table.primes");
     const CubeSpace& s = pla.space();
     Cover care = pla.on;
     care.append(pla.dc);
@@ -85,6 +87,7 @@ Cover generate_primes(const pla::Pla& pla, const TableBuildOptions& opt,
                 e.status() != Status::kNodeBudget)
                 throw;
             stats::counter("budget.zdd_fallbacks").add();
+            TRACE_INSTANT("budget.zdd_fallback");
         }
     }
 
@@ -303,6 +306,7 @@ OnsetMatrix onset_matrix_implicit(const pla::Pla& pla, const Cover& columns,
 OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
                                   std::size_t max_rows,
                                   const zdd::DdOptions& dd, RowMethod method) {
+    TRACE_SPAN("table.onset_matrix");
     const CubeSpace& s = pla.space();
     UCP_REQUIRE(s.num_outputs >= 1, "PLA must have at least one output");
     UCP_REQUIRE(columns.space() == s, "column cover space mismatch");
@@ -317,6 +321,7 @@ OnsetMatrix onset_covering_matrix(const pla::Pla& pla, const Cover& columns,
                 e.status() != Status::kNodeBudget)
                 throw;
             stats::counter("budget.zdd_fallbacks").add();
+            TRACE_INSTANT("budget.zdd_fallback");
         }
     }
     return onset_matrix_explicit(pla, columns, max_rows, dd.governor);

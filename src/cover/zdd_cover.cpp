@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/trace.hpp"
+
 namespace ucp::cover {
 
 using cov::Cost;
@@ -39,6 +41,7 @@ CoverMatrix zdd_to_rows(const ZddManager& mgr, const Zdd& rows,
 
 ImplicitDominanceResult implicit_row_dominance(const CoverMatrix& m,
                                                const zdd::DdOptions& dd) {
+    TRACE_SPAN("zdd_cover.row_dominance");
     ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols(), dd);
     const Zdd rows = rows_as_zdd(mgr, m);
     const Zdd minimal = mgr.minimal(rows);
@@ -49,6 +52,7 @@ ImplicitDominanceResult implicit_row_dominance(const CoverMatrix& m,
 
 ImplicitColumnDominanceResult implicit_column_dominance(const CoverMatrix& m,
                                                         const zdd::DdOptions& dd) {
+    TRACE_SPAN("zdd_cover.col_dominance");
     for (Index j = 0; j < m.num_cols(); ++j)
         UCP_REQUIRE(m.cost(j) == 1,
                     "implicit column dominance requires unit costs");
@@ -149,6 +153,7 @@ private:
 
 Zdd minimal_covers(ZddManager& mgr, const CoverMatrix& m,
                    std::size_t node_guard) {
+    TRACE_SPAN("zdd_cover.minimal_covers");
     UCP_REQUIRE(m.num_cols() <= mgr.num_vars(),
                 "manager needs one variable per column");
     const Zdd rows = rows_as_zdd(mgr, m);
@@ -198,6 +203,7 @@ std::optional<BestMember> min_cost_member(const ZddManager& mgr,
 
 BestMember implicit_exact_cover(const CoverMatrix& m, std::size_t node_guard,
                                 const zdd::DdOptions& dd) {
+    TRACE_SPAN("zdd_cover.exact");
     ZddManager mgr(m.num_cols() == 0 ? 1 : m.num_cols(), dd);
     const Zdd covers = minimal_covers(mgr, m, node_guard);
     auto best = min_cost_member(mgr, covers, m.costs());

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "matrix/sub_matrix.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::lagr {
 
@@ -18,6 +19,7 @@ DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
                              const std::vector<double>& warm_start,
                              const std::vector<double>& cost_override,
                              Budget* governor) {
+    TRACE_SPAN("dual_ascent");
     const Index R = a.num_rows();
     const Index C = a.num_cols();
 
@@ -121,6 +123,10 @@ DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
     for (Index i = 0; i < R; ++i)
         if (a.row_alive(i)) value += m[i];
     out.value = value;
+    TRACE_ITER("dual_ascent", 0, out.value, 0.0, 0.0,
+               static_cast<std::uint64_t>(a.num_live_rows()),
+               static_cast<std::uint64_t>(a.num_live_cols()),
+               trace::dd_cache_hit_rate());
     return out;
 }
 

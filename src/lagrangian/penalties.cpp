@@ -5,6 +5,7 @@
 
 #include "lagrangian/dual_ascent.hpp"
 #include "matrix/sub_matrix.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::lagr {
 
@@ -26,6 +27,7 @@ PenaltyResult lagrangian_penalties(const Matrix& a,
                                    const std::vector<double>& ctilde, double z_lp,
                                    Cost z_best, bool integer_costs) {
     UCP_REQUIRE(ctilde.size() == a.num_cols(), "ctilde size mismatch");
+    TRACE_SPAN("penalties.lagrangian");
     PenaltyResult out;
     const auto zb = static_cast<double>(z_best);
     for (Index j = 0; j < a.num_cols(); ++j) {
@@ -52,6 +54,7 @@ template <class Matrix>
 PenaltyResult dual_penalties(const Matrix& a, LagrangianWorkspace& ws,
                              Cost z_best, const std::vector<double>& warm,
                              std::size_t max_cols, bool integer_costs) {
+    TRACE_SPAN("penalties.dual");
     PenaltyResult out;
     const Index C = a.num_cols();
     if (a.num_live_cols() > max_cols) return out;  // paper: skipped when too many columns

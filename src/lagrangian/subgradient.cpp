@@ -7,6 +7,7 @@
 #include "lagrangian/dual_ascent.hpp"
 #include "matrix/sub_matrix.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::lagr {
 
@@ -55,6 +56,7 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
                                      std::vector<double> lambda0,
                                      std::vector<double> mu0,
                                      std::vector<Index> incumbent) {
+    TRACE_SPAN("subgradient");
     const Index R = a.num_rows();
     const Index C = a.num_cols();
     SubgradientResult out;
@@ -192,6 +194,11 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
                                  opt.use_dual_lagrangian ? w_mu : 0.0,
                                  out.best_cost, t});
         }
+        TRACE_ITER("subgradient", k, std::max(lb_best, 0.0),
+                   static_cast<double>(out.best_cost), t,
+                   static_cast<std::uint64_t>(a.num_live_rows()),
+                   static_cast<std::uint64_t>(a.num_live_cols()),
+                   trace::dd_cache_hit_rate());
 
         // ---- termination tests ---------------------------------------------------
         if (opt.integer_costs &&

@@ -5,6 +5,7 @@
 
 #include "matrix/bit_matrix.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::cov {
 
@@ -122,6 +123,7 @@ void run_fixpoint(SubMatrix& v, Worklists& q, const ReduceOptions& opt,
         const bool rd_work = opt.row_dominance && !q.rowdom.empty();
         const bool cd_work = opt.col_dominance && !q.coldom.empty();
         if (!ess_work && !rd_work && !cd_work) break;
+        TRACE_SPAN_ITER("reduce.pass");
         ++res.passes;
 
         // --- essential columns -----------------------------------------------
@@ -277,6 +279,7 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
     static stats::Counter& c_cols_dom = stats::counter("reduce.cols_removed_dominance");
     static stats::Counter& c_bitset = stats::counter("reduce.bitset_kernel_calls");
     const stats::ScopedTimer phase_timer("reduce.seconds");
+    TRACE_SPAN("reduce");
     c_calls.add();
 
     const Index R = m.num_rows();
@@ -336,6 +339,7 @@ InplaceReduceResult reduce_inplace(SubMatrix& view, const ReduceDirt& dirt,
     static stats::Counter& c_calls = stats::counter("reduce.inplace_calls");
     static stats::Counter& c_bitset = stats::counter("reduce.bitset_kernel_calls");
     const stats::ScopedTimer phase_timer("reduce.seconds");
+    TRACE_SPAN_ITER("reduce.inplace");
     c_calls.add();
 
     const Index lr = view.num_live_rows();

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "util/trace.hpp"
 #include "zdd/zdd_cubes.hpp"
 
 namespace ucp::primes {
@@ -95,6 +96,7 @@ private:
 
 ImplicitPrimeResult implicit_primes(ZddManager& zmgr, const pla::Cover& care,
                                     const zdd::DdOptions& dd) {
+    TRACE_SPAN("implicit_primes");
     const pla::CubeSpace& s = care.space();
     UCP_REQUIRE(s.num_outputs == 0, "implicit_primes requires an input-only cover");
     UCP_REQUIRE(2 * s.num_inputs <= zmgr.num_vars(),

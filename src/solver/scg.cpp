@@ -12,6 +12,7 @@
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::solver {
 
@@ -124,6 +125,7 @@ ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
     static stats::Counter& c_starts = stats::counter("scg.starts");
     static stats::Counter& c_sub = stats::counter("scg.subgradient_calls");
     const stats::ScopedTimer phase_timer("scg.seconds");
+    TRACE_SPAN("scg");
     c_calls.add();
 
     const int starts = std::max(1, opt.num_starts);
@@ -150,6 +152,7 @@ ScgResult solve_scg(const CoverMatrix& m, const ScgOptions& opt) {
     {
         ThreadPool pool(threads);
         pool.parallel_for(static_cast<std::size_t>(starts), [&](std::size_t s) {
+            TRACE_SPAN("scg.start");
             ScgOptions local = opt;
             local.num_starts = 1;
             local.seed = start_seed(opt.seed, static_cast<int>(s));
@@ -277,8 +280,10 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
 
     // ---- NumIter constructive runs ---------------------------------------------
     for (int run = 1; run <= opt.num_iter && !expired(); ++run) {
+        TRACE_SPAN_ITER("scg.run");
         ++out.runs_executed;
         if (best_cost <= out.lower_bound) break;  // already proven optimal
+        std::int64_t fix_step = 0;
         Work w = saved;
         std::vector<Index> chosen = essentials;  // original ids fixed so far
         auto sub = root_sub;  // valid for `saved`, re-computed after each fixing
@@ -287,6 +292,11 @@ ScgResult solve_scg_single(const CoverMatrix& m, const ScgOptions& opt) {
 
         while (w.view.num_live_rows() > 0 && !expired()) {
             const Index C = w.mat.num_cols();
+            TRACE_ITER("scg", fix_step++, static_cast<double>(out.lower_bound),
+                       static_cast<double>(best_cost), 0.0,
+                       static_cast<std::uint64_t>(w.view.num_live_rows()),
+                       static_cast<std::uint64_t>(w.view.num_live_cols()),
+                       trace::dd_cache_hit_rate());
             // Candidate incumbent: chosen + this phase's heuristic solution.
             {
                 std::vector<Index> cand = chosen;

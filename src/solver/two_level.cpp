@@ -6,6 +6,7 @@
 #include "solver/greedy.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::solver {
 
@@ -33,6 +34,7 @@ bool verify_equivalence(const pla::Pla& pla, const pla::Cover& cover) {
 
 TwoLevelResult minimize_two_level(const pla::Pla& pla,
                                   const TwoLevelOptions& opt) {
+    TRACE_SPAN("two_level");
     Timer total;
     TwoLevelResult res;
 
@@ -45,6 +47,7 @@ TwoLevelResult minimize_two_level(const pla::Pla& pla,
 
     cover::CoveringTable table;
     try {
+        TRACE_SPAN("two_level.build_table");
         table = cover::build_covering_table(pla, topt);
     } catch (const ResourceError& e) {
         // A deadline/cancel (or forced-implicit node budget) trip before any
@@ -106,6 +109,7 @@ TwoLevelResult minimize_two_level(const pla::Pla& pla,
                 } catch (const ResourceError& e) {
                     if (e.status() != Status::kNodeBudget) throw;
                     stats::counter("budget.zdd_fallbacks").add();
+                    TRACE_INSTANT("budget.zdd_fallback");
                     BnbOptions bopt = opt.bnb;
                     if (bopt.governor == nullptr) bopt.governor = &gov;
                     const BnbResult r = solve_exact(red.core, bopt);

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace ucp {
 
@@ -34,6 +35,7 @@ Status Budget::trip(Status s) noexcept {
         if (!node_tripped_) {
             node_tripped_ = true;
             stats::counter("budget.node_budget_trips").add();
+            TRACE_INSTANT("budget.node_budget_trip");
         }
         return s;
     }
@@ -42,6 +44,8 @@ Status Budget::trip(Status s) noexcept {
         stats::counter(s == Status::kDeadline ? "budget.deadline_trips"
                                               : "budget.cancel_trips")
             .add();
+        TRACE_INSTANT(s == Status::kDeadline ? "budget.deadline_trip"
+                                             : "budget.cancel_trip");
     }
     return tripped_;
 }

@@ -24,10 +24,14 @@ BddManager::BddManager(std::uint32_t num_vars, const DdOptions& options)
     nodes_[1] = {kBddTermVar, 1, 1};
 }
 
-BddManager::~BddManager() {
-    stats::counter("bdd.cache_hits").add(cache_.hits());
-    stats::counter("bdd.cache_misses").add(cache_.misses());
-    stats::counter("bdd.cache_resizes").add(cache_.resizes());
+BddManager::~BddManager() { flush_stats(); }
+
+void BddManager::flush_stats() noexcept {
+    const CacheStats cs = cache_stats();
+    stats::counter("bdd.cache_hits").add(cs.hits - cache_flushed_.hits);
+    stats::counter("bdd.cache_misses").add(cs.misses - cache_flushed_.misses);
+    stats::counter("bdd.cache_resizes").add(cs.resizes - cache_flushed_.resizes);
+    cache_flushed_ = cs;
 }
 
 BddId BddManager::make(std::uint32_t v, BddId lo, BddId hi) {

@@ -73,6 +73,11 @@ public:
         return CacheStats{cache_.hits(), cache_.misses(), cache_.resizes()};
     }
 
+    /// Folds this manager's bdd.* statistics into the global registry.
+    /// Delta-based and idempotent (same contract as ZddManager::flush_stats):
+    /// repeated calls and the destructor's implicit call never double-count.
+    void flush_stats() noexcept;
+
     BddId make(std::uint32_t v, BddId lo, BddId hi);
 
 private:
@@ -90,6 +95,7 @@ private:
 
     std::uint32_t num_vars_;
     std::vector<Node> nodes_;
+    CacheStats cache_flushed_;  // values already rolled up by flush_stats()
     UniqueTable<Node> table_;
     ComputedCache<BddId> cache_;
     Budget* governor_ = nullptr;

@@ -114,13 +114,18 @@ ZddManager::ZddManager(Var num_vars, const DdOptions& options)
     flags_.resize(2, 0);
 }
 
-ZddManager::~ZddManager() {
+ZddManager::~ZddManager() { flush_stats(); }
+
+void ZddManager::flush_stats() noexcept {
     const CacheStats cs = cache_stats();
-    stats::counter("zdd.cache_hits").add(cs.hits);
-    stats::counter("zdd.cache_misses").add(cs.misses);
-    stats::counter("zdd.cache_resizes").add(cs.resizes);
-    stats::counter("zdd.gc_runs").add(gc_stats_.runs);
-    stats::counter("zdd.nodes_swept").add(gc_stats_.nodes_swept);
+    stats::counter("zdd.cache_hits").add(cs.hits - cache_flushed_.hits);
+    stats::counter("zdd.cache_misses").add(cs.misses - cache_flushed_.misses);
+    stats::counter("zdd.cache_resizes").add(cs.resizes - cache_flushed_.resizes);
+    stats::counter("zdd.gc_runs").add(gc_stats_.runs - gc_flushed_.runs);
+    stats::counter("zdd.nodes_swept")
+        .add(gc_stats_.nodes_swept - gc_flushed_.nodes_swept);
+    cache_flushed_ = cs;
+    gc_flushed_ = gc_stats_;
 }
 
 // Filtering operators (non_sub_set, minimal, ...) usually keep most of their

@@ -203,6 +203,13 @@ public:
     };
     [[nodiscard]] const GcStats& gc_stats() const noexcept { return gc_stats_; }
 
+    /// Folds this manager's zdd.* statistics into the global registry.
+    /// Delta-based and idempotent: only the activity since the previous
+    /// flush is added, so calling it mid-life and again from the destructor
+    /// (which always calls it) can never double-count — manager-scoped
+    /// counters, process-level roll-up.
+    void flush_stats() noexcept;
+
     // ---- resource management --------------------------------------------------
     /// Live (allocated, non-freed) node count, excluding terminals.
     [[nodiscard]] std::size_t live_nodes() const noexcept {
@@ -304,6 +311,8 @@ private:
     ComputedCache<NodeId> cache_;
     ComputedCache<NodePair> pair_cache_;  // memo for the fused cofactor pair
     GcStats gc_stats_;
+    CacheStats cache_flushed_;  // values already rolled up by flush_stats()
+    GcStats gc_flushed_;
 
     std::size_t gc_threshold_;
     bool gc_enabled_ = true;
