@@ -7,6 +7,7 @@
 // match — the instances differ and the paper's machine was an UltraSparc30.
 #pragma once
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -68,6 +69,8 @@ public:
         threads_ = static_cast<int>(
             opts.get_int("threads", static_cast<long>(ThreadPool::default_threads())));
         starts_ = static_cast<int>(opts.get_int("starts", 1));
+        min_of_ = static_cast<int>(opts.get_int("min-of", 1));
+        if (min_of_ < 1) min_of_ = 1;
         // --trace=<file> [--trace-level=phase|iter] [--trace-format=jsonl|
         // chrome]: arm tracing for the whole bench run; the destructor exports
         // after the instances finish (docs/OBSERVABILITY.md).
@@ -94,6 +97,11 @@ public:
     /// the parallel-SCG knobs for free.
     [[nodiscard]] int threads() const noexcept { return threads_; }
     [[nodiscard]] int starts() const noexcept { return starts_; }
+    /// --min-of N: timing repetitions per instance (default 1). Benches that
+    /// support it re-run the timed section N times and report the minimum
+    /// (plus the median) — the repeat count needed to measure kernel-level
+    /// speedups above scheduler noise on shared CI runners.
+    [[nodiscard]] int min_of() const noexcept { return min_of_; }
     [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
 
     /// Records one instance. `extra` appends bench-specific numeric fields;
@@ -169,9 +177,48 @@ private:
     bool trace_chrome_ = false;
     int threads_ = 1;
     int starts_ = 1;
+    int min_of_ = 1;
     std::map<std::string, double> baseline_;
     std::vector<Record> records_;
 };
+
+/// Result of a `--min-of N` repeat-timing loop (times in milliseconds).
+struct RepeatTiming {
+    double min_ms = 0.0;
+    double median_ms = 0.0;
+    int repeats = 1;
+};
+
+/// Runs `fn` max(1, n) times and reports the minimum and median wall time.
+/// The minimum is the primary number (least contaminated by preemption); the
+/// median shows how noisy the run was. The workload must be idempotent —
+/// every repetition recomputes the same result.
+template <class Fn>
+inline RepeatTiming time_min_of(int n, Fn&& fn) {
+    RepeatTiming out;
+    out.repeats = n < 1 ? 1 : n;
+    std::vector<double> ms(static_cast<std::size_t>(out.repeats));
+    for (double& sample : ms) {
+        Timer t;
+        fn();
+        sample = t.seconds() * 1e3;
+    }
+    std::sort(ms.begin(), ms.end());
+    out.min_ms = ms.front();
+    const std::size_t mid = ms.size() / 2;
+    out.median_ms = ms.size() % 2 != 0 ? ms[mid] : (ms[mid - 1] + ms[mid]) / 2.0;
+    return out;
+}
+
+/// Appends the `--min-of` extra fields (only when N > 1, so default runs keep
+/// the exact record schema the committed baselines were written with).
+inline void append_repeat_fields(
+    std::vector<std::pair<std::string, double>>& extra, const RepeatTiming& rt) {
+    if (rt.repeats <= 1) return;
+    extra.emplace_back("wall_min_ms", rt.min_ms);
+    extra.emplace_back("wall_median_ms", rt.median_ms);
+    extra.emplace_back("repeats", static_cast<double>(rt.repeats));
+}
 
 struct PipelineRow {
     std::string name;

@@ -146,34 +146,46 @@ int main(int argc, char** argv) {
              {"dense-400x800-d10", 400, 800, 0.10, 5},
              {"dense-500x1000-d6", 500, 1000, 0.06, 3},
              {"dense-800x1600-d4", 800, 1600, 0.04, 2}}) {
-        long lb_sum = 0, cost_sum = 0, iters = 0;
-        int proved = 0;
-        double sub_seconds = 0.0;
+        // Instances are generated up front so a --min-of repeat loop re-times
+        // exactly the same subgradient work (and the RNG stream feeding later
+        // configs is unchanged).
+        std::vector<ucp::cov::CoverMatrix> mats;
+        mats.reserve(static_cast<std::size_t>(runs));
         for (int r = 0; r < runs; ++r) {
             ucp::gen::RandomScpOptions g;
             g.rows = rows;
             g.cols = cols;
             g.density = density;
             g.seed = dense_seeds();
-            const auto m = ucp::gen::random_scp(g);
-            ucp::lagr::SubgradientOptions opt;
-            opt.max_iterations = 400;
-            ucp::Timer sub_timer;
-            const auto sub = ucp::lagr::subgradient_ascent(m, opt);
-            sub_seconds += sub_timer.seconds();
-            lb_sum += static_cast<long>(sub.lb);
-            cost_sum += static_cast<long>(sub.best_cost);
-            iters += sub.iterations;
-            if (sub.proved_optimal) ++proved;
+            mats.push_back(ucp::gen::random_scp(g));
         }
+        long lb_sum = 0, cost_sum = 0, iters = 0;
+        int proved = 0;
+        const ucp::bench::RepeatTiming rt =
+            ucp::bench::time_min_of(json.min_of(), [&] {
+                lb_sum = cost_sum = iters = 0;
+                proved = 0;
+                for (const auto& m : mats) {
+                    ucp::lagr::SubgradientOptions opt;
+                    opt.max_iterations = 400;
+                    const auto sub = ucp::lagr::subgradient_ascent(m, opt);
+                    lb_sum += static_cast<long>(sub.lb);
+                    cost_sum += static_cast<long>(sub.best_cost);
+                    iters += sub.iterations;
+                    if (sub.proved_optimal) ++proved;
+                }
+            });
+        const double sub_ms = rt.min_ms;
         td.add_row({name, std::to_string(lb_sum), std::to_string(cost_sum),
                     std::to_string(proved), std::to_string(iters),
-                    TextTable::num(sub_seconds * 1e3, 1)});
-        json.record(name, static_cast<double>(cost_sum), sub_seconds * 1e3,
-                    {{"lb_sum", static_cast<double>(lb_sum)},
-                     {"proved", static_cast<double>(proved)},
-                     {"iterations", static_cast<double>(iters)},
-                     {"runs", static_cast<double>(runs)}});
+                    TextTable::num(sub_ms, 1)});
+        std::vector<std::pair<std::string, double>> extra{
+            {"lb_sum", static_cast<double>(lb_sum)},
+            {"proved", static_cast<double>(proved)},
+            {"iterations", static_cast<double>(iters)},
+            {"runs", static_cast<double>(runs)}};
+        ucp::bench::append_repeat_fields(extra, rt);
+        json.record(name, static_cast<double>(cost_sum), sub_ms, extra);
     }
     td.print(std::cout);
     return 0;

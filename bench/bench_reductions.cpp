@@ -61,9 +61,22 @@ int main(int argc, char** argv) {
         g.seed = seeds();
         const CoverMatrix m = ucp::gen::random_scp(g);
 
+        // --min-of N re-runs each timed section N times and keeps the
+        // minimum per-rep time (median recorded alongside).
         ucp::cov::ReduceResult sorted_res, bitset_res, auto_res;
-        const double sorted_ms = time_reduce(m, BitsetMode::kOff, cfg.reps, sorted_res);
-        const double bitset_ms = time_reduce(m, BitsetMode::kOn, cfg.reps, bitset_res);
+        double sorted_ms = 0.0, bitset_ms = 0.0;
+        const ucp::bench::RepeatTiming rt_sorted =
+            ucp::bench::time_min_of(json.min_of(), [&] {
+                sorted_ms = time_reduce(m, BitsetMode::kOff, cfg.reps, sorted_res);
+            });
+        const ucp::bench::RepeatTiming rt_bitset =
+            ucp::bench::time_min_of(json.min_of(), [&] {
+                bitset_ms = time_reduce(m, BitsetMode::kOn, cfg.reps, bitset_res);
+            });
+        if (json.min_of() > 1) {
+            sorted_ms = rt_sorted.min_ms / cfg.reps;
+            bitset_ms = rt_bitset.min_ms / cfg.reps;
+        }
         time_reduce(m, BitsetMode::kAuto, 1, auto_res);
 
         const bool match =
@@ -82,12 +95,19 @@ int main(int argc, char** argv) {
                    std::to_string(sorted_res.core.num_rows()) + "x" +
                        std::to_string(sorted_res.core.num_cols()),
                    match ? "yes" : "NO"});
+        std::vector<std::pair<std::string, double>> extra{
+            {"sorted_ms", sorted_ms},
+            {"bitset_ms", bitset_ms},
+            {"speedup", sorted_ms / bitset_ms},
+            {"match", match ? 1.0 : 0.0}};
+        if (json.min_of() > 1) {
+            extra.emplace_back("bitset_median_ms",
+                               rt_bitset.median_ms / cfg.reps);
+            extra.emplace_back("repeats",
+                               static_cast<double>(rt_bitset.repeats));
+        }
         json.record(name, static_cast<double>(sorted_res.core.num_rows()),
-                    bitset_ms,
-                    {{"sorted_ms", sorted_ms},
-                     {"bitset_ms", bitset_ms},
-                     {"speedup", sorted_ms / bitset_ms},
-                     {"match", match ? 1.0 : 0.0}});
+                    bitset_ms, extra);
         if (!match) {
             std::cerr << "KERNEL MISMATCH on " << name << "\n";
             return 1;

@@ -14,12 +14,17 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "cover/table_builder.hpp"
 #include "espresso/espresso.hpp"
 #include "gen/suites.hpp"
 #include "pla/pla_io.hpp"
+#include "solver/batch.hpp"
 #include "solver/two_level.hpp"
 #include "util/options.hpp"
+#include "util/table.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -39,11 +44,99 @@ void print_json(std::ostream& os, const ucp::solver::TwoLevelResult& r) {
        << ", \"total_seconds\": " << r.total_seconds << "}\n";
 }
 
+/// --batch=name1,name2,... [files...]: build every covering table, then hand
+/// the whole batch of matrices to BatchSolver, which runs the reduce-all and
+/// solve-all phases in lockstep on the thread pool (--threads=N; 1 = serial,
+/// same answers either way). Reports the covering-level result per instance —
+/// products, bound, core shape — not the full two-level lift.
+int run_batch(const ucp::Options& opts, bool json) {
+    std::vector<std::string> names;
+    std::vector<ucp::pla::Pla> plas;
+    const std::string list = opts.get("batch");
+    if (!list.empty() && list != "true") {
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            const std::size_t end =
+                comma == std::string::npos ? list.size() : comma;
+            const std::string name = list.substr(pos, end - pos);
+            if (!name.empty()) {
+                plas.push_back(ucp::gen::instance_by_name(name));
+                names.push_back(name);
+            }
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+        }
+    }
+    for (const auto& f : opts.positional()) {
+        plas.push_back(ucp::pla::read_pla_file(f));
+        names.push_back(f);
+    }
+    if (plas.empty()) {
+        std::cerr << "--batch needs instance names (--batch=a,b,...) and/or "
+                     "PLA files\n";
+        return 2;
+    }
+
+    // Implicit phase per instance, then one lockstep explicit phase.
+    std::vector<ucp::cover::CoveringTable> tables;
+    tables.reserve(plas.size());
+    std::vector<const ucp::cov::CoverMatrix*> mats;
+    for (const auto& pla : plas) {
+        tables.push_back(ucp::cover::build_covering_table(pla));
+        mats.push_back(&tables.back().matrix);
+    }
+    ucp::solver::BatchOptions bopt;
+    bopt.num_threads = static_cast<int>(opts.get_int("threads", 1));
+    const ucp::solver::BatchSolver solver(bopt);
+    const auto res = solver.solve(mats);
+
+    if (json) {
+        std::cout << "[";
+        for (std::size_t i = 0; i < res.items.size(); ++i) {
+            const auto& it = res.items[i];
+            std::cout << (i ? ",\n " : "\n ") << "{\"instance\": \"" << names[i]
+                      << "\", \"products\": " << it.cost
+                      << ", \"lower_bound\": " << it.lower_bound
+                      << ", \"proved_optimal\": "
+                      << (it.proved_optimal ? "true" : "false")
+                      << ", \"core_rows\": " << it.core_rows
+                      << ", \"core_cols\": " << it.core_cols << "}";
+        }
+        std::cout << "\n]\n";
+    } else {
+        ucp::TextTable t({"instance", "rows x cols", "products", "LB", "core",
+                          "reduce s", "solve s"});
+        for (std::size_t i = 0; i < res.items.size(); ++i) {
+            const auto& it = res.items[i];
+            t.add_row({names[i],
+                       std::to_string(mats[i]->num_rows()) + "x" +
+                           std::to_string(mats[i]->num_cols()),
+                       std::to_string(it.cost) +
+                           (it.proved_optimal ? "*" : ""),
+                       std::to_string(it.lower_bound),
+                       std::to_string(it.core_rows) + "x" +
+                           std::to_string(it.core_cols),
+                       ucp::TextTable::num(it.reduce_seconds, 4),
+                       ucp::TextTable::num(it.solve_seconds, 4)});
+        }
+        t.print(std::cout);
+        std::cout << "batch of " << res.items.size() << " instances in "
+                  << ucp::TextTable::num(res.seconds, 4) << " s ("
+                  << (bopt.num_threads == 1 ? "serial"
+                                            : std::to_string(bopt.num_threads) +
+                                                  " threads")
+                  << ")\n";
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const ucp::Options opts(argc, argv);
     try {
+        if (opts.has("batch")) return run_batch(opts, opts.get_bool("json", false));
         ucp::pla::Pla pla;
         if (opts.has("instance")) {
             pla = ucp::gen::instance_by_name(opts.get("instance"));
@@ -51,6 +144,8 @@ int main(int argc, char** argv) {
             pla = ucp::pla::read_pla_file(opts.positional()[0]);
         } else {
             std::cerr << "usage: minimize_pla <file.pla> | --instance=<name>\n"
+                      << "       minimize_pla --batch=<a,b,...> [files...] "
+                         "[--threads=<n>]\n"
                       << "       [--solver=scg|exact|greedy] [--out=<file>]\n"
                       << "       [--compare-espresso] [--json]\n"
                       << "       [--deadline-ms=<n>] [--zdd-node-budget=<n>]\n"

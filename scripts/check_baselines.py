@@ -23,21 +23,31 @@ import sys
 from pathlib import Path
 
 # Fields that measure speed, not answers. Everything else in a record must
-# match the baseline exactly.
+# match the baseline exactly. Any field ending in `_ms` or `_seconds` is
+# timing by convention (wall_ms, bitset_ms, the --min-of wall_min_ms /
+# wall_median_ms extras, ...), as are the throughput and repeat-count fields
+# the --min-of runs append — so a fresh run taken with --min-of=N still
+# compares clean against a baseline recorded without it.
 TIMING_FIELDS = {
-    "wall_ms",
-    "cc_ms",
-    "bitset_ms",
-    "sorted_ms",
     "speedup",
     "seconds",
+    "repeats",  # --min-of repetition count, varies per invocation
+    "throughput_per_s",
     "counters",  # perf counters (cache hits, GC runs, ...) move freely
     "status",  # checked separately: fresh runs must report "ok"
 }
 
 
+def is_timing_field(key: str) -> bool:
+    return (
+        key in TIMING_FIELDS
+        or key.endswith("_ms")
+        or key.endswith("_seconds")
+    )
+
+
 def solution_view(record: dict) -> dict:
-    return {k: v for k, v in record.items() if k not in TIMING_FIELDS}
+    return {k: v for k, v in record.items() if not is_timing_field(k)}
 
 
 def compare_file(baseline_path: Path, fresh_path: Path) -> list[str]:

@@ -1,0 +1,95 @@
+#include "kernels/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/stats.hpp"
+
+namespace ucp::kern {
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if UCP_SIMD_ENABLED && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+// Selection state: -1 = unresolved. Resolution is guarded so the first
+// kernel call may come from any thread (the reducer runs on the pool).
+std::atomic<int> g_isa{-1};
+std::mutex g_mutex;
+
+// Idempotent flush bookkeeping (same contract as ZddManager::flush_stats):
+// the counters record distinct *selection events* — exactly one per process
+// unless force_isa changes the selection — never one per kernel call.
+bool g_flushed = false;
+Isa g_flushed_isa = Isa::kScalar;
+
+void flush_dispatch_stats_locked(Isa isa) noexcept {
+    if (g_flushed && g_flushed_isa == isa) return;
+    stats::counter("kernels.simd_dispatch").add();
+    stats::counter(isa == Isa::kAvx2 ? "kernels.isa_avx2"
+                                     : "kernels.isa_scalar")
+        .add();
+    g_flushed = true;
+    g_flushed_isa = isa;
+}
+
+Isa resolve() noexcept {
+    Isa isa = cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar;
+    if (const char* env = std::getenv("UCP_SIMD")) {
+        Isa parsed = isa;
+        if (parse_isa(env, parsed)) isa = parsed;
+    }
+    if (isa == Isa::kAvx2 && !cpu_has_avx2()) isa = Isa::kScalar;
+    return isa;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) noexcept {
+    return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+bool parse_isa(std::string_view text, Isa& out) noexcept {
+    if (text == "scalar") {
+        out = Isa::kScalar;
+        return true;
+    }
+    if (text == "avx2") {
+        out = Isa::kAvx2;
+        return true;
+    }
+    if (text == "auto") {
+        out = cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar;
+        return true;
+    }
+    return false;
+}
+
+bool avx2_available() noexcept { return cpu_has_avx2(); }
+
+Isa active_isa() noexcept {
+    const int v = g_isa.load(std::memory_order_relaxed);
+    if (v >= 0) return static_cast<Isa>(v);
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    const int again = g_isa.load(std::memory_order_relaxed);
+    if (again >= 0) return static_cast<Isa>(again);
+    const Isa isa = resolve();
+    flush_dispatch_stats_locked(isa);
+    g_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+    return isa;
+}
+
+void force_isa(Isa isa) noexcept {
+    if (isa == Isa::kAvx2 && !cpu_has_avx2()) isa = Isa::kScalar;
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    flush_dispatch_stats_locked(isa);
+    g_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+}  // namespace ucp::kern

@@ -1,0 +1,59 @@
+// Runtime ISA selection for the sparse-ops kernel layer (sparse_ops.hpp).
+//
+// Two implementations of every kernel exist: a portable scalar reference and
+// an explicitly vectorized AVX2 path, both compiled into the library (the
+// AVX2 translation unit is built with -mavx2 and guarded so it is only ever
+// *executed* after a CPUID check). Selection happens once per process, on
+// the first kernel call:
+//
+//   1. compile gate  — building with -DUCP_SIMD=OFF removes the AVX2 TU
+//                      entirely; only the scalar path exists;
+//   2. env override  — UCP_SIMD=scalar (or =avx2 / =auto) forces the choice
+//                      at startup, for A/B timing and the differential CI
+//                      lane;
+//   3. CPU detection — otherwise AVX2 is used iff the CPU reports it.
+//
+// The selected ISA is recorded exactly once in the "kernels.simd_dispatch" /
+// "kernels.isa_*" perf counters via an idempotent delta flush (the same
+// contract as ZddManager::flush_stats — re-flushing never double-counts).
+//
+// Contract: both paths are bit-identical on every output (see DESIGN.md
+// §10). The vector path only takes elementwise IEEE ops, integer ops and
+// order-preserving scans; floating-point reductions keep the scalar
+// accumulation order in both implementations.
+#pragma once
+
+#include <string_view>
+
+#ifndef UCP_SIMD_ENABLED
+#define UCP_SIMD_ENABLED 1
+#endif
+
+namespace ucp::kern {
+
+enum class Isa : int {
+    kScalar = 0,
+    kAvx2 = 1,
+};
+
+[[nodiscard]] const char* to_string(Isa isa) noexcept;
+
+/// Parses "scalar" / "avx2" / "auto". "auto" maps to the CPU-detected best.
+/// Returns false (out untouched) on anything else.
+bool parse_isa(std::string_view text, Isa& out) noexcept;
+
+/// True when the AVX2 translation unit was compiled in (UCP_SIMD=ON) *and*
+/// the running CPU supports AVX2.
+[[nodiscard]] bool avx2_available() noexcept;
+
+/// The ISA the kernel layer currently dispatches to. First call resolves the
+/// selection (env UCP_SIMD, then CPU detection) and records it in the
+/// kernels.* counters.
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// Overrides the dispatch (tests, CLI A/B runs). Forcing kAvx2 on a machine
+/// without it (or a -DUCP_SIMD=OFF build) falls back to kScalar. Not
+/// thread-safe: call before spawning solver threads.
+void force_isa(Isa isa) noexcept;
+
+}  // namespace ucp::kern

@@ -1,0 +1,382 @@
+// AVX2 implementations of the sparse-ops kernels.
+//
+// This is the only translation unit built with -mavx2; it is also built with
+// -ffp-contract=off and uses no FMA intrinsics, so every floating-point op
+// rounds exactly like the scalar reference (two rounding steps for mul+add).
+// Nothing here executes unless avx2_available() said yes at dispatch time.
+//
+// Bit-exactness notes, per the operand-order rules that make min/max match
+// the scalar std::max / std::clamp on ties (both return the *variable*
+// operand when the comparison is equal):
+//   - max(v, 0)    -> _mm256_max_pd(zero, v)   (returns 2nd operand on equal)
+//   - clamp(v,0,1) -> max_pd(zero, min_pd(one, v))
+//   - max(c, 1e-9) -> _mm256_max_pd(eps, c)
+// Gathers/scatters only run over adjacency spans, whose indices are sorted
+// and distinct, so each slot is touched exactly once per call. Scalar tails
+// reproduce the reference loop verbatim.
+
+#include "kernels/sparse_ops.hpp"
+
+#if UCP_SIMD_ENABLED && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace ucp::kern {
+namespace avx2_impl {
+namespace {
+
+// Four alive-mask bytes -> four all-ones/all-zeros 64-bit lanes (nonzero
+// byte = alive, matching the SubMatrix char masks).
+inline __m256i mask4i(const char* m) {
+    std::uint32_t b;
+    std::memcpy(&b, m, 4);
+    const __m128i bytes = _mm_cvtsi32_si128(static_cast<int>(b));
+    const __m256i lanes = _mm256_cvtepi8_epi64(bytes);
+    const __m256i dead = _mm256_cmpeq_epi64(lanes, _mm256_setzero_si256());
+    return _mm256_xor_si256(dead, _mm256_set1_epi64x(-1));
+}
+
+inline __m256d mask4d(const char* m) {
+    return _mm256_castsi256_pd(mask4i(m));
+}
+
+// Scatter the four lanes of r back to x at distinct span indices.
+inline void scatter4(double* x, const Index32* idx, __m256d r) {
+    const __m128d lo = _mm256_castpd256_pd128(r);
+    const __m128d hi = _mm256_extractf128_pd(r, 1);
+    _mm_storel_pd(x + idx[0], lo);
+    _mm_storeh_pd(x + idx[1], lo);
+    _mm_storel_pd(x + idx[2], hi);
+    _mm_storeh_pd(x + idx[3], hi);
+}
+
+}  // namespace
+
+void step_clamp_nonneg(double* x, const double* d, double step,
+                       const char* alive, std::size_t n) {
+    const __m256d step4 = _mm256_set1_pd(step);
+    const __m256d zero4 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    if (alive == nullptr) {
+        for (; i + 4 <= n; i += 4) {
+            const __m256d xv = _mm256_loadu_pd(x + i);
+            const __m256d dv = _mm256_loadu_pd(d + i);
+            const __m256d r = _mm256_max_pd(
+                zero4, _mm256_add_pd(xv, _mm256_mul_pd(step4, dv)));
+            _mm256_storeu_pd(x + i, r);
+        }
+        for (; i < n; ++i) x[i] = std::max(x[i] + step * d[i], 0.0);
+        return;
+    }
+    for (; i + 4 <= n; i += 4) {
+        const __m256i m = mask4i(alive + i);
+        const __m256d xv = _mm256_loadu_pd(x + i);
+        const __m256d dv = _mm256_loadu_pd(d + i);
+        const __m256d r =
+            _mm256_max_pd(zero4, _mm256_add_pd(xv, _mm256_mul_pd(step4, dv)));
+        _mm256_maskstore_pd(x + i, m, r);
+    }
+    for (; i < n; ++i)
+        if (alive[i]) x[i] = std::max(x[i] + step * d[i], 0.0);
+}
+
+void step_clamp01(double* x, const double* d, double step, const char* alive,
+                  std::size_t n) {
+    const __m256d step4 = _mm256_set1_pd(step);
+    const __m256d zero4 = _mm256_setzero_pd();
+    const __m256d one4 = _mm256_set1_pd(1.0);
+    std::size_t i = 0;
+    if (alive == nullptr) {
+        for (; i + 4 <= n; i += 4) {
+            const __m256d xv = _mm256_loadu_pd(x + i);
+            const __m256d dv = _mm256_loadu_pd(d + i);
+            const __m256d t = _mm256_sub_pd(xv, _mm256_mul_pd(step4, dv));
+            const __m256d r = _mm256_max_pd(zero4, _mm256_min_pd(one4, t));
+            _mm256_storeu_pd(x + i, r);
+        }
+        for (; i < n; ++i) x[i] = std::clamp(x[i] - step * d[i], 0.0, 1.0);
+        return;
+    }
+    for (; i + 4 <= n; i += 4) {
+        const __m256i m = mask4i(alive + i);
+        const __m256d xv = _mm256_loadu_pd(x + i);
+        const __m256d dv = _mm256_loadu_pd(d + i);
+        const __m256d t = _mm256_sub_pd(xv, _mm256_mul_pd(step4, dv));
+        const __m256d r = _mm256_max_pd(zero4, _mm256_min_pd(one4, t));
+        _mm256_maskstore_pd(x + i, m, r);
+    }
+    for (; i < n; ++i)
+        if (alive[i]) x[i] = std::clamp(x[i] - step * d[i], 0.0, 1.0);
+}
+
+void rsub_masked(double* x, const double* c, const char* alive,
+                 std::size_t n) {
+    std::size_t i = 0;
+    if (alive == nullptr) {
+        for (; i + 4 <= n; i += 4) {
+            const __m256d r =
+                _mm256_sub_pd(_mm256_loadu_pd(c + i), _mm256_loadu_pd(x + i));
+            _mm256_storeu_pd(x + i, r);
+        }
+        for (; i < n; ++i) x[i] = c[i] - x[i];
+        return;
+    }
+    for (; i + 4 <= n; i += 4) {
+        const __m256i m = mask4i(alive + i);
+        const __m256d r =
+            _mm256_sub_pd(_mm256_loadu_pd(c + i), _mm256_loadu_pd(x + i));
+        _mm256_maskstore_pd(x + i, m, r);
+    }
+    for (; i < n; ++i)
+        if (alive[i]) x[i] = c[i] - x[i];
+}
+
+void copy_masked(double* dst, const double* src, const char* alive,
+                 std::size_t n) {
+    std::size_t i = 0;
+    if (alive == nullptr) {
+        for (; i + 4 <= n; i += 4)
+            _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+        for (; i < n; ++i) dst[i] = src[i];
+        return;
+    }
+    for (; i + 4 <= n; i += 4)
+        _mm256_maskstore_pd(dst + i, mask4i(alive + i),
+                            _mm256_loadu_pd(src + i));
+    for (; i < n; ++i)
+        if (alive[i]) dst[i] = src[i];
+}
+
+void select_fill(double* x, double v_alive, double v_dead, const char* alive,
+                 std::size_t n) {
+    const __m256d va = _mm256_set1_pd(v_alive);
+    std::size_t i = 0;
+    if (alive == nullptr) {
+        for (; i + 4 <= n; i += 4) _mm256_storeu_pd(x + i, va);
+        for (; i < n; ++i) x[i] = v_alive;
+        return;
+    }
+    const __m256d vd = _mm256_set1_pd(v_dead);
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(x + i, _mm256_blendv_pd(vd, va, mask4d(alive + i)));
+    for (; i < n; ++i) x[i] = alive[i] ? v_alive : v_dead;
+}
+
+void fill(double* x, double v, std::size_t n) {
+    const __m256d v4 = _mm256_set1_pd(v);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) _mm256_storeu_pd(x + i, v4);
+    for (; i < n; ++i) x[i] = v;
+}
+
+void span_sub(double* x, const Index32* idx, std::size_t n, double v) {
+    const __m256d v4 = _mm256_set1_pd(v);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m128i i4 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+        const __m256d g = _mm256_i32gather_pd(x, i4, 8);
+        scatter4(x, idx + k, _mm256_sub_pd(g, v4));
+    }
+    for (; k < n; ++k) x[idx[k]] -= v;
+}
+
+void span_add(double* x, const Index32* idx, std::size_t n, double v) {
+    const __m256d v4 = _mm256_set1_pd(v);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m128i i4 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+        const __m256d g = _mm256_i32gather_pd(x, i4, 8);
+        scatter4(x, idx + k, _mm256_add_pd(g, v4));
+    }
+    for (; k < n; ++k) x[idx[k]] += v;
+}
+
+void span_sub_masked(double* x, const Index32* idx, std::size_t n, double v,
+                     const char* alive) {
+    // Measured and kept scalar: the alive bytes would need a second gather
+    // per 4-group, which loses to the plain loop at real span lengths
+    // (DESIGN.md §10). The unmasked case still takes the vector path.
+    if (alive == nullptr) {
+        span_sub(x, idx, n, v);
+        return;
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        if (alive[idx[k]]) x[idx[k]] -= v;
+}
+
+Index32 argmin_ratio(const double* c, const Index32* nj, const char* alive,
+                     const char* sel, std::size_t n) {
+    const double inf = std::numeric_limits<double>::infinity();
+    const __m256d inf4 = _mm256_set1_pd(inf);
+    const __m256d eps4 = _mm256_set1_pd(1e-9);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256d best4 = inf4;
+    __m256i bidx4 = zero;
+    __m256i cur = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i four = _mm256_set1_epi64x(4);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4, cur = _mm256_add_epi64(cur, four)) {
+        const __m128i nj4 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(nj + k));
+        // nj < 2^31, so the i32->f64 conversion and the sign-extended
+        // compare against 0 are both exact.
+        const __m256d njd = _mm256_cvtepi32_pd(nj4);
+        const __m256d cv = _mm256_max_pd(eps4, _mm256_loadu_pd(c + k));
+        const __m256d score = _mm256_div_pd(cv, njd);
+        __m256d valid = _mm256_castsi256_pd(
+            _mm256_cmpgt_epi64(_mm256_cvtepi32_epi64(nj4), zero));
+        if (alive != nullptr)
+            valid = _mm256_and_pd(valid, mask4d(alive + k));
+        if (sel != nullptr)
+            valid = _mm256_andnot_pd(mask4d(sel + k), valid);
+        const __m256d masked = _mm256_blendv_pd(inf4, score, valid);
+        // Strict < keeps the first (smallest-index) minimum per lane,
+        // matching the scalar tie rule.
+        const __m256d lt = _mm256_cmp_pd(masked, best4, _CMP_LT_OQ);
+        best4 = _mm256_blendv_pd(best4, masked, lt);
+        bidx4 = _mm256_castpd_si256(_mm256_blendv_pd(
+            _mm256_castsi256_pd(bidx4), _mm256_castsi256_pd(cur), lt));
+    }
+    alignas(32) double bs[4];
+    alignas(32) long long bi[4];
+    _mm256_store_pd(bs, best4);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(bi), bidx4);
+    double best_score = inf;
+    long long best = -1;
+    for (int t = 0; t < 4; ++t) {
+        if (bs[t] == inf) continue;  // untouched or all-invalid lane
+        if (bs[t] < best_score ||
+            (bs[t] == best_score && bi[t] < best)) {
+            best_score = bs[t];
+            best = bi[t];
+        }
+    }
+    // Tail indices all exceed the vector indices, so strict < preserves the
+    // smallest-index tie rule across the boundary.
+    for (; k < n; ++k) {
+        if (alive != nullptr && !alive[k]) continue;
+        if (sel != nullptr && sel[k]) continue;
+        if (nj[k] == 0) continue;
+        const double cj = std::max(c[k], 1e-9);
+        const double score = cj / static_cast<double>(nj[k]);
+        if (score < best_score) {
+            best_score = score;
+            best = static_cast<long long>(k);
+        }
+    }
+    return best < 0 ? static_cast<Index32>(n) : static_cast<Index32>(best);
+}
+
+namespace {
+
+// a ⊆ b word-wise: testc sets CF iff (~b & a) == 0.
+inline bool subset_words(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t w) {
+    std::size_t k = 0;
+    for (; k + 4 <= w; k += 4) {
+        const __m256i av =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+        const __m256i bv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
+        if (!_mm256_testc_si256(bv, av)) return false;
+    }
+    for (; k < w; ++k)
+        if ((a[k] & b[k]) != a[k]) return false;
+    return true;
+}
+
+}  // namespace
+
+void subset_batch(const std::uint64_t* words, std::size_t wpr,
+                  const std::uint64_t* a, const Index32* cand, std::size_t n,
+                  char* out) {
+    for (std::size_t t = 0; t < n; ++t)
+        out[t] = subset_words(a, words + static_cast<std::size_t>(cand[t]) * wpr,
+                              wpr)
+                     ? 1
+                     : 0;
+}
+
+Index32 subset_first(const std::uint64_t* words, std::size_t wpr,
+                     const std::uint64_t* a, const Index32* cand,
+                     std::size_t n) {
+    for (std::size_t t = 0; t < n; ++t)
+        if (subset_words(a, words + static_cast<std::size_t>(cand[t]) * wpr,
+                         wpr))
+            return static_cast<Index32>(t);
+    return static_cast<Index32>(n);
+}
+
+// The remaining integer kernels keep the scalar loop shape but are compiled
+// in this TU, where -mavx2 makes std::popcount a single popcnt instruction.
+std::size_t popcount_words(const std::uint64_t* w, std::size_t n) {
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < n; ++k)
+        total += static_cast<std::size_t>(std::popcount(w[k]));
+    return total;
+}
+
+void build_bits_filtered(std::uint64_t* w, const Index32* idx, std::size_t n,
+                         const char* keep) {
+    if (keep == nullptr) {
+        for (std::size_t k = 0; k < n; ++k)
+            w[idx[k] >> 6] |= std::uint64_t{1} << (idx[k] & 63u);
+        return;
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        if (keep[idx[k]]) w[idx[k] >> 6] |= std::uint64_t{1} << (idx[k] & 63u);
+}
+
+std::uint64_t sum_u32_masked(const Index32* v, const char* alive,
+                             std::size_t n) {
+    std::uint64_t total = 0;
+    if (alive == nullptr) {
+        for (std::size_t i = 0; i < n; ++i) total += v[i];
+        return total;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        if (alive[i]) total += v[i];
+    return total;
+}
+
+std::size_t filter_remap(Index32* dst, const Index32* idx, std::size_t n,
+                         const char* alive, const Index32* remap) {
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < n; ++k)
+        if (alive[idx[k]]) dst[out++] = remap[idx[k]];
+    return out;
+}
+
+const Ops& table() noexcept {
+    static constexpr Ops t = {
+        step_clamp_nonneg,
+        step_clamp01,
+        rsub_masked,
+        copy_masked,
+        select_fill,
+        fill,
+        span_sub,
+        span_add,
+        span_sub_masked,
+        argmin_ratio,
+        subset_batch,
+        subset_first,
+        popcount_words,
+        build_bits_filtered,
+        sum_u32_masked,
+        filter_remap,
+    };
+    return t;
+}
+
+}  // namespace avx2_impl
+}  // namespace ucp::kern
+
+#endif  // UCP_SIMD_ENABLED && defined(__x86_64__)

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "kernels/sparse_ops.hpp"
 #include "matrix/sub_matrix.hpp"
 #include "util/trace.hpp"
 
@@ -63,10 +64,11 @@ DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
     // Column loads: Σ_i a_ij m_i.
     fit(ws.da_load, C);
     std::vector<double>& load = ws.da_load;
-    for (Index j = 0; j < C; ++j) load[j] = 0.0;
+    kern::fill(load.data(), 0.0, C);
     for (Index i = 0; i < R; ++i) {
         if (!a.row_alive(i)) continue;
-        for (const Index j : a.row(i)) load[j] += m[i];
+        const auto span = a.row(i);
+        kern::span_add(load.data(), span.data(), span.size(), m[i]);
     }
 
     // ---- phase 1: decrease until A'm ≤ c, most-covered rows first -----------
@@ -91,7 +93,8 @@ DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
         if (worst > 0.0) {
             const double dec = std::min(m[i], worst);
             m[i] -= dec;
-            for (const Index j : a.row(i)) load[j] -= dec;
+            const auto span = a.row(i);
+            kern::span_sub(load.data(), span.data(), span.size(), dec);
         }
     }
     // Phase 1 guarantees: every column containing a still-positive variable is
@@ -112,7 +115,8 @@ DualAscentResult dual_ascent(const Matrix& a, LagrangianWorkspace& ws,
             }
             if (slack > 1e-12) {
                 m[i] += slack;
-                for (const Index j : a.row(i)) load[j] += slack;
+                const auto span = a.row(i);
+                kern::span_add(load.data(), span.data(), span.size(), slack);
             }
         }
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/sparse_ops.hpp"
 #include "matrix/sub_matrix.hpp"
 
 namespace ucp::lagr {
@@ -100,23 +101,34 @@ std::vector<Index> lagrangian_greedy(const Matrix& a, LagrangianWorkspace& ws,
         for (const Index i : a.col(j)) nj += ws.covered[i] == 0 ? 1u : 0u;
         ws.greedy_nj[j] = nj;
     }
+    // γ1 is score-compatible with the kern::argmin_ratio kernel (same
+    // max(c̃, ε)/n_j expression and first-strict-minimum tie rule); γ2/γ3
+    // involve std::log2, whose libm result is not pinned by IEEE, so they
+    // stay on this scalar scan (DESIGN.md §10).
+    const bool ratio_scan = variant == GreedyVariant::kCostOverRows;
     while (uncovered > 0) {
         Index best = C;
-        double best_score = std::numeric_limits<double>::infinity();
-        for (Index j = 0; j < C; ++j) {
-            if (!a.col_alive(j) || ws.selected[j] != 0) continue;
-            const Index nj = ws.greedy_nj[j];
-            if (nj == 0) continue;
-            double wj = 0.0;
-            if (weighted) {
-                for (const Index i : a.col(j))
-                    if (ws.covered[i] == 0) wj += ws.row_weight[i];
-            }
-            const double s =
-                score(variant, ctilde[j], static_cast<double>(nj), wj);
-            if (s < best_score) {
-                best_score = s;
-                best = j;
+        if (ratio_scan) {
+            best = kern::argmin_ratio(ctilde.data(), ws.greedy_nj.data(),
+                                      a.col_alive_data(), ws.selected.data(),
+                                      C);
+        } else {
+            double best_score = std::numeric_limits<double>::infinity();
+            for (Index j = 0; j < C; ++j) {
+                if (!a.col_alive(j) || ws.selected[j] != 0) continue;
+                const Index nj = ws.greedy_nj[j];
+                if (nj == 0) continue;
+                double wj = 0.0;
+                if (weighted) {
+                    for (const Index i : a.col(j))
+                        if (ws.covered[i] == 0) wj += ws.row_weight[i];
+                }
+                const double s =
+                    score(variant, ctilde[j], static_cast<double>(nj), wj);
+                if (s < best_score) {
+                    best_score = s;
+                    best = j;
+                }
             }
         }
         UCP_ASSERT(best < C);  // some column must cover an uncovered row

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/sparse_ops.hpp"
 #include "lagrangian/dual_ascent.hpp"
 #include "matrix/sub_matrix.hpp"
 #include "util/stats.hpp"
@@ -20,22 +21,23 @@ namespace {
 
 /// z_LP(λ) for a given λ; fills ws.ctilde (c − A'λ, defined on alive
 /// columns) and ws.p (p*_j = [c̃_j ≤ 0], exactly 0 on dead columns).
+/// `cost_d` caches the alive column costs as doubles (ws.orig_cost).
 template <class Matrix>
 double eval_lagrangian(const Matrix& a, const std::vector<double>& lambda,
+                       const std::vector<double>& cost_d,
                        LagrangianWorkspace& ws) {
     const Index R = a.num_rows();
     const Index C = a.num_cols();
     fit(ws.ctilde, C);
     fit(ws.p, C);
-    for (Index j = 0; j < C; ++j) {
-        ws.p[j] = 0;
-        if (a.col_alive(j)) ws.ctilde[j] = static_cast<double>(a.cost(j));
-    }
+    std::fill_n(ws.p.data(), C, char{0});
+    kern::copy_masked(ws.ctilde.data(), cost_d.data(), a.col_alive_data(), C);
     double lam_sum = 0.0;
     for (Index i = 0; i < R; ++i) {
         if (!a.row_alive(i)) continue;
         lam_sum += lambda[i];
-        for (const Index j : a.row(i)) ws.ctilde[j] -= lambda[i];
+        const auto span = a.row(i);
+        kern::span_sub(ws.ctilde.data(), span.data(), span.size(), lambda[i]);
     }
     double z = lam_sum;
     for (Index j = 0; j < C; ++j) {
@@ -133,7 +135,7 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
         ++out.iterations;
 
         // ---- primal Lagrangian evaluation -------------------------------------
-        const double z = eval_lagrangian(a, lambda, ws);
+        const double z = eval_lagrangian(a, lambda, ws.orig_cost, ws);
         if (z > lb_best + 1e-12) {
             lb_best = z;
             out.lambda = lambda;
@@ -151,14 +153,14 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
             // Dead rows keep m*_i = 0.0 exactly so the µ-update load scatter
             // below can skip them by value, and the unfiltered sums stay
             // bit-identical to the compacted accumulation.
-            for (Index i = 0; i < R; ++i) {
-                ws.m_star[i] = 0.0;
-                ws.etilde[i] = 1.0;
-            }
+            kern::fill(ws.m_star.data(), 0.0, R);
+            kern::fill(ws.etilde.data(), 1.0, R);
             for (Index j = 0; j < C; ++j) {
                 if (!a.col_alive(j) || mu[j] == 0.0) continue;
                 w_mu += mu[j] * static_cast<double>(a.cost(j));
-                for (const Index i : a.col(j)) ws.etilde[i] -= mu[j];
+                const auto span = a.col(j);
+                kern::span_sub(ws.etilde.data(), span.data(), span.size(),
+                               mu[j]);
             }
             for (Index i = 0; i < R; ++i) {
                 if (!a.row_alive(i)) continue;
@@ -214,49 +216,46 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
         if (t < opt.t_min) break;
 
         // ---- λ update, formula (2) -------------------------------------------------
-        double norm2 = 0.0;
         fit(ws.s, R);
         // s is exactly 0.0 on dead rows; dead columns never enter (p = 0).
-        for (Index i = 0; i < R; ++i) ws.s[i] = a.row_alive(i) ? 1.0 : 0.0;
+        kern::select_fill(ws.s.data(), 1.0, 0.0, a.row_alive_data(), R);
         for (Index j = 0; j < C; ++j) {
             if (ws.p[j] == 0) continue;
-            for (const Index i : a.col(j))
-                if (a.row_alive(i)) ws.s[i] -= 1.0;
+            const auto span = a.col(j);
+            kern::span_sub_masked(ws.s.data(), span.data(), span.size(), 1.0,
+                                  a.row_alive_data());
         }
-        for (Index i = 0; i < R; ++i) norm2 += ws.s[i] * ws.s[i];
+        const double norm2 = kern::dot_self(ws.s.data(), R);
         if (norm2 > 1e-12) {
             const double step = t * std::abs(ub_est - z) / norm2;
-            for (Index i = 0; i < R; ++i)
-                if (a.row_alive(i))
-                    lambda[i] = std::max(lambda[i] + step * ws.s[i], 0.0);
+            kern::step_clamp_nonneg(lambda.data(), ws.s.data(), step,
+                                    a.row_alive_data(), R);
         }
 
         // ---- µ update (dual side, driven down towards LB) --------------------------
         if (opt.use_dual_lagrangian) {
-            double gnorm2 = 0.0;
             fit(ws.g, C);
             // Accumulate the load Σ m*_i of each column by scattering the
             // active rows (typically a small fraction) in ascending order —
             // the same per-column addition order as a full gather over the
             // column spans, minus its exact +0.0 no-ops, so g is
             // bit-identical. The m* = 0.0 test also skips dead rows.
-            for (Index j = 0; j < C; ++j) ws.g[j] = 0.0;
+            kern::fill(ws.g.data(), 0.0, C);
             for (Index i = 0; i < R; ++i) {
                 const double mi = ws.m_star[i];
                 if (mi == 0.0) continue;
-                for (const Index j : a.row(i)) ws.g[j] += mi;
+                const auto span = a.row(i);
+                kern::span_add(ws.g.data(), span.data(), span.size(), mi);
             }
-            for (Index j = 0; j < C; ++j) {
-                if (!a.col_alive(j)) continue;
-                ws.g[j] = static_cast<double>(a.cost(j)) - ws.g[j];
-                gnorm2 += ws.g[j] * ws.g[j];
-            }
+            kern::rsub_masked(ws.g.data(), ws.orig_cost.data(),
+                              a.col_alive_data(), C);
+            const double gnorm2 =
+                kern::dot_self_masked(ws.g.data(), a.col_alive_data(), C);
             const double target = std::max(lb_best, 0.0);
             if (gnorm2 > 1e-12 && w_mu > target) {
                 const double step = t_dual * (w_mu - target) / gnorm2;
-                for (Index j = 0; j < C; ++j)
-                    if (a.col_alive(j))
-                        mu[j] = std::clamp(mu[j] - step * ws.g[j], 0.0, 1.0);
+                kern::step_clamp01(mu.data(), ws.g.data(), step,
+                                   a.col_alive_data(), C);
             }
         }
 
@@ -271,7 +270,7 @@ SubgradientResult subgradient_ascent(const Matrix& a, LagrangianWorkspace& ws,
     }
 
     if (out.lagrangian_costs.empty()) {
-        eval_lagrangian(a, out.lambda, ws);
+        eval_lagrangian(a, out.lambda, ws.orig_cost, ws);
         out.lagrangian_costs.assign(ws.ctilde.begin(), ws.ctilde.end());
     }
     out.lb_fractional = std::max(lb_best, 0.0);

@@ -1,7 +1,8 @@
 #include "matrix/bit_matrix.hpp"
 
 #include <algorithm>
-#include <bit>
+
+#include "kernels/sparse_ops.hpp"
 
 namespace ucp::cov {
 
@@ -16,22 +17,22 @@ void BitMatrix::reset(Index rows, Index universe) {
 }
 
 void BitMatrix::assign_row(Index row, const std::vector<Index>& bits) {
-    std::uint64_t* w = words_.data() + row * wpr_;
-    std::fill(w, w + wpr_, 0);
-    for (const Index b : bits) w[b / 64] |= std::uint64_t{1} << (b % 64);
+    assign_row_filtered(row, {bits.data(), bits.size()}, nullptr);
 }
 
 void BitMatrix::assign_row(Index row, IndexSpan bits) {
+    assign_row_filtered(row, bits, nullptr);
+}
+
+void BitMatrix::assign_row_filtered(Index row, IndexSpan bits,
+                                    const char* keep) {
     std::uint64_t* w = words_.data() + row * wpr_;
     std::fill(w, w + wpr_, 0);
-    for (const Index b : bits) w[b / 64] |= std::uint64_t{1} << (b % 64);
+    kern::build_bits_filtered(w, bits.data(), bits.size(), keep);
 }
 
 std::size_t BitMatrix::popcount(Index row) const {
-    const std::uint64_t* w = words_.data() + row * wpr_;
-    std::size_t n = 0;
-    for (std::size_t i = 0; i < wpr_; ++i) n += std::popcount(w[i]);
-    return n;
+    return kern::popcount_words(words_.data() + row * wpr_, wpr_);
 }
 
 }  // namespace ucp::cov

@@ -43,6 +43,9 @@ public:
     /// Zeroes a row, then sets every index in `bits`.
     void assign_row(Index row, const std::vector<Index>& bits);
     void assign_row(Index row, IndexSpan bits);
+    /// Zeroes a row, then sets the indices in `bits` whose `keep` byte is
+    /// nonzero (null = all) — builds a filtered dominance row in one call.
+    void assign_row_filtered(Index row, IndexSpan bits, const char* keep);
 
     [[nodiscard]] bool test(Index row, Index bit) const {
         return (words_[row * wpr_ + bit / 64] >>
@@ -60,6 +63,15 @@ public:
 
     /// Number of set bits in a row.
     [[nodiscard]] std::size_t popcount(Index row) const;
+
+    /// Flat word storage for the kern:: batched subset kernels: row r's words
+    /// are words_data()[r*words_per_row() .. (r+1)*words_per_row()).
+    [[nodiscard]] const std::uint64_t* words_data() const noexcept {
+        return words_.data();
+    }
+    [[nodiscard]] const std::uint64_t* row_words(Index row) const noexcept {
+        return words_.data() + row * wpr_;
+    }
 
 private:
     Index rows_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "kernels/sparse_ops.hpp"
 #include "matrix/bit_matrix.hpp"
 #include "util/stats.hpp"
 #include "util/trace.hpp"
@@ -103,20 +104,16 @@ void run_fixpoint(SubMatrix& v, Worklists& q, const ReduceOptions& opt,
     if (use_bits) {
         row_bits.reset(R, C);
         col_bits.reset(C, R);
-        for (Index i = 0; i < R; ++i) {
-            if (!v.row_alive(i)) continue;
-            for (const Index j : v.row(i))
-                if (v.col_alive(j)) row_bits.set(i, j);
-        }
-        for (Index j = 0; j < C; ++j) {
-            if (!v.col_alive(j)) continue;
-            for (const Index i : v.col(j))
-                if (v.row_alive(i)) col_bits.set(j, i);
-        }
+        for (Index i = 0; i < R; ++i)
+            if (v.row_alive(i))
+                row_bits.assign_row_filtered(i, v.row(i), v.col_alive_data());
+        for (Index j = 0; j < C; ++j)
+            if (v.col_alive(j))
+                col_bits.assign_row_filtered(j, v.col(j), v.row_alive_data());
     }
 
-    std::vector<Index> sweep, marked;
-    std::vector<char> to_remove_r, to_remove_c;
+    std::vector<Index> sweep, marked, cand;
+    std::vector<char> to_remove_r, to_remove_c, cand_hit;
 
     while (true) {
         const bool ess_work = opt.essential && !q.ess.empty();
@@ -178,26 +175,71 @@ void run_fixpoint(SubMatrix& v, Worklists& q, const ReduceOptions& opt,
                     if (!v.row_alive(k) || to_remove_r[k] != 0) continue;
                     // Candidates that could be dominated BY k (supersets of
                     // k's columns) all appear in the column lists of k's
-                    // columns; scan the cheapest one.
+                    // columns; scan the cheapest one. Branchless min update:
+                    // strict < keeps the first index on ties, exactly like
+                    // the short-circuit original, without the unpredictable
+                    // branch per span element.
                     Index probe = kInvalid;
+                    Index probe_len = ~Index{0};
                     for (const Index j : v.row(k)) {
-                        if (!v.col_alive(j)) continue;
-                        if (probe == kInvalid ||
-                            v.live_col_size(j) < v.live_col_size(probe))
-                            probe = j;
+                        const Index len = v.live_col_size(j);
+                        const bool better = v.col_alive(j) && len < probe_len;
+                        probe = better ? j : probe;
+                        probe_len = better ? len : probe_len;
                     }
                     UCP_ASSERT(probe != kInvalid);
-                    for (const Index i : v.col(probe)) {
-                        if (!v.row_alive(i)) continue;
-                        if (i == k || to_remove_r[i] != 0) continue;
-                        if (v.live_row_size(i) < v.live_row_size(k)) continue;
-                        if (v.live_row_size(i) == v.live_row_size(k) && i < k)
-                            continue;  // equal sets: keep the smaller index
-                        if (use_bits ? row_bits.subset(k, i)
-                                     : row_subset(v, k, i)) {
-                            to_remove_r[i] = 1;
-                            marked.push_back(i);
+                    if (use_bits) {
+                        // Collect the candidates surviving the cheap filters,
+                        // then run the whole probe scan through one batched
+                        // subset call. Marks are applied after the scan in
+                        // the original too (to_remove only dedups), so the
+                        // fired set is identical. The filter predicate is
+                        // evaluated branchlessly (candidate pass rates hover
+                        // near 50% on dense matrices, the worst case for the
+                        // branch predictor) with an unconditional write +
+                        // conditional advance.
+                        const IndexSpan pc = v.col(probe);
+                        const Index sk = v.live_row_size(k);
+                        cand.resize(pc.size());
+                        std::size_t nc = 0;
+                        for (const Index i : pc) {
+                            const Index li = v.live_row_size(i);
+                            const unsigned ok =
+                                static_cast<unsigned>(v.row_alive(i)) &
+                                static_cast<unsigned>(to_remove_r[i] == 0) &
+                                static_cast<unsigned>(i != k) &
+                                (static_cast<unsigned>(li > sk) |
+                                 (static_cast<unsigned>(li == sk) &
+                                  static_cast<unsigned>(i > k)));
+                            cand[nc] = i;
+                            nc += ok;
+                        }
+                        cand.resize(nc);
+                        cand_hit.assign(cand.size(), 0);
+                        kern::subset_batch(row_bits.words_data(),
+                                           row_bits.words_per_row(),
+                                           row_bits.row_words(k), cand.data(),
+                                           cand.size(), cand_hit.data());
+                        for (std::size_t t = 0; t < cand.size(); ++t) {
+                            if (cand_hit[t] == 0) continue;
+                            to_remove_r[cand[t]] = 1;
+                            marked.push_back(cand[t]);
                             ++res.rows_removed_dominance;
+                        }
+                    } else {
+                        for (const Index i : v.col(probe)) {
+                            if (!v.row_alive(i)) continue;
+                            if (i == k || to_remove_r[i] != 0) continue;
+                            if (v.live_row_size(i) < v.live_row_size(k))
+                                continue;
+                            if (v.live_row_size(i) == v.live_row_size(k) &&
+                                i < k)
+                                continue;  // equal sets: keep the smaller index
+                            if (row_subset(v, k, i)) {
+                                to_remove_r[i] = 1;
+                                marked.push_back(i);
+                                ++res.rows_removed_dominance;
+                            }
                         }
                     }
                 }
@@ -233,29 +275,68 @@ void run_fixpoint(SubMatrix& v, Worklists& q, const ReduceOptions& opt,
                         continue;
                     }
                     // A dominator of j must appear in every row of j; scan
-                    // the shortest row.
+                    // the shortest row. Branchless min update (see the row
+                    // dominance probe above for the equivalence argument).
                     Index probe = kInvalid;
+                    Index probe_len = ~Index{0};
                     for (const Index i : v.col(j)) {
-                        if (!v.row_alive(i)) continue;
-                        if (probe == kInvalid ||
-                            v.live_row_size(i) < v.live_row_size(probe))
-                            probe = i;
+                        const Index len = v.live_row_size(i);
+                        const bool better = v.row_alive(i) && len < probe_len;
+                        probe = better ? i : probe;
+                        probe_len = better ? len : probe_len;
                     }
                     UCP_ASSERT(probe != kInvalid);
-                    for (const Index k : v.row(probe)) {
-                        if (!v.col_alive(k)) continue;
-                        if (k == j || to_remove_c[k] != 0) continue;
-                        if (v.cost(k) > v.cost(j)) continue;
-                        if (v.live_col_size(k) < v.live_col_size(j)) continue;
-                        if (v.live_col_size(k) == v.live_col_size(j) &&
-                            v.cost(k) == v.cost(j) && k > j)
-                            continue;  // symmetric pair: keep the smaller index
-                        if (use_bits ? col_bits.subset(j, k)
-                                     : col_subset(v, j, k)) {
+                    if (use_bits) {
+                        // Same candidate order as the sequential scan; the
+                        // kernel stops at the first dominator, so stopping
+                        // is equivalent to the original break. Branchless
+                        // filter, as in row dominance.
+                        const IndexSpan pr = v.row(probe);
+                        const Index sj = v.live_col_size(j);
+                        const Cost cj = v.cost(j);
+                        cand.resize(pr.size());
+                        std::size_t nc = 0;
+                        for (const Index k : pr) {
+                            const Index lk = v.live_col_size(k);
+                            const Cost ck = v.cost(k);
+                            const unsigned ok =
+                                static_cast<unsigned>(v.col_alive(k)) &
+                                static_cast<unsigned>(k != j) &
+                                static_cast<unsigned>(to_remove_c[k] == 0) &
+                                static_cast<unsigned>(ck <= cj) &
+                                (static_cast<unsigned>(lk > sj) |
+                                 (static_cast<unsigned>(lk == sj) &
+                                  ~(static_cast<unsigned>(ck == cj) &
+                                    static_cast<unsigned>(k > j)) &
+                                  1u));
+                            cand[nc] = k;
+                            nc += ok;
+                        }
+                        cand.resize(nc);
+                        const Index hit = kern::subset_first(
+                            col_bits.words_data(), col_bits.words_per_row(),
+                            col_bits.row_words(j), cand.data(), cand.size());
+                        if (hit < cand.size()) {
                             to_remove_c[j] = 1;
                             marked.push_back(j);
                             ++res.cols_removed_dominance;
-                            break;
+                        }
+                    } else {
+                        for (const Index k : v.row(probe)) {
+                            if (!v.col_alive(k)) continue;
+                            if (k == j || to_remove_c[k] != 0) continue;
+                            if (v.cost(k) > v.cost(j)) continue;
+                            if (v.live_col_size(k) < v.live_col_size(j))
+                                continue;
+                            if (v.live_col_size(k) == v.live_col_size(j) &&
+                                v.cost(k) == v.cost(j) && k > j)
+                                continue;  // symmetric pair: keep smaller index
+                            if (col_subset(v, j, k)) {
+                                to_remove_c[j] = 1;
+                                marked.push_back(j);
+                                ++res.cols_removed_dominance;
+                                break;
+                            }
                         }
                     }
                 }
@@ -346,9 +427,8 @@ InplaceReduceResult reduce_inplace(SubMatrix& view, const ReduceDirt& dirt,
     const Index lc = view.num_live_cols();
     double density = 0.0;
     if (lr > 0 && lc > 0) {
-        std::size_t live_entries = 0;
-        for (Index i = 0; i < view.num_rows(); ++i)
-            if (view.row_alive(i)) live_entries += view.live_row_size(i);
+        const std::uint64_t live_entries = kern::sum_u32_masked(
+            view.live_row_size_data(), view.row_alive_data(), view.num_rows());
         density = static_cast<double>(live_entries) /
                   (static_cast<double>(lr) * static_cast<double>(lc));
     }

@@ -50,6 +50,53 @@ CoverMatrix CoverMatrix::from_rows(Index num_cols,
     return m;
 }
 
+CoverMatrix CoverMatrix::from_csr(Index num_cols,
+                                  std::vector<std::size_t> row_off,
+                                  std::vector<Index> row_idx,
+                                  std::vector<Cost> costs) {
+    CoverMatrix m;
+    if (costs.empty()) costs.assign(num_cols, 1);
+    UCP_REQUIRE(costs.size() == num_cols, "cost vector size mismatch");
+    for (const Cost c : costs) UCP_REQUIRE(c > 0, "column costs must be positive");
+    UCP_REQUIRE(!row_off.empty() && row_off.front() == 0 &&
+                    row_off.back() == row_idx.size(),
+                "malformed CSR offsets");
+    const Index R = static_cast<Index>(row_off.size() - 1);
+
+    // Single validation + column-count pass (from_rows pass 1 without the
+    // normalisation — the caller guarantees sorted/distinct and we verify).
+    std::vector<std::size_t> col_count(num_cols, 0);
+    for (Index i = 0; i < R; ++i) {
+        UCP_REQUIRE(row_off[i] < row_off[i + 1],
+                    "row with no covering column (infeasible problem)");
+        Index prev = 0;
+        for (std::size_t k = row_off[i]; k < row_off[i + 1]; ++k) {
+            const Index j = row_idx[k];
+            UCP_REQUIRE(j < num_cols, "column index out of range");
+            UCP_REQUIRE(k == row_off[i] || j > prev, "row not sorted/distinct");
+            prev = j;
+            ++col_count[j];
+        }
+    }
+
+    m.costs_ = std::move(costs);
+    m.num_rows_ = R;
+    m.num_cols_ = num_cols;
+    m.entries_ = row_idx.size();
+    m.row_off_ = std::move(row_off);
+    m.row_idx_ = std::move(row_idx);
+
+    m.col_off_.assign(static_cast<std::size_t>(num_cols) + 1, 0);
+    for (Index j = 0; j < num_cols; ++j)
+        m.col_off_[j + 1] = m.col_off_[j] + col_count[j];
+    m.col_idx_.resize(m.entries_);
+    std::vector<std::size_t> cursor(m.col_off_.begin(), m.col_off_.end() - 1);
+    for (Index i = 0; i < R; ++i)
+        for (std::size_t k = m.row_off_[i]; k < m.row_off_[i + 1]; ++k)
+            m.col_idx_[cursor[m.row_idx_[k]]++] = i;
+    return m;
+}
+
 bool CoverMatrix::entry(Index i, Index j) const {
     const IndexSpan r = row(i);
     return std::binary_search(r.begin(), r.end(), j);

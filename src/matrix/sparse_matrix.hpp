@@ -90,6 +90,15 @@ public:
                                  std::vector<std::vector<Index>> rows,
                                  std::vector<Cost> costs = {});
 
+    /// Builds from an already-normalised flat CSR (each row sorted, distinct,
+    /// non-empty, in range — one validation pass enforces it). Produces the
+    /// exact matrix from_rows would for the equivalent per-row lists, without
+    /// the per-row heap allocation and re-sort; this is the hot exit path of
+    /// SubMatrix::compact, which emits compacted rows in CSR form directly.
+    static CoverMatrix from_csr(Index num_cols, std::vector<std::size_t> row_off,
+                                std::vector<Index> row_idx,
+                                std::vector<Cost> costs = {});
+
     [[nodiscard]] Index num_rows() const noexcept { return num_rows_; }
     [[nodiscard]] Index num_cols() const noexcept { return num_cols_; }
     [[nodiscard]] std::size_t num_entries() const noexcept { return entries_; }
@@ -110,6 +119,10 @@ public:
     // run unchanged on either a CoverMatrix or a SubMatrix.
     [[nodiscard]] bool row_alive(Index) const noexcept { return true; }
     [[nodiscard]] bool col_alive(Index) const noexcept { return true; }
+    // Byte-mask pointers for the kern:: sparse-ops layer; null means "every
+    // lane alive" and selects the unmasked kernel fast paths.
+    [[nodiscard]] const char* row_alive_data() const noexcept { return nullptr; }
+    [[nodiscard]] const char* col_alive_data() const noexcept { return nullptr; }
     [[nodiscard]] Index num_live_rows() const noexcept { return num_rows_; }
     [[nodiscard]] Index num_live_cols() const noexcept { return num_cols_; }
     [[nodiscard]] Index live_row_size(Index i) const {

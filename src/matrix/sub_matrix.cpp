@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/sparse_ops.hpp"
+
 namespace ucp::cov {
 
 void SubMatrix::reset(const CoverMatrix& base) {
@@ -108,19 +110,31 @@ CoverMatrix SubMatrix::compact(std::vector<Index>& col_map,
     std::vector<Cost> costs;
     costs.reserve(col_map.size());
     for (const Index j : col_map) costs.push_back(base_->cost(j));
-    std::vector<std::vector<Index>> rows;
+    // Emit the surviving rows straight into flat CSR form: the filtered spans
+    // stay sorted and distinct (col_new is monotone over alive columns), so
+    // from_csr skips the per-row allocation + normalisation of from_rows.
+    std::vector<std::size_t> row_off;
+    row_off.reserve(static_cast<std::size_t>(live_rows_) + 1);
+    row_off.push_back(0);
+    std::size_t total = 0;
+    for (Index i = 0; i < R; ++i)
+        if (row_alive_[i] != 0) total += row_len_[i];
+    std::vector<Index> row_idx(total);
+    std::size_t out = 0;
     for (Index i = 0; i < R; ++i) {
         if (row_alive_[i] == 0) continue;
-        std::vector<Index> r;
-        r.reserve(row_len_[i]);
-        for (const Index j : base_->row(i))
-            if (col_alive_[j] != 0) r.push_back(col_new[j]);
-        UCP_ASSERT(!r.empty());
-        rows.push_back(std::move(r));
+        const IndexSpan span = base_->row(i);
+        const std::size_t written = kern::filter_remap(
+            row_idx.data() + out, span.data(), span.size(), col_alive_.data(),
+            col_new.data());
+        UCP_ASSERT(written == row_len_[i] && written > 0);
+        out += written;
+        row_off.push_back(out);
         row_map.push_back(i);
     }
-    return CoverMatrix::from_rows(static_cast<Index>(col_map.size()),
-                                  std::move(rows), std::move(costs));
+    return CoverMatrix::from_csr(static_cast<Index>(col_map.size()),
+                                 std::move(row_off), std::move(row_idx),
+                                 std::move(costs));
 }
 
 void SubMatrix::validate() const {

@@ -42,12 +42,26 @@ public:
 
     [[nodiscard]] bool row_alive(Index i) const { return row_alive_[i] != 0; }
     [[nodiscard]] bool col_alive(Index j) const { return col_alive_[j] != 0; }
+    /// Byte masks for the kern:: sparse-ops layer (0 = dead, 1 = alive).
+    [[nodiscard]] const char* row_alive_data() const noexcept {
+        return row_alive_.data();
+    }
+    [[nodiscard]] const char* col_alive_data() const noexcept {
+        return col_alive_.data();
+    }
     [[nodiscard]] Index num_live_rows() const noexcept { return live_rows_; }
     [[nodiscard]] Index num_live_cols() const noexcept { return live_cols_; }
     /// Number of alive columns in row i / alive rows in column j — the sizes
     /// a compacted matrix would report. Maintained incrementally, O(1).
     [[nodiscard]] Index live_row_size(Index i) const { return row_len_[i]; }
     [[nodiscard]] Index live_col_size(Index j) const { return col_len_[j]; }
+    /// Dense live-degree arrays for the kern:: integer sweep kernels.
+    [[nodiscard]] const Index* live_row_size_data() const noexcept {
+        return row_len_.data();
+    }
+    [[nodiscard]] const Index* live_col_size_data() const noexcept {
+        return col_len_.data();
+    }
 
     /// min(live rows / rows, live cols / cols); 1.0 for an empty base.
     [[nodiscard]] double live_fraction() const noexcept;

@@ -1,0 +1,119 @@
+#include "solver/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace ucp::solver {
+
+using cov::Cost;
+using cov::CoverMatrix;
+using cov::Index;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/// Phase 1 for one instance: reduce to the cyclic core.
+cov::ReduceResult reduce_item(const CoverMatrix& m, const BatchOptions& opt,
+                              BatchItem& item) {
+    const auto t0 = std::chrono::steady_clock::now();
+    cov::ReduceResult red = cov::reduce(m, {}, opt.reduce);
+    item.reduce_seconds = seconds_since(t0);
+    item.core_rows = red.core.num_rows();
+    item.core_cols = red.core.num_cols();
+    return red;
+}
+
+/// Phase 2 for one instance: solve the core (if any) and lift the solution
+/// back to original column indices.
+void solve_item(const CoverMatrix& m, const cov::ReduceResult& red,
+                const BatchOptions& opt, BatchItem& item) {
+    const auto t0 = std::chrono::steady_clock::now();
+    item.solution = red.essential_cols;
+    item.cost = red.fixed_cost;
+    item.lower_bound = red.fixed_cost;
+    if (red.core.num_rows() == 0) {
+        item.proved_optimal = true;  // the reductions solved it outright
+    } else {
+        ScgResult scg = solve_scg(red.core, opt.scg);
+        for (const Index j : scg.solution)
+            item.solution.push_back(red.core_col_map[j]);
+        item.cost += scg.cost;
+        item.lower_bound += scg.lower_bound;
+        item.proved_optimal = scg.proved_optimal;
+        item.scg_runs = scg.runs_executed;
+    }
+    std::sort(item.solution.begin(), item.solution.end());
+    UCP_ASSERT(m.is_feasible(item.solution));
+    item.solve_seconds = seconds_since(t0);
+}
+
+}  // namespace
+
+BatchSolver::BatchSolver(BatchOptions opt) : opt_(std::move(opt)) {
+    UCP_REQUIRE(opt_.scg.governor == nullptr,
+                "BatchSolver: per-batch governors are not supported");
+}
+
+BatchResult BatchSolver::solve(
+    const std::vector<const CoverMatrix*>& batch) const {
+    static stats::Counter& c_batches = stats::counter("batch.calls");
+    static stats::Counter& c_items = stats::counter("batch.instances");
+    const stats::ScopedTimer phase_timer("batch.seconds");
+    TRACE_SPAN("batch.solve");
+    c_batches.add();
+    c_items.add(batch.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t B = batch.size();
+    BatchResult out;
+    out.items.resize(B);
+    std::vector<cov::ReduceResult> reduced(B);
+
+    const unsigned threads = opt_.num_threads == 0
+                                 ? ThreadPool::default_threads()
+                                 : static_cast<unsigned>(opt_.num_threads);
+    ThreadPool pool(threads);
+
+    {
+        TRACE_SPAN("batch.reduce_all");
+        pool.parallel_for(B, [&](std::size_t b) {
+            reduced[b] = reduce_item(*batch[b], opt_, out.items[b]);
+        });
+    }
+    {
+        TRACE_SPAN("batch.solve_all");
+        pool.parallel_for(B, [&](std::size_t b) {
+            solve_item(*batch[b], reduced[b], opt_, out.items[b]);
+        });
+    }
+
+    out.seconds = seconds_since(t0);
+    return out;
+}
+
+BatchResult BatchSolver::solve(const std::vector<CoverMatrix>& batch) const {
+    std::vector<const CoverMatrix*> ptrs;
+    ptrs.reserve(batch.size());
+    for (const CoverMatrix& m : batch) ptrs.push_back(&m);
+    return solve(ptrs);
+}
+
+BatchItem BatchSolver::solve_one(const CoverMatrix& m,
+                                 const BatchOptions& opt) {
+    UCP_REQUIRE(opt.scg.governor == nullptr,
+                "BatchSolver: per-batch governors are not supported");
+    BatchItem item;
+    const cov::ReduceResult red = reduce_item(m, opt, item);
+    solve_item(m, red, opt, item);
+    return item;
+}
+
+}  // namespace ucp::solver

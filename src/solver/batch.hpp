@@ -1,0 +1,73 @@
+// Cross-instance batching for the explicit phase.
+//
+// A BatchSolver runs B independent covering instances in lockstep phases on
+// the shared ThreadPool: first every instance is reduced to its cyclic core
+// (reduce-all barrier), then every surviving core is solved with SCG
+// (solve-all barrier), then each core solution is lifted back to original
+// column indices. Phase-lockstep keeps the pool saturated with homogeneous
+// work — all workers run the same kernels against hot dispatch state — which
+// is the execution shape the future service front-end (ROADMAP item 1) wants
+// for request batches.
+//
+// Determinism: every item is solved independently from its own instance and
+// the shared options, and results land in per-index slots, so the output is
+// bit-identical for every thread count — including num_threads = 1, which
+// runs the phases inline in index order. solve_one() is the sequential
+// reference: BatchSolver::solve(batch).items[i] equals
+// solve_one(*batch[i], opt) field for field.
+#pragma once
+
+#include <vector>
+
+#include "matrix/reductions.hpp"
+#include "solver/scg.hpp"
+
+namespace ucp::solver {
+
+struct BatchOptions {
+    /// Reduction options for the reduce-all phase.
+    cov::ReduceOptions reduce{};
+    /// Solver options for the solve-all phase (applied to every core).
+    /// `scg.governor` must stay null: a shared budget across concurrently
+    /// solved instances would make results depend on scheduling.
+    ScgOptions scg{};
+    /// Worker threads for the phase fan-out. 0 = ThreadPool::default_threads()
+    /// (UCP_THREADS env or hardware), 1 = inline serial execution.
+    int num_threads = 1;
+};
+
+struct BatchItem {
+    std::vector<cov::Index> solution;  ///< original column indices, feasible
+    cov::Cost cost = 0;                ///< essential fixed cost + core cost
+    cov::Cost lower_bound = 0;
+    bool proved_optimal = false;
+    cov::Index core_rows = 0, core_cols = 0;  ///< cyclic core shape
+    int scg_runs = 0;                  ///< 0 when reductions solved it outright
+    double reduce_seconds = 0.0;
+    double solve_seconds = 0.0;
+};
+
+struct BatchResult {
+    std::vector<BatchItem> items;  ///< one per instance, input order
+    double seconds = 0.0;          ///< wall time of the whole batch
+};
+
+class BatchSolver {
+public:
+    explicit BatchSolver(BatchOptions opt = {});
+
+    /// Solves every instance; `batch[i]` must stay valid for the call.
+    [[nodiscard]] BatchResult solve(
+        const std::vector<const cov::CoverMatrix*>& batch) const;
+    [[nodiscard]] BatchResult solve(
+        const std::vector<cov::CoverMatrix>& batch) const;
+
+    /// Sequential reference for one instance: reduce, solve the core, lift.
+    [[nodiscard]] static BatchItem solve_one(const cov::CoverMatrix& m,
+                                             const BatchOptions& opt);
+
+private:
+    BatchOptions opt_;
+};
+
+}  // namespace ucp::solver

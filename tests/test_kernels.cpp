@@ -1,0 +1,396 @@
+// Differential tests for the sparse-ops kernel layer (kernels/sparse_ops.hpp):
+// for every kernel, the AVX2 implementation must produce output that is
+// bit-identical to the portable scalar reference — including what it does NOT
+// touch (dead lanes keep their stale bits). The sweeps cover every vector
+// tail length (n mod 4 / mod 8 over 0..7), pointers that are 8- but not
+// 32-byte aligned, all-dead and all-alive masks, and the argmin tie rule.
+//
+// On machines without AVX2 (or -DUCP_SIMD=OFF builds) the differential cases
+// skip; the dispatch tests still run. The CI scalar lane re-runs this binary
+// with UCP_SIMD=scalar in the environment (see SimdDispatch.EnvForcing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "kernels/simd.hpp"
+#include "kernels/sparse_ops.hpp"
+#include "util/stats.hpp"
+
+namespace kern = ucp::kern;
+using kern::Index32;
+
+namespace {
+
+// Every tail residue 0..7 plus a few larger lengths for the main loops.
+const std::vector<std::size_t> kSizes{0,  1,  2,  3,  4,  5,  6,   7,  8, 9,
+                                      12, 15, 16, 17, 31, 32, 33, 63, 64, 100};
+
+std::vector<double> random_doubles(std::mt19937_64& g, std::size_t n) {
+    std::uniform_real_distribution<double> d(-10.0, 10.0);
+    std::vector<double> v(n);
+    for (double& x : v) x = d(g);
+    return v;
+}
+
+enum class MaskKind { kNull, kAllAlive, kAllDead, kRandom };
+
+std::vector<char> make_mask(std::mt19937_64& g, std::size_t n, MaskKind kind) {
+    std::vector<char> m(n, 1);
+    if (kind == MaskKind::kAllDead) std::fill(m.begin(), m.end(), char{0});
+    if (kind == MaskKind::kRandom)
+        for (char& c : m) c = static_cast<char>(g() & 1u);
+    return m;
+}
+
+std::vector<Index32> sorted_distinct_indices(std::mt19937_64& g, std::size_t n,
+                                             std::size_t universe) {
+    std::vector<Index32> all(universe);
+    for (std::size_t i = 0; i < universe; ++i) all[i] = static_cast<Index32>(i);
+    std::shuffle(all.begin(), all.end(), g);
+    all.resize(std::min(n, universe));
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+// ---- dispatch layer ---------------------------------------------------------
+// Defined first: gtest runs tests in declaration order within a TU, and the
+// dispatch assertions must observe the process-initial selection before any
+// force_isa() calls below.
+
+TEST(SimdDispatch, EnvForcing) {
+    const kern::Isa isa = kern::active_isa();
+    if (const char* env = std::getenv("UCP_SIMD")) {
+        if (std::string(env) == "scalar")
+            EXPECT_EQ(isa, kern::Isa::kScalar);
+        else if (std::string(env) == "avx2" && kern::avx2_available())
+            EXPECT_EQ(isa, kern::Isa::kAvx2);
+    } else if (!kern::avx2_available()) {
+        EXPECT_EQ(isa, kern::Isa::kScalar);
+    }
+}
+
+TEST(SimdDispatch, FlushesSelectionExactlyOnce) {
+    (void)kern::active_isa();
+    const auto snap = ucp::stats::snapshot();
+    const auto it = snap.find("kernels.simd_dispatch");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second, 1.0);
+    // Re-resolving and re-flushing the same selection must not double-count.
+    (void)kern::active_isa();
+    kern::force_isa(kern::active_isa());
+    EXPECT_EQ(ucp::stats::snapshot().at("kernels.simd_dispatch"), 1.0);
+}
+
+TEST(SimdDispatch, ParseIsa) {
+    kern::Isa isa = kern::Isa::kScalar;
+    EXPECT_TRUE(kern::parse_isa("scalar", isa));
+    EXPECT_EQ(isa, kern::Isa::kScalar);
+    EXPECT_TRUE(kern::parse_isa("avx2", isa));
+    EXPECT_EQ(isa, kern::Isa::kAvx2);
+    EXPECT_TRUE(kern::parse_isa("auto", isa));
+    EXPECT_EQ(isa, kern::avx2_available() ? kern::Isa::kAvx2
+                                          : kern::Isa::kScalar);
+    EXPECT_FALSE(kern::parse_isa("sse9", isa));
+    EXPECT_FALSE(kern::parse_isa("", isa));
+}
+
+TEST(SimdDispatch, ForceScalarRoundTrip) {
+    const kern::Isa before = kern::active_isa();
+    kern::force_isa(kern::Isa::kScalar);
+    EXPECT_EQ(kern::active_isa(), kern::Isa::kScalar);
+    // The public wrappers must dispatch through the forced selection.
+    std::vector<double> x(5, -1.0);
+    kern::fill(x.data(), 2.5, x.size());
+    for (double v : x) EXPECT_EQ(v, 2.5);
+    kern::force_isa(before);
+    EXPECT_EQ(kern::active_isa(), before);
+    // Forcing AVX2 on a machine without it degrades to scalar, never traps.
+    kern::force_isa(kern::Isa::kAvx2);
+    EXPECT_EQ(kern::active_isa(), kern::avx2_available() ? kern::Isa::kAvx2
+                                                         : kern::Isa::kScalar);
+    kern::force_isa(before);
+}
+
+// ---- per-op differential fixture --------------------------------------------
+
+class KernelsDifferential : public ::testing::Test {
+protected:
+    void SetUp() override {
+        avx_ = kern::ops_avx2();
+        if (avx_ == nullptr)
+            GTEST_SKIP() << "AVX2 table not available (CPU or -DUCP_SIMD=OFF)";
+    }
+
+    const kern::Ops& scalar() { return kern::ops_scalar(); }
+    const kern::Ops* avx_ = nullptr;
+    std::mt19937_64 g_{0x5eedu};
+};
+
+TEST_F(KernelsDifferential, ElementwiseMaskedAllTails) {
+    for (const std::size_t n : kSizes) {
+        for (const MaskKind mk : {MaskKind::kNull, MaskKind::kAllAlive,
+                                  MaskKind::kAllDead, MaskKind::kRandom}) {
+            const auto mask = make_mask(g_, n, mk);
+            const char* alive = mk == MaskKind::kNull ? nullptr : mask.data();
+            const auto x0 = random_doubles(g_, n);
+            const auto d = random_doubles(g_, n);
+            const double step = 0.37;
+
+            auto a = x0, b = x0;
+            scalar().step_clamp_nonneg(a.data(), d.data(), step, alive, n);
+            avx_->step_clamp_nonneg(b.data(), d.data(), step, alive, n);
+            EXPECT_TRUE(bits_equal(a, b)) << "step_clamp_nonneg n=" << n;
+
+            a = x0, b = x0;
+            scalar().step_clamp01(a.data(), d.data(), step, alive, n);
+            avx_->step_clamp01(b.data(), d.data(), step, alive, n);
+            EXPECT_TRUE(bits_equal(a, b)) << "step_clamp01 n=" << n;
+
+            a = x0, b = x0;
+            scalar().rsub_masked(a.data(), d.data(), alive, n);
+            avx_->rsub_masked(b.data(), d.data(), alive, n);
+            EXPECT_TRUE(bits_equal(a, b)) << "rsub_masked n=" << n;
+
+            a = x0, b = x0;
+            scalar().copy_masked(a.data(), d.data(), alive, n);
+            avx_->copy_masked(b.data(), d.data(), alive, n);
+            EXPECT_TRUE(bits_equal(a, b)) << "copy_masked n=" << n;
+
+            a = x0, b = x0;
+            scalar().select_fill(a.data(), 1.0, 0.0, alive, n);
+            avx_->select_fill(b.data(), 1.0, 0.0, alive, n);
+            EXPECT_TRUE(bits_equal(a, b)) << "select_fill n=" << n;
+
+            a = x0, b = x0;
+            scalar().fill(a.data(), -3.25, n);
+            avx_->fill(b.data(), -3.25, n);
+            EXPECT_TRUE(bits_equal(a, b)) << "fill n=" << n;
+        }
+    }
+}
+
+TEST_F(KernelsDifferential, ElementwiseUnalignedPointers) {
+    // One double of offset: still 8-byte aligned (doubles always are) but
+    // guaranteed not 32-byte aligned on at least one of the two buffers — the
+    // AVX2 path must use unaligned loads/stores throughout.
+    for (const std::size_t n : {7u, 16u, 33u, 100u}) {
+        auto x0 = random_doubles(g_, n + 1);
+        const auto d = random_doubles(g_, n + 1);
+        const auto mask = make_mask(g_, n, MaskKind::kRandom);
+        auto a = x0, b = x0;
+        scalar().step_clamp_nonneg(a.data() + 1, d.data() + 1, 0.2,
+                                   mask.data(), n);
+        avx_->step_clamp_nonneg(b.data() + 1, d.data() + 1, 0.2, mask.data(),
+                                n);
+        EXPECT_TRUE(bits_equal(a, b)) << "unaligned n=" << n;
+
+        a = x0, b = x0;
+        scalar().copy_masked(a.data() + 1, d.data() + 1, mask.data(), n);
+        avx_->copy_masked(b.data() + 1, d.data() + 1, mask.data(), n);
+        EXPECT_TRUE(bits_equal(a, b)) << "unaligned copy n=" << n;
+    }
+}
+
+TEST_F(KernelsDifferential, SpanGatherScatter) {
+    const std::size_t universe = 200;
+    for (const std::size_t n : kSizes) {
+        const auto idx = sorted_distinct_indices(g_, n, universe);
+        const auto x0 = random_doubles(g_, universe);
+        const auto mask = make_mask(g_, universe, MaskKind::kRandom);
+        const double v = 1.625;
+
+        auto a = x0, b = x0;
+        scalar().span_sub(a.data(), idx.data(), idx.size(), v);
+        avx_->span_sub(b.data(), idx.data(), idx.size(), v);
+        EXPECT_TRUE(bits_equal(a, b)) << "span_sub n=" << n;
+
+        a = x0, b = x0;
+        scalar().span_add(a.data(), idx.data(), idx.size(), v);
+        avx_->span_add(b.data(), idx.data(), idx.size(), v);
+        EXPECT_TRUE(bits_equal(a, b)) << "span_add n=" << n;
+
+        for (const char* alive : {static_cast<const char*>(nullptr),
+                                  static_cast<const char*>(mask.data())}) {
+            a = x0, b = x0;
+            scalar().span_sub_masked(a.data(), idx.data(), idx.size(), v,
+                                     alive);
+            avx_->span_sub_masked(b.data(), idx.data(), idx.size(), v, alive);
+            EXPECT_TRUE(bits_equal(a, b)) << "span_sub_masked n=" << n;
+        }
+    }
+}
+
+TEST_F(KernelsDifferential, ArgminRatioTieRule) {
+    // Equal scores at several indices: both paths must return the smallest.
+    const std::size_t n = 13;
+    std::vector<double> c(n, 8.0);
+    std::vector<Index32> nj(n, 4);  // every score = 2.0
+    EXPECT_EQ(scalar().argmin_ratio(c.data(), nj.data(), nullptr, nullptr, n),
+              0u);
+    EXPECT_EQ(avx_->argmin_ratio(c.data(), nj.data(), nullptr, nullptr, n),
+              0u);
+    // Make index 5 and 9 the (tied) minimum: smallest wins.
+    c[5] = c[9] = 4.0;
+    EXPECT_EQ(scalar().argmin_ratio(c.data(), nj.data(), nullptr, nullptr, n),
+              5u);
+    EXPECT_EQ(avx_->argmin_ratio(c.data(), nj.data(), nullptr, nullptr, n),
+              5u);
+    // A tie between a vector-lane minimum and a tail minimum (n=13 → tail is
+    // indices 12): the earlier index must still win.
+    std::fill(c.begin(), c.end(), 8.0);
+    c[2] = c[12] = 4.0;
+    EXPECT_EQ(avx_->argmin_ratio(c.data(), nj.data(), nullptr, nullptr, n),
+              2u);
+    // Invalid lanes: nj == 0, dead, selected. All-invalid returns n.
+    std::vector<char> dead(n, 0);
+    EXPECT_EQ(scalar().argmin_ratio(c.data(), nj.data(), dead.data(), nullptr,
+                                    n),
+              static_cast<Index32>(n));
+    EXPECT_EQ(avx_->argmin_ratio(c.data(), nj.data(), dead.data(), nullptr, n),
+              static_cast<Index32>(n));
+    std::vector<Index32> nj0(n, 0);
+    EXPECT_EQ(avx_->argmin_ratio(c.data(), nj0.data(), nullptr, nullptr, n),
+              static_cast<Index32>(n));
+}
+
+TEST_F(KernelsDifferential, ArgminRatioRandomDifferential) {
+    std::uniform_int_distribution<Index32> nj_dist(0, 6);
+    for (const std::size_t n : kSizes) {
+        for (int rep = 0; rep < 8; ++rep) {
+            auto c = random_doubles(g_, n);
+            for (double& x : c) x = std::abs(x);
+            std::vector<Index32> nj(n);
+            for (Index32& v : nj) v = nj_dist(g_);
+            const auto alive = make_mask(g_, n, MaskKind::kRandom);
+            const auto sel = make_mask(g_, n, MaskKind::kRandom);
+            EXPECT_EQ(scalar().argmin_ratio(c.data(), nj.data(), alive.data(),
+                                            sel.data(), n),
+                      avx_->argmin_ratio(c.data(), nj.data(), alive.data(),
+                                         sel.data(), n))
+                << "argmin n=" << n << " rep=" << rep;
+        }
+    }
+}
+
+TEST_F(KernelsDifferential, BitsetSubsetKernels) {
+    for (const std::size_t wpr : {1u, 2u, 3u, 5u, 8u}) {
+        const std::size_t rows = 24;
+        std::vector<std::uint64_t> words(rows * wpr);
+        for (auto& w : words) w = g_();
+        // Sprinkle guaranteed-subset pairs: row r+1 ⊇ row r for even r.
+        for (std::size_t r = 0; r + 1 < rows; r += 2)
+            for (std::size_t k = 0; k < wpr; ++k)
+                words[(r + 1) * wpr + k] |= words[r * wpr + k];
+        for (const std::size_t n : kSizes) {
+            const auto cand = sorted_distinct_indices(g_, n, rows);
+            const std::uint64_t* probe = words.data();  // row 0
+            std::vector<char> out_s(cand.size() + 1, 42),
+                out_v(cand.size() + 1, 42);
+            scalar().subset_batch(words.data(), wpr, probe, cand.data(),
+                                  cand.size(), out_s.data());
+            avx_->subset_batch(words.data(), wpr, probe, cand.data(),
+                               cand.size(), out_v.data());
+            EXPECT_EQ(out_s, out_v) << "subset_batch wpr=" << wpr;
+            EXPECT_EQ(scalar().subset_first(words.data(), wpr, probe,
+                                            cand.data(), cand.size()),
+                      avx_->subset_first(words.data(), wpr, probe, cand.data(),
+                                         cand.size()))
+                << "subset_first wpr=" << wpr;
+        }
+        // Reflexivity: every row is a subset of itself.
+        std::vector<Index32> self{3};
+        char hit = 0;
+        avx_->subset_batch(words.data(), wpr, words.data() + 3 * wpr,
+                           self.data(), 1, &hit);
+        EXPECT_EQ(hit, 1);
+    }
+}
+
+TEST_F(KernelsDifferential, PopcountAndBuildBits) {
+    for (const std::size_t n : kSizes) {
+        std::vector<std::uint64_t> w(n);
+        for (auto& x : w) x = g_();
+        EXPECT_EQ(scalar().popcount_words(w.data(), n),
+                  avx_->popcount_words(w.data(), n))
+            << "popcount n=" << n;
+
+        const std::size_t universe = 190;
+        const auto idx = sorted_distinct_indices(g_, n, universe);
+        const auto keep = make_mask(g_, universe, MaskKind::kRandom);
+        const std::size_t nwords = (universe + 63) / 64;
+        for (const char* k : {static_cast<const char*>(nullptr),
+                              static_cast<const char*>(keep.data())}) {
+            std::vector<std::uint64_t> ws(nwords, 0), wv(nwords, 0);
+            scalar().build_bits_filtered(ws.data(), idx.data(), idx.size(), k);
+            avx_->build_bits_filtered(wv.data(), idx.data(), idx.size(), k);
+            EXPECT_EQ(ws, wv) << "build_bits_filtered n=" << n;
+        }
+    }
+}
+
+TEST_F(KernelsDifferential, SumAndFilterRemap) {
+    std::uniform_int_distribution<Index32> val(0, 1000);
+    for (const std::size_t n : kSizes) {
+        std::vector<Index32> v(n);
+        for (Index32& x : v) x = val(g_);
+        for (const MaskKind mk :
+             {MaskKind::kNull, MaskKind::kAllDead, MaskKind::kRandom}) {
+            const auto mask = make_mask(g_, n, mk);
+            const char* alive = mk == MaskKind::kNull ? nullptr : mask.data();
+            EXPECT_EQ(scalar().sum_u32_masked(v.data(), alive, n),
+                      avx_->sum_u32_masked(v.data(), alive, n))
+                << "sum_u32_masked n=" << n;
+        }
+
+        const std::size_t universe = 150;
+        const auto idx = sorted_distinct_indices(g_, n, universe);
+        const auto alive = make_mask(g_, universe, MaskKind::kRandom);
+        std::vector<Index32> remap(universe);
+        for (std::size_t i = 0; i < universe; ++i)
+            remap[i] = static_cast<Index32>(universe - 1 - i);
+        std::vector<Index32> ds(idx.size() + 1, 7777), dv(idx.size() + 1, 7777);
+        const std::size_t ws = scalar().filter_remap(
+            ds.data(), idx.data(), idx.size(), alive.data(), remap.data());
+        const std::size_t wv = avx_->filter_remap(
+            dv.data(), idx.data(), idx.size(), alive.data(), remap.data());
+        EXPECT_EQ(ws, wv) << "filter_remap count n=" << n;
+        EXPECT_EQ(ds, dv) << "filter_remap content n=" << n;
+        // All-dead: nothing written.
+        std::vector<char> dead(universe, 0);
+        EXPECT_EQ(avx_->filter_remap(dv.data(), idx.data(), idx.size(),
+                                     dead.data(), remap.data()),
+                  0u);
+    }
+}
+
+// The public dispatching wrappers must agree with the scalar reference no
+// matter which ISA is active — a cheap end-to-end check over the same
+// dispatch path the solver uses.
+TEST(KernelsDispatchWrappers, MatchScalarReference) {
+    std::mt19937_64 g(0xabcdu);
+    const std::size_t n = 37;
+    const auto x0 = random_doubles(g, n);
+    const auto d = random_doubles(g, n);
+    const auto mask = make_mask(g, n, MaskKind::kRandom);
+    auto a = x0, b = x0;
+    kern::ops_scalar().step_clamp_nonneg(a.data(), d.data(), 0.11, mask.data(),
+                                         n);
+    kern::step_clamp_nonneg(b.data(), d.data(), 0.11, mask.data(), n);
+    EXPECT_TRUE(bits_equal(a, b));
+    EXPECT_EQ(kern::dot_self(x0.data(), n),
+              kern::dot_self_masked(x0.data(), nullptr, n));
+}
