@@ -220,6 +220,96 @@ inline void append_repeat_fields(
     extra.emplace_back("repeats", static_cast<double>(rt.repeats));
 }
 
+/// "123*" when the solver proved optimality (paper's star convention).
+inline std::string starred(cov::Cost sol, bool proved) {
+    return std::to_string(sol) + (proved ? "*" : "");
+}
+
+/// "123(120)" — heuristic value with its lower bound (Tables 3–4).
+inline std::string with_bound(cov::Cost sol, cov::Cost lb, bool proved) {
+    if (proved) return std::to_string(sol) + "*";
+    return std::to_string(sol) + "(" + std::to_string(lb) + ")";
+}
+
+/// Block-diagonal direct sum of covering matrices — genuinely decomposable
+/// exact-solver instances for the decomposition-parallel benches (DESIGN.md
+/// §11). Column/row indices are shifted per part; costs are preserved.
+inline cov::CoverMatrix block_diagonal(
+    const std::vector<const cov::CoverMatrix*>& parts) {
+    std::vector<std::vector<cov::Index>> rows;
+    std::vector<cov::Cost> costs;
+    cov::Index col_base = 0;
+    for (const auto* p : parts) {
+        for (cov::Index i = 0; i < p->num_rows(); ++i) {
+            std::vector<cov::Index> r;
+            r.reserve(p->row(i).size());
+            for (const cov::Index j : p->row(i)) r.push_back(col_base + j);
+            rows.push_back(std::move(r));
+        }
+        for (cov::Index j = 0; j < p->num_cols(); ++j)
+            costs.push_back(p->cost(j));
+        col_base += p->num_cols();
+    }
+    return cov::CoverMatrix::from_rows(col_base, std::move(rows),
+                                       std::move(costs));
+}
+
+/// Appends one bridge row = union of rows `a` and `b`. The instance is
+/// connected as written, but the bridge is a superset of row `a`, so row
+/// dominance deletes it at the root and the core decomposes only after the
+/// reduction — the dynamic-detection case of DESIGN.md §11.
+inline cov::CoverMatrix with_bridge_row(const cov::CoverMatrix& m,
+                                        cov::Index a, cov::Index b) {
+    std::vector<std::vector<cov::Index>> rows;
+    rows.reserve(m.num_rows() + 1);
+    for (cov::Index i = 0; i < m.num_rows(); ++i)
+        rows.emplace_back(m.row(i).begin(), m.row(i).end());
+    std::vector<cov::Index> bridge(m.row(a).begin(), m.row(a).end());
+    bridge.insert(bridge.end(), m.row(b).begin(), m.row(b).end());
+    rows.push_back(std::move(bridge));
+    std::vector<cov::Cost> costs;
+    for (cov::Index j = 0; j < m.num_cols(); ++j) costs.push_back(m.cost(j));
+    return cov::CoverMatrix::from_rows(m.num_cols(), std::move(rows),
+                                       std::move(costs));
+}
+
+/// One decomposable-instance row for the Table 3/4 benches: times the exact
+/// solver with decomposition off (the sequential whole-matrix search) and
+/// with the decomposition-parallel search (`--threads` workers), `--min-of`
+/// repetitions each, and records the solution fields the baseline gate pins
+/// (optimal cost and block count — both deterministic).
+inline void record_decomposed_exact(JsonReporter& json, TextTable& table,
+                                    const std::string& name,
+                                    const cov::CoverMatrix& m) {
+    solver::BnbResult seq_r, dec_r;
+    solver::BnbOptions seq;
+    seq.decompose = false;
+    seq.time_limit_seconds = 120.0;
+    const RepeatTiming ts =
+        time_min_of(json.min_of(), [&] { seq_r = solver::solve_exact(m, seq); });
+    solver::BnbOptions dec;
+    dec.num_threads = json.threads();
+    dec.time_limit_seconds = 120.0;
+    const RepeatTiming td =
+        time_min_of(json.min_of(), [&] { dec_r = solver::solve_exact(m, dec); });
+    if (seq_r.optimal && dec_r.optimal && seq_r.cost != dec_r.cost)
+        std::cerr << "BUG: decomposed exact cost mismatch on " << name << ": "
+                  << seq_r.cost << " vs " << dec_r.cost << '\n';
+
+    std::vector<std::pair<std::string, double>> extra{
+        {"blocks", static_cast<double>(dec_r.blocks)},
+        {"exact_optimal", seq_r.optimal && dec_r.optimal ? 1.0 : 0.0},
+        {"seq_min_ms", ts.min_ms},
+        {"speedup", ts.min_ms / std::max(td.min_ms, 1e-9)}};
+    append_repeat_fields(extra, td);
+    json.record(name, static_cast<double>(dec_r.cost), td.min_ms, extra);
+    table.add_row({name, std::to_string(dec_r.blocks),
+                   starred(dec_r.cost, dec_r.optimal), TextTable::num(ts.min_ms, 2),
+                   TextTable::num(td.min_ms, 2),
+                   TextTable::num(ts.min_ms / std::max(td.min_ms, 1e-9), 2) +
+                       "x"});
+}
+
 struct PipelineRow {
     std::string name;
     solver::TwoLevelResult scg;
@@ -259,17 +349,6 @@ inline PipelineRow run_pipeline(const gen::SuiteEntry& entry,
     }
     row.rss_mb = peak_rss_mb();
     return row;
-}
-
-/// "123*" when the solver proved optimality (paper's star convention).
-inline std::string starred(cov::Cost sol, bool proved) {
-    return std::to_string(sol) + (proved ? "*" : "");
-}
-
-/// "123(120)" — heuristic value with its lower bound (Tables 3–4).
-inline std::string with_bound(cov::Cost sol, cov::Cost lb, bool proved) {
-    if (proved) return std::to_string(sol) + "*";
-    return std::to_string(sol) + "(" + std::to_string(lb) + ")";
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

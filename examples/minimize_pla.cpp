@@ -149,6 +149,7 @@ int main(int argc, char** argv) {
                       << "       [--solver=scg|exact|greedy] [--out=<file>]\n"
                       << "       [--compare-espresso] [--json]\n"
                       << "       [--deadline-ms=<n>] [--zdd-node-budget=<n>]\n"
+                      << "       [--bnb-threads=<n>] [--bnb-min-rows=<n>]\n"
                       << "       [--zdd-cache-entries=<n>] "
                          "[--zdd-gc-threshold=<n>]\n"
                       << "       [--trace=<file>] "
@@ -200,6 +201,11 @@ int main(int argc, char** argv) {
             }
             ucp::trace::start(trace_level);
         }
+        // Exact-solver knobs: decomposition-parallel search (DESIGN.md §11).
+        tl.bnb.num_threads =
+            static_cast<int>(opts.get_int("bnb-threads", tl.bnb.num_threads));
+        tl.bnb.parallel_min_rows = static_cast<ucp::cov::Index>(opts.get_int(
+            "bnb-min-rows", static_cast<long>(tl.bnb.parallel_min_rows)));
         const std::string solver = opts.get("solver", "scg");
         if (solver == "exact")
             tl.cover_solver = ucp::solver::CoverSolver::kExact;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
-# over the concurrency-bearing tests (thread pool, parallel multi-start SCG).
+# over the concurrency-bearing tests (thread pool, parallel multi-start SCG,
+# decomposition-parallel exact solver).
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -20,9 +21,9 @@ echo "=== tier 1: ThreadSanitizer pass (parallel tests) ==="
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DUCP_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$JOBS" \
-      --target test_thread_pool test_parallel_scg
-ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-      -R 'test_thread_pool|test_parallel_scg'
+      --target test_thread_pool test_parallel_scg test_bnb_parallel
+UCP_THREADS=4 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+      -R 'test_thread_pool|test_parallel_scg|test_bnb_parallel'
 
 echo
 echo "tier 1 OK"

@@ -29,6 +29,7 @@ PHASE_SECTIONS = {
     "dual_ascent": "§6",
     "penalties": "§6",
     "reduce": "§7",
+    "bnb": "§11",
     "zdd_cover": "§8",
     "implicit_primes": "§8",
     "table": "§8",

@@ -1,0 +1,157 @@
+#include "matrix/components.hpp"
+
+#include "util/stats.hpp"
+
+namespace ucp::cov {
+
+namespace {
+
+constexpr Index kNone = ~Index{0};
+
+/// fit()-style growth: reserve only past the high-water mark, counting every
+/// real allocation so the perf tests can pin the steady state to zero.
+template <class T>
+void fit(std::vector<T>& v, std::size_t n) {
+    if (v.capacity() < n) {
+        static stats::Counter& c = stats::counter("matrix.component_allocs");
+        c.add();
+        v.reserve(n);
+    }
+    v.resize(n);
+}
+
+Index find_root(std::vector<Index>& parent, Index j) {
+    // Path halving: every probe shortcuts one level, so repeated scans over
+    // the same forest stay near-O(1) amortised without a recursion stack.
+    while (parent[j] != j) {
+        parent[j] = parent[parent[j]];
+        j = parent[j];
+    }
+    return j;
+}
+
+/// Shared core of both scans. `RowRange` yields the alive rows, `live_cols`
+/// yields the alive columns of one row, `col_in_play(j)` says whether column
+/// j belongs to any block (alive and covering at least one alive row).
+template <class ForEachRow, class ColInPlay>
+Index scan(Index num_rows, Index num_cols, ComponentWorkspace& ws,
+           const ForEachRow& for_each_row, const ColInPlay& col_in_play) {
+    fit(ws.parent, num_cols);
+    for (Index j = 0; j < num_cols; ++j) ws.parent[j] = j;
+
+    // Union all columns of each row into the row's first column.
+    for_each_row([&](Index /*i*/, Index first, Index j) {
+        const Index ra = find_root(ws.parent, first);
+        const Index rb = find_root(ws.parent, j);
+        if (ra != rb) ws.parent[rb] = ra;
+    });
+
+    // Dense labels by first appearance over ascending column index: the
+    // numbering is a pure function of the live structure (union order and
+    // thread count cannot perturb it).
+    fit(ws.labels, num_cols);
+    for (Index j = 0; j < num_cols; ++j) ws.labels[j] = kNone;
+    fit(ws.col_label, num_cols);
+    fit(ws.row_label, num_rows);
+    Index num_blocks = 0;
+    for (Index j = 0; j < num_cols; ++j) {
+        if (!col_in_play(j)) {
+            ws.col_label[j] = kNone;
+            continue;
+        }
+        const Index r = find_root(ws.parent, j);
+        if (ws.labels[r] == kNone) ws.labels[r] = num_blocks++;
+        ws.col_label[j] = ws.labels[r];
+    }
+
+    fit(ws.block_rows, num_blocks);
+    fit(ws.block_cols, num_blocks);
+    for (Index b = 0; b < num_blocks; ++b) ws.block_rows[b] = ws.block_cols[b] = 0;
+    for (Index j = 0; j < num_cols; ++j)
+        if (ws.col_label[j] != kNone) ++ws.block_cols[ws.col_label[j]];
+    for_each_row([&](Index i, Index first, Index j) {
+        if (j != first) return;  // once per row: the self-pair (see callers)
+        ws.row_label[i] = ws.col_label[first];
+        ++ws.block_rows[ws.row_label[i]];
+    });
+    return num_blocks;
+}
+
+}  // namespace
+
+Index find_components(const CoverMatrix& m, ComponentWorkspace& ws) {
+    static stats::Counter& c_scans = stats::counter("matrix.component_scans");
+    c_scans.add();
+    return scan(
+        m.num_rows(), m.num_cols(), ws,
+        [&](auto&& pair) {
+            for (Index i = 0; i < m.num_rows(); ++i) {
+                const IndexSpan r = m.row(i);
+                UCP_ASSERT(!r.empty());
+                pair(i, r.front(), r.front());  // self-pair: marks the row
+                for (std::size_t k = 1; k < r.size(); ++k)
+                    pair(i, r.front(), r[k]);
+            }
+        },
+        [&](Index j) { return !m.col(j).empty(); });
+}
+
+Index find_components(const SubMatrix& v, ComponentWorkspace& ws) {
+    static stats::Counter& c_scans = stats::counter("matrix.component_scans");
+    c_scans.add();
+    return scan(
+        v.num_rows(), v.num_cols(), ws,
+        [&](auto&& pair) {
+            for (Index i = 0; i < v.num_rows(); ++i) {
+                if (!v.row_alive(i)) continue;
+                Index first = kNone;
+                for (const Index j : v.row(i)) {
+                    if (!v.col_alive(j)) continue;
+                    if (first == kNone) {
+                        first = j;
+                        pair(i, first, first);
+                    } else {
+                        pair(i, first, j);
+                    }
+                }
+                UCP_ASSERT(first != kNone);
+            }
+        },
+        [&](Index j) { return v.col_alive(j) && v.live_col_size(j) > 0; });
+}
+
+void split_components(const CoverMatrix& m, const ComponentWorkspace& ws,
+                      Index num_blocks, std::vector<Partition>& out) {
+    out.clear();
+    out.resize(num_blocks);
+    std::vector<std::vector<std::vector<Index>>> rows(num_blocks);
+    std::vector<std::vector<Cost>> costs(num_blocks);
+    std::vector<Index> col_new(m.num_cols(), 0);
+    for (Index b = 0; b < num_blocks; ++b) {
+        out[b].col_map.reserve(ws.block_cols[b]);
+        out[b].row_map.reserve(ws.block_rows[b]);
+        rows[b].reserve(ws.block_rows[b]);
+        costs[b].reserve(ws.block_cols[b]);
+    }
+    for (Index j = 0; j < m.num_cols(); ++j) {
+        const Index b = ws.col_label[j];
+        if (b == kNone) continue;  // covers no row: belongs to no block
+        col_new[j] = static_cast<Index>(out[b].col_map.size());
+        out[b].col_map.push_back(j);
+        costs[b].push_back(m.cost(j));
+    }
+    for (Index i = 0; i < m.num_rows(); ++i) {
+        const Index b = ws.row_label[i];
+        std::vector<Index> r;
+        r.reserve(m.row(i).size());
+        for (const Index j : m.row(i)) r.push_back(col_new[j]);
+        rows[b].push_back(std::move(r));
+        out[b].row_map.push_back(i);
+    }
+    for (Index b = 0; b < num_blocks; ++b)
+        out[b].matrix = CoverMatrix::from_rows(
+            static_cast<Index>(out[b].col_map.size()), std::move(rows[b]),
+            std::move(costs[b]));
+}
+
+}  // namespace ucp::cov

@@ -1,0 +1,61 @@
+// Connected-component scan over the live structure of a covering matrix —
+// the detection half of the partitioning reduction (paper §2), factored out
+// so the exact solver can re-run it after *every* reduce-to-core instead of
+// once at the root. Two columns belong to the same block when some live row
+// contains both; blocks can be solved as independent subproblems and their
+// optima summed (rows are disjoint across blocks, so no constraint couples
+// them).
+//
+// The scan is a union-find over columns (columns linked through shared live
+// rows) with path halving. All scratch lives in a ComponentWorkspace that is
+// grown once to the high-water mark and then reused — the branch-and-bound
+// loop runs a scan per expanded node, so detection must add no steady-state
+// allocations (same contract as lagr::LagrangianWorkspace, DESIGN.md §7).
+// Block labels are normalised by first appearance in ascending column order,
+// so label 0 is always the block of the lowest-numbered live column and the
+// numbering is identical regardless of union order or thread count.
+#pragma once
+
+#include <vector>
+
+#include "matrix/reductions.hpp"
+#include "matrix/sparse_matrix.hpp"
+#include "matrix/sub_matrix.hpp"
+
+namespace ucp::cov {
+
+/// Reusable scratch + results of a component scan. After `find_components`
+/// returns k:
+///   * col_label[j] ∈ [0, k)  — block of column j (undefined for dead/empty
+///     columns, which belong to no block);
+///   * row_label[i] ∈ [0, k)  — block of row i (undefined for dead rows);
+///   * labels are dense and ordered by first appearance over ascending j.
+struct ComponentWorkspace {
+    std::vector<Index> col_label;
+    std::vector<Index> row_label;
+    std::vector<Index> parent;  ///< union-find forest over columns (scratch)
+    std::vector<Index> labels;  ///< root → dense label (scratch)
+
+    /// Live rows / columns per block, filled by find_components. Indexed by
+    /// block label; sized num_blocks.
+    std::vector<Index> block_rows;
+    std::vector<Index> block_cols;
+};
+
+/// Scans a compact matrix (every row/column alive). Rows must be non-empty —
+/// `m` is a cyclic core or any matrix produced by reduce()/compact().
+/// Returns the number of blocks (0 for an empty matrix).
+Index find_components(const CoverMatrix& m, ComponentWorkspace& ws);
+
+/// Scans the live sub-structure of a view: dead rows/columns are skipped,
+/// labels stay in BASE index space. Live rows must have live_row_size ≥ 1.
+Index find_components(const SubMatrix& v, ComponentWorkspace& ws);
+
+/// Materialises the blocks found by the last `find_components(m, ws)` call
+/// as compact matrices with base-index maps (same shape as
+/// `partition_blocks`, which remains the one-shot convenience wrapper).
+/// `out` is cleared first; block b's rows/columns keep their relative order.
+void split_components(const CoverMatrix& m, const ComponentWorkspace& ws,
+                      Index num_blocks, std::vector<Partition>& out);
+
+}  // namespace ucp::cov

@@ -40,8 +40,28 @@ struct BnbOptions {
     /// Optional resource governor, charged one iteration per expanded node.
     /// A trip truncates the search exactly like max_nodes: the incumbent and
     /// root bound stay valid, `optimal` is false, and BnbResult::status
-    /// reports the trip. Not owned; nullptr = ungoverned.
+    /// reports the trip. Not owned; nullptr = ungoverned. With num_threads >
+    /// 1 every subtask runs under a fork() of this governor (shared cancel
+    /// token and absolute deadline, per-subtask iteration counters), so all
+    /// workers observe deadline/cancel cooperatively.
     Budget* governor = nullptr;
+    // ---- decomposition-parallel search (DESIGN.md §11) ----------------------
+    /// Detect independent blocks of the cyclic core — at the root and again
+    /// at every expanded node — and solve them as separate subproblems with
+    /// per-block bounds (the partitioning reduction of paper §2, applied
+    /// dynamically).
+    bool decompose = true;
+    /// Worker threads for the top-level block search. 1 = fully sequential
+    /// (the deterministic reference execution), 0 = ThreadPool::
+    /// default_threads() (honours UCP_THREADS). The optimal cost is
+    /// bit-identical across thread counts; only the tie choice among equal-
+    /// cost covers, node counts and trip points may differ.
+    int num_threads = 1;
+    /// Small-core cutoff: cores with fewer live rows skip the per-node
+    /// component scan, and blocks smaller than this are never root-split
+    /// into branch subtasks — tiny cores are cheaper to finish than to
+    /// decompose.
+    cov::Index parallel_min_rows = 8;
 };
 
 /// The Aura-flavoured bound [14]: the optimum of the sub-problem induced by
@@ -57,6 +77,9 @@ struct BnbResult {
     bool optimal = false;
     std::size_t nodes = 0;
     double seconds = 0.0;
+    /// Independent blocks of the root cyclic core (1 = no decomposition;
+    /// 0 = solved by the root reductions alone).
+    std::size_t blocks = 0;
     /// kOk, or the governor trip that truncated the search.
     Status status = Status::kOk;
 };

@@ -1,0 +1,174 @@
+// Live-component scan (matrix/components.hpp): label determinism, agreement
+// between the compact-matrix and SubMatrix overloads, split materialisation
+// vs partition_blocks, and the allocation-free steady state.
+#include <gtest/gtest.h>
+
+#include "gen/scp_gen.hpp"
+#include "matrix/components.hpp"
+#include "matrix/reductions.hpp"
+#include "matrix/sub_matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using ucp::cov::ComponentWorkspace;
+using ucp::cov::Cost;
+using ucp::cov::CoverMatrix;
+using ucp::cov::find_components;
+using ucp::cov::Index;
+using ucp::cov::split_components;
+using ucp::cov::SubMatrix;
+
+CoverMatrix block_diagonal(const std::vector<CoverMatrix>& blocks) {
+    std::vector<std::vector<Index>> rows;
+    std::vector<Cost> costs;
+    Index col_base = 0;
+    for (const auto& b : blocks) {
+        for (Index i = 0; i < b.num_rows(); ++i) {
+            std::vector<Index> r;
+            for (const Index j : b.row(i)) r.push_back(col_base + j);
+            rows.push_back(std::move(r));
+        }
+        for (Index j = 0; j < b.num_cols(); ++j) costs.push_back(b.cost(j));
+        col_base += b.num_cols();
+    }
+    return CoverMatrix::from_rows(col_base, std::move(rows), std::move(costs));
+}
+
+TEST(Components, SingleConnectedMatrixIsOneBlock) {
+    const CoverMatrix m = ucp::gen::cyclic_matrix(8, 3);
+    ComponentWorkspace ws;
+    ASSERT_EQ(find_components(m, ws), 1u);
+    for (Index j = 0; j < m.num_cols(); ++j) EXPECT_EQ(ws.col_label[j], 0u);
+    for (Index i = 0; i < m.num_rows(); ++i) EXPECT_EQ(ws.row_label[i], 0u);
+    EXPECT_EQ(ws.block_rows[0], m.num_rows());
+    EXPECT_EQ(ws.block_cols[0], m.num_cols());
+}
+
+TEST(Components, LabelsFollowFirstAppearanceInColumnOrder) {
+    // Three blocks laid out left to right: labels must be 0, 1, 2 regardless
+    // of union order.
+    const CoverMatrix m = block_diagonal({ucp::gen::cyclic_matrix(4, 2),
+                                         ucp::gen::cyclic_matrix(5, 2),
+                                         ucp::gen::cyclic_matrix(3, 2)});
+    ComponentWorkspace ws;
+    ASSERT_EQ(find_components(m, ws), 3u);
+    EXPECT_EQ(ws.col_label[0], 0u);
+    EXPECT_EQ(ws.col_label[4], 1u);   // first column of the second block
+    EXPECT_EQ(ws.col_label[4 + 5], 2u);
+    EXPECT_EQ(ws.block_rows[0], 4u);
+    EXPECT_EQ(ws.block_rows[1], 5u);
+    EXPECT_EQ(ws.block_rows[2], 3u);
+}
+
+TEST(Components, SplitMatchesPartitionBlocks) {
+    ucp::Rng seeds(811);
+    for (int trial = 0; trial < 6; ++trial) {
+        ucp::gen::RandomScpOptions g;
+        g.rows = 7;
+        g.cols = 9;
+        g.density = 0.3;
+        g.max_cost = 4;
+        g.seed = seeds();
+        const CoverMatrix a = ucp::gen::random_scp(g);
+        g.seed = seeds();
+        const CoverMatrix b = ucp::gen::random_scp(g);
+        const CoverMatrix m = block_diagonal({a, b});
+
+        ComponentWorkspace ws;
+        const Index k = find_components(m, ws);
+        std::vector<ucp::cov::Partition> parts;
+        split_components(m, ws, k, parts);
+        const auto ref = ucp::cov::partition_blocks(m);
+        ASSERT_EQ(parts.size(), ref.size());
+        for (std::size_t t = 0; t < parts.size(); ++t) {
+            EXPECT_EQ(parts[t].matrix.num_rows(), ref[t].matrix.num_rows());
+            EXPECT_EQ(parts[t].matrix.num_cols(), ref[t].matrix.num_cols());
+            EXPECT_EQ(parts[t].col_map, ref[t].col_map);
+            EXPECT_EQ(parts[t].row_map, ref[t].row_map);
+            parts[t].matrix.validate();
+            for (Index i = 0; i < parts[t].matrix.num_rows(); ++i)
+                for (const Index j : parts[t].matrix.row(i))
+                    EXPECT_TRUE(
+                        m.entry(parts[t].row_map[i], parts[t].col_map[j]));
+        }
+    }
+}
+
+TEST(Components, EmptyColumnsBelongToNoBlock) {
+    // Column 2 covers nothing: it gets no label and split drops it.
+    const CoverMatrix m = CoverMatrix::from_rows(3, {{0, 1}});
+    ComponentWorkspace ws;
+    ASSERT_EQ(find_components(m, ws), 1u);
+    std::vector<ucp::cov::Partition> parts;
+    split_components(m, ws, 1, parts);
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0].matrix.num_cols(), 2u);
+}
+
+TEST(Components, SubMatrixViewAgreesWithCompactedScan) {
+    // Couple two blocks with a bridge column, then kill it in the view: the
+    // live structure must decompose, and the view scan must agree with
+    // scanning the compacted matrix (monotone renumbering).
+    const CoverMatrix base = block_diagonal(
+        {ucp::gen::cyclic_matrix(5, 2), ucp::gen::cyclic_matrix(6, 3)});
+    std::vector<std::vector<Index>> rows;
+    for (Index i = 0; i < base.num_rows(); ++i) {
+        rows.emplace_back(base.row(i).begin(), base.row(i).end());
+    }
+    const Index bridge = base.num_cols();
+    rows[0].push_back(bridge);   // bridge covers row 0 (block A)…
+    rows[7].push_back(bridge);   // …and row 7 (block B)
+    std::vector<Cost> costs(base.num_cols() + 1, 1);
+    const CoverMatrix m =
+        CoverMatrix::from_rows(base.num_cols() + 1, std::move(rows),
+                               std::move(costs));
+
+    ComponentWorkspace ws;
+    ASSERT_EQ(find_components(m, ws), 1u);  // bridged: one component
+
+    SubMatrix view(m);
+    view.remove_col(bridge, [](Index) {});
+    ASSERT_EQ(find_components(view, ws), 2u);
+    // Rows of the two cyclic blocks now carry different labels.
+    EXPECT_EQ(ws.row_label[0], 0u);
+    EXPECT_EQ(ws.row_label[7], 1u);
+
+    std::vector<Index> col_map, row_map;
+    const CoverMatrix compacted = view.compact(col_map, row_map);
+    ComponentWorkspace ws2;
+    ASSERT_EQ(find_components(compacted, ws2), 2u);
+    for (Index j = 0; j < compacted.num_cols(); ++j)
+        EXPECT_EQ(ws2.col_label[j], ws.col_label[col_map[j]]);
+    for (Index i = 0; i < compacted.num_rows(); ++i)
+        EXPECT_EQ(ws2.row_label[i], ws.row_label[row_map[i]]);
+}
+
+TEST(Components, SubMatrixSkipsDeadRows) {
+    // Killing every row of one block removes the block entirely.
+    const CoverMatrix m = block_diagonal(
+        {ucp::gen::cyclic_matrix(4, 2), ucp::gen::cyclic_matrix(5, 2)});
+    SubMatrix view(m);
+    for (Index i = 0; i < 4; ++i) view.kill_row(i, [](Index) {});
+    ComponentWorkspace ws;
+    ASSERT_EQ(find_components(view, ws), 1u);
+    for (Index i = 4; i < m.num_rows(); ++i) EXPECT_EQ(ws.row_label[i], 0u);
+}
+
+TEST(Components, SteadyStateScansDoNotAllocate) {
+    const CoverMatrix big = block_diagonal(
+        {ucp::gen::cyclic_matrix(12, 3), ucp::gen::cyclic_matrix(9, 2)});
+    const CoverMatrix small = ucp::gen::cyclic_matrix(6, 2);
+    ComponentWorkspace ws;
+    ASSERT_EQ(find_components(big, ws), 2u);  // high-water mark reached
+    auto& allocs = ucp::stats::counter("matrix.component_allocs");
+    const auto before = allocs.value();
+    for (int rep = 0; rep < 50; ++rep) {
+        ASSERT_EQ(find_components(big, ws), 2u);
+        ASSERT_EQ(find_components(small, ws), 1u);
+    }
+    EXPECT_EQ(allocs.value(), before);
+}
+
+}  // namespace
