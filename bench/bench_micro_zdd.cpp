@@ -320,6 +320,137 @@ void BM_ExplicitReductions(benchmark::State& state) {
 }
 BENCHMARK(BM_ExplicitReductions)->Arg(100)->Arg(400)->Arg(1000);
 
+// ---- chain-node encoding: chain vs plain pair set -------------------------
+// Each pair runs the same deep implicit-phase workload twice, with
+// DdOptions::chain_nodes forced on and off (a build-free toggle — DESIGN.md
+// §12). Arena node counts are exported next to wall time so the JSON shows
+// the compression factor, not just the speed delta. Interval-structured
+// families — contiguous runs of levels, the shape deep tables produce — are
+// where Bryant's chain reduction pays off; the prime-generation pair shows
+// the behaviour on literal-encoded cube sets.
+
+ucp::zdd::DdOptions chain_dd(bool on) {
+    ucp::zdd::DdOptions dd;
+    dd.chain_nodes = on;
+    return dd;
+}
+
+// Row dominance over 600 interval rows (length 40–200) on 2500 columns: the
+// implicit_row_dominance core (union of row sets + minimal) with the manager
+// held open so arena counters are readable.
+void chain_row_dominance(benchmark::State& state, bool chains) {
+    constexpr Var kCols = 2500;
+    std::size_t live = 0, result_nodes = 0, made = 0;
+    for (auto _ : state) {
+        ZddManager mgr(kCols, chain_dd(chains));
+        Rng rng(31);
+        ucp::Timer t;
+        Zdd fam = mgr.empty();
+        for (int i = 0; i < 600; ++i) {
+            const Var len = 40 + static_cast<Var>(rng() % 161);
+            const Var start = static_cast<Var>(rng() % (kCols - len));
+            std::vector<Var> row(len);
+            for (Var v = 0; v < len; ++v) row[v] = start + v;
+            fam = mgr.union_(fam, mgr.set_of(row));
+        }
+        const Zdd minimal = mgr.minimal(fam);
+        state.SetIterationTime(t.seconds());
+        live = mgr.live_nodes();
+        result_nodes = mgr.node_count(minimal);
+        made = mgr.chain_stats().nodes_made;
+    }
+    state.counters["live_nodes"] = static_cast<double>(live);
+    state.counters["result_nodes"] = static_cast<double>(result_nodes);
+    state.counters["chain_nodes_made"] = static_cast<double>(made);
+}
+
+void BM_ZddRowDominanceDeepChain(benchmark::State& state) {
+    chain_row_dominance(state, true);
+}
+BENCHMARK(BM_ZddRowDominanceDeepChain)->UseManualTime()->Unit(
+    benchmark::kMillisecond);
+
+void BM_ZddRowDominanceDeepPlain(benchmark::State& state) {
+    chain_row_dominance(state, false);
+}
+BENCHMARK(BM_ZddRowDominanceDeepPlain)->UseManualTime()->Unit(
+    benchmark::kMillisecond);
+
+// Minimal covers of a staircase matrix: column j covers the row interval
+// [j, j+16), so every row's covering-column set is a run of ≤16 consecutive
+// column variables. The enumeration recurses through chain-split views.
+void chain_minimal_covers(benchmark::State& state, bool chains) {
+    constexpr ucp::cov::Index kCols = 80, kWidth = 16;
+    std::vector<std::vector<ucp::cov::Index>> rows;
+    for (ucp::cov::Index r = 0; r < kCols + kWidth - 1; ++r) {
+        std::vector<ucp::cov::Index> cols;
+        for (ucp::cov::Index j = 0; j < kCols; ++j)
+            if (j <= r && r < j + kWidth) cols.push_back(j);
+        rows.push_back(std::move(cols));
+    }
+    const auto m = ucp::cov::CoverMatrix::from_rows(kCols, rows);
+    std::size_t live = 0, result_nodes = 0;
+    for (auto _ : state) {
+        ZddManager mgr(m.num_cols(), chain_dd(chains));
+        ucp::Timer t;
+        const Zdd covers = ucp::cover::minimal_covers(mgr, m);
+        state.SetIterationTime(t.seconds());
+        live = mgr.live_nodes();
+        result_nodes = mgr.node_count(covers);
+    }
+    state.counters["live_nodes"] = static_cast<double>(live);
+    state.counters["result_nodes"] = static_cast<double>(result_nodes);
+}
+
+void BM_ZddMinimalCoversIntervalChain(benchmark::State& state) {
+    chain_minimal_covers(state, true);
+}
+BENCHMARK(BM_ZddMinimalCoversIntervalChain)->UseManualTime()->Unit(
+    benchmark::kMillisecond);
+
+void BM_ZddMinimalCoversIntervalPlain(benchmark::State& state) {
+    chain_minimal_covers(state, false);
+}
+BENCHMARK(BM_ZddMinimalCoversIntervalPlain)->UseManualTime()->Unit(
+    benchmark::kMillisecond);
+
+// Implicit primes of a dense-literal PLA (literal_prob 0.9, 14 inputs): the
+// positional cube encoding yields long sparse sets whose consecutive-level
+// runs chain only sporadically — the honest neutral case for the encoding.
+void chain_primes(benchmark::State& state, bool chains) {
+    ucp::gen::RandomPlaOptions opt;
+    opt.num_inputs = 14;
+    opt.num_outputs = 1;
+    opt.num_cubes = 84;
+    opt.literal_prob = 0.9;
+    opt.seed = 29;
+    const auto pla = ucp::gen::random_pla(opt);
+    const auto care = pla.on.restricted_to_output(0);
+    std::size_t live = 0, primes = 0;
+    for (auto _ : state) {
+        ZddManager zmgr(2 * opt.num_inputs, chain_dd(chains));
+        ucp::Timer t;
+        const auto res = ucp::primes::implicit_primes(zmgr, care);
+        state.SetIterationTime(t.seconds());
+        live = zmgr.live_nodes();
+        primes = res.prime_count;
+    }
+    state.counters["live_nodes"] = static_cast<double>(live);
+    state.counters["primes"] = static_cast<double>(primes);
+}
+
+void BM_ZddImplicitPrimesDeepChain(benchmark::State& state) {
+    chain_primes(state, true);
+}
+BENCHMARK(BM_ZddImplicitPrimesDeepChain)->UseManualTime()->Unit(
+    benchmark::kMillisecond);
+
+void BM_ZddImplicitPrimesDeepPlain(benchmark::State& state) {
+    chain_primes(state, false);
+}
+BENCHMARK(BM_ZddImplicitPrimesDeepPlain)->UseManualTime()->Unit(
+    benchmark::kMillisecond);
+
 void BM_SubgradientAscent(benchmark::State& state) {
     const auto m = ucp::gen::cyclic_matrix(
         static_cast<ucp::cov::Index>(state.range(0)), 5);

@@ -151,7 +151,7 @@ int main(int argc, char** argv) {
                       << "       [--deadline-ms=<n>] [--zdd-node-budget=<n>]\n"
                       << "       [--bnb-threads=<n>] [--bnb-min-rows=<n>]\n"
                       << "       [--zdd-cache-entries=<n>] "
-                         "[--zdd-gc-threshold=<n>]\n"
+                         "[--zdd-gc-threshold=<n>] [--zdd-chain=on|off]\n"
                       << "       [--trace=<file>] "
                          "[--trace-level=phase|iter] "
                          "[--trace-format=jsonl|chrome]\n"
@@ -174,6 +174,14 @@ int main(int argc, char** argv) {
             "zdd-cache-entries", static_cast<long>(tl.table.dd.cache_entries)));
         tl.table.dd.gc_threshold = static_cast<std::size_t>(opts.get_int(
             "zdd-gc-threshold", static_cast<long>(tl.table.dd.gc_threshold)));
+        const std::string chain =
+            opts.get("zdd-chain", tl.table.dd.chain_nodes ? "on" : "off");
+        if (chain == "on" || chain == "off") {
+            tl.table.dd.chain_nodes = chain == "on";
+        } else {
+            std::cerr << "unknown --zdd-chain (want on|off)\n";
+            return 2;
+        }
         // Resource governor: deadline, DD node budget, SIGINT cancellation.
         tl.budget.deadline_seconds =
             static_cast<double>(opts.get_int("deadline-ms", 0)) / 1000.0;

@@ -134,6 +134,37 @@ def self_times(spans):
     return per_name
 
 
+DD_COUNTER_PREFIXES = ("zdd.", "bdd.")
+
+
+def dd_phase_counters(spans):
+    """Aggregate DD-engine counter deltas over the §8 (DD substrate) spans.
+
+    Span counters are per-span deltas, so a parent span's delta already
+    includes its children's; only spans without a §8 ancestor are summed to
+    avoid double counting. Returns {counter_name: total}.
+    """
+    totals = {}
+    by_tid = {}
+    for s in spans:
+        by_tid.setdefault(s["tid"], []).append(s)
+    for tid_spans in by_tid.values():
+        tid_spans.sort(key=lambda s: (s["ts_us"], -s["dur_us"]))
+        stack = []  # (end_us, span is §8 or under one)
+        for s in tid_spans:
+            start = s["ts_us"]
+            while stack and stack[-1][0] <= start + 1e-9:
+                stack.pop()
+            in_dd = section_of(s["name"]) == "§8"
+            covered = any(flag for _, flag in stack)
+            if in_dd and not covered:
+                for name, value in s.get("counters", {}).items():
+                    if name.startswith(DD_COUNTER_PREFIXES):
+                        totals[name] = totals.get(name, 0) + value
+            stack.append((start + s["dur_us"], in_dd or covered))
+    return totals
+
+
 def print_phase_table(spans, instants, out):
     per_name = self_times(spans)
     total_self = sum(v[1] for v in per_name.values()) or 1.0
@@ -145,6 +176,11 @@ def print_phase_table(spans, instants, out):
         out.write(f"{name:<28} {section_of(name):>6} {count:>7} "
                   f"{tot / 1000.0:>10.3f} {self_us / 1000.0:>10.3f} "
                   f"{100.0 * self_us / total_self:>6.1f}%\n")
+    dd = {k: v for k, v in dd_phase_counters(spans).items() if v}
+    if dd:
+        out.write("\nDD engine counters (§8 spans)\n")
+        for name, total in sorted(dd.items()):
+            out.write(f"{name:<28} {total:>10}\n")
     if instants:
         counts = {}
         for i in instants:
@@ -194,9 +230,10 @@ def report(stream, out, phases_only=False):
 
 
 SAMPLE = """\
-{"type": "meta", "version": 1, "level": "iter", "spans": 5, "iter_events": 3, "instants": 1, "dropped": 0, "clock": "steady", "time_unit": "us"}
+{"type": "meta", "version": 1, "level": "iter", "spans": 6, "iter_events": 3, "instants": 1, "dropped": 0, "clock": "steady", "time_unit": "us"}
 {"type": "span", "name": "two_level", "tid": 0, "depth": 0, "ts_us": 0.0, "dur_us": 1000.0, "counters": {}}
 {"type": "span", "name": "two_level.build_table", "tid": 0, "depth": 1, "ts_us": 10.0, "dur_us": 200.0, "counters": {"zdd.cache_hits": 50, "zdd.cache_misses": 10}}
+{"type": "span", "name": "implicit_primes", "tid": 0, "depth": 2, "ts_us": 20.0, "dur_us": 150.0, "counters": {"zdd.cache_hits": 40, "zdd.chain_nodes_made": 12, "zdd.chain_hits": 30}}
 {"type": "span", "name": "scg", "tid": 0, "depth": 1, "ts_us": 300.0, "dur_us": 600.0, "counters": {"subgradient.iterations": 40}}
 {"type": "span", "name": "subgradient", "tid": 0, "depth": 2, "ts_us": 320.0, "dur_us": 400.0, "counters": {"subgradient.iterations": 40}}
 {"type": "span", "name": "reduce", "tid": 1, "depth": 0, "ts_us": 5.0, "dur_us": 50.0, "counters": {"reduce.passes": 3}}
@@ -211,16 +248,25 @@ def selftest():
     meta, spans, iters, instants, errors = parse(io.StringIO(SAMPLE))
     assert not errors, errors
     assert meta is not None and meta["version"] == 1
-    assert len(spans) == 5 and len(iters) == 3 and len(instants) == 1
+    assert len(spans) == 6 and len(iters) == 3 and len(instants) == 1
 
     per = self_times(spans)
     # two_level(1000) has children build_table(200) + scg(600) -> self 200.
     assert abs(per["two_level"][1] - 200.0) < 1e-6, per["two_level"]
     # scg(600) has child subgradient(400) -> self 200.
     assert abs(per["scg"][1] - 200.0) < 1e-6, per["scg"]
+    # build_table(200) has child implicit_primes(150) -> self 50.
+    assert abs(per["two_level.build_table"][1] - 50.0) < 1e-6
     # Leaf spans keep their full duration; other-thread spans don't nest.
     assert abs(per["subgradient"][1] - 400.0) < 1e-6
     assert abs(per["reduce"][1] - 50.0) < 1e-6
+
+    # DD counters aggregate over §8 spans only: the chain counters land in
+    # the breakdown, build_table's own (§6) zdd.cache_hits delta does not.
+    dd = dd_phase_counters(spans)
+    assert dd.get("zdd.chain_nodes_made") == 12, dd
+    assert dd.get("zdd.chain_hits") == 30, dd
+    assert dd.get("zdd.cache_hits") == 40, dd
 
     # Every sample phase maps into DESIGN.md §6–§9.
     for s in spans:

@@ -167,17 +167,27 @@ std::optional<BestMember> min_cost_member(const ZddManager& mgr,
     if (family.is_empty()) return std::nullopt;
     constexpr double kInf = std::numeric_limits<double>::infinity();
 
+    // A chain node ⟨t:b, lo, hi⟩ carries the mandatory prefix {t..b−1} in
+    // every member, so its cost contributes unconditionally; the min is
+    // taken at the branch level b only.
+    const auto prefix_cost = [&](NodeId n) -> double {
+        double c = 0.0;
+        for (Var v = mgr.var_of(n); v < mgr.bot_of(n); ++v)
+            c += static_cast<double>(costs[v]);
+        return c;
+    };
+
     std::unordered_map<NodeId, double> best;
     const std::function<double(NodeId)> rec = [&](NodeId n) -> double {
         if (n == zdd::kEmpty) return kInf;
         if (n == zdd::kBase) return 0.0;
         const auto it = best.find(n);
         if (it != best.end()) return it->second;
-        const Var v = mgr.var_of(n);
-        UCP_REQUIRE(v < costs.size(), "cost vector too short for family");
+        const Var b = mgr.bot_of(n);
+        UCP_REQUIRE(b < costs.size(), "cost vector too short for family");
         const double lo = rec(mgr.lo_of(n));
-        const double hi = rec(mgr.hi_of(n)) + static_cast<double>(costs[v]);
-        const double r = std::min(lo, hi);
+        const double hi = rec(mgr.hi_of(n)) + static_cast<double>(costs[b]);
+        const double r = prefix_cost(n) + std::min(lo, hi);
         best.emplace(n, r);
         return r;
     };
@@ -186,12 +196,16 @@ std::optional<BestMember> min_cost_member(const ZddManager& mgr,
     BestMember out;
     NodeId n = family.id();
     while (n >= 2) {
-        const Var v = mgr.var_of(n);
-        const double lo = rec(mgr.lo_of(n));
-        const double hi = rec(mgr.hi_of(n)) + static_cast<double>(costs[v]);
-        if (hi < lo) {
+        const Var b = mgr.bot_of(n);
+        for (Var v = mgr.var_of(n); v < b; ++v) {
             out.members.push_back(v);
             out.cost += costs[v];
+        }
+        const double lo = rec(mgr.lo_of(n));
+        const double hi = rec(mgr.hi_of(n)) + static_cast<double>(costs[b]);
+        if (hi < lo) {
+            out.members.push_back(b);
+            out.cost += costs[b];
             n = mgr.hi_of(n);
         } else {
             n = mgr.lo_of(n);

@@ -154,4 +154,42 @@ void split_components(const CoverMatrix& m, const ComponentWorkspace& ws,
             std::move(costs[b]));
 }
 
+void split_components(const SubMatrix& v, const ComponentWorkspace& ws,
+                      Index num_blocks, std::vector<Partition>& out) {
+    out.clear();
+    out.resize(num_blocks);
+    std::vector<std::vector<std::vector<Index>>> rows(num_blocks);
+    std::vector<std::vector<Cost>> costs(num_blocks);
+    std::vector<Index> col_new(v.num_cols(), 0);
+    for (Index b = 0; b < num_blocks; ++b) {
+        out[b].col_map.reserve(ws.block_cols[b]);
+        out[b].row_map.reserve(ws.block_rows[b]);
+        rows[b].reserve(ws.block_rows[b]);
+        costs[b].reserve(ws.block_cols[b]);
+    }
+    for (Index j = 0; j < v.num_cols(); ++j) {
+        if (!v.col_alive(j)) continue;
+        const Index b = ws.col_label[j];
+        if (b == kNone) continue;  // covers no alive row: belongs to no block
+        col_new[j] = static_cast<Index>(out[b].col_map.size());
+        out[b].col_map.push_back(j);
+        costs[b].push_back(v.cost(j));
+    }
+    for (Index i = 0; i < v.num_rows(); ++i) {
+        if (!v.row_alive(i)) continue;
+        const Index b = ws.row_label[i];
+        std::vector<Index> r;
+        r.reserve(v.live_row_size(i));
+        for (const Index j : v.row(i))
+            if (v.col_alive(j) && ws.col_label[j] != kNone)
+                r.push_back(col_new[j]);
+        rows[b].push_back(std::move(r));
+        out[b].row_map.push_back(i);
+    }
+    for (Index b = 0; b < num_blocks; ++b)
+        out[b].matrix = CoverMatrix::from_rows(
+            static_cast<Index>(out[b].col_map.size()), std::move(rows[b]),
+            std::move(costs[b]));
+}
+
 }  // namespace ucp::cov

@@ -58,4 +58,11 @@ Index find_components(const SubMatrix& v, ComponentWorkspace& ws);
 void split_components(const CoverMatrix& m, const ComponentWorkspace& ws,
                       Index num_blocks, std::vector<Partition>& out);
 
+/// Same, but from the live sub-structure of a view after
+/// `find_components(v, ws)`: block maps are in BASE index space and only
+/// alive rows/columns are materialised. Compacting the view first and
+/// splitting that copy yields the same blocks — this skips the copy.
+void split_components(const SubMatrix& v, const ComponentWorkspace& ws,
+                      Index num_blocks, std::vector<Partition>& out);
+
 }  // namespace ucp::cov

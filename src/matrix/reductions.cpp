@@ -352,8 +352,9 @@ void run_fixpoint(SubMatrix& v, Worklists& q, const ReduceOptions& opt,
 
 }  // namespace
 
-ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
-                    const ReduceOptions& opt) {
+InplaceReduceResult reduce_to_view(const CoverMatrix& m, SubMatrix& v,
+                                   const std::vector<Index>& fixed,
+                                   const ReduceOptions& opt) {
     static stats::Counter& c_calls = stats::counter("reduce.calls");
     static stats::Counter& c_passes = stats::counter("reduce.passes");
     static stats::Counter& c_rows_dom = stats::counter("reduce.rows_removed_dominance");
@@ -372,7 +373,7 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
          m.density() >= opt.bitset_density_threshold);
     if (use_bits) c_bitset.add();
 
-    SubMatrix v(m);
+    v.reset(m);
     for (const Index j : fixed) {
         UCP_REQUIRE(j < C, "fixed column out of range");
         if (!v.col_alive(j)) continue;
@@ -391,6 +392,25 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
     InplaceReduceResult in;
     run_fixpoint(v, q, opt, use_bits, in);
 
+    // --- extract the cyclic core --------------------------------------------
+    // Drop surviving columns that no longer cover any alive row; columns that
+    // were empty in the *input* are kept (matching the classical extraction,
+    // which only prunes columns that lost their rows during reduction).
+    for (Index j = 0; j < C; ++j)
+        if (v.col_alive(j) && !m.col(j).empty() && v.live_col_size(j) == 0)
+            v.drop_dead_col(j);
+
+    c_passes.add(in.passes);
+    c_rows_dom.add(in.rows_removed_dominance);
+    c_cols_dom.add(in.cols_removed_dominance);
+    return in;
+}
+
+ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
+                    const ReduceOptions& opt) {
+    SubMatrix v;
+    InplaceReduceResult in = reduce_to_view(m, v, fixed, opt);
+
     ReduceResult result;
     result.essential_cols = std::move(in.essential_cols);
     result.fixed_cost = in.fixed_cost;
@@ -399,19 +419,7 @@ ReduceResult reduce(const CoverMatrix& m, const std::vector<Index>& fixed,
     result.passes = in.passes;
     result.dominance_skipped = in.dominance_skipped;
     result.used_bitset_kernel = in.used_bitset_kernel;
-
-    // --- extract the cyclic core --------------------------------------------
-    // Drop surviving columns that no longer cover any alive row; columns that
-    // were empty in the *input* are kept (matching the classical extraction,
-    // which only prunes columns that lost their rows during reduction).
-    for (Index j = 0; j < C; ++j)
-        if (v.col_alive(j) && !m.col(j).empty() && v.live_col_size(j) == 0)
-            v.drop_dead_col(j);
     result.core = v.compact(result.core_col_map, result.core_row_map);
-
-    c_passes.add(result.passes);
-    c_rows_dom.add(result.rows_removed_dominance);
-    c_cols_dom.add(result.cols_removed_dominance);
     return result;
 }
 

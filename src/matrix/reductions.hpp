@@ -110,6 +110,18 @@ struct InplaceReduceResult {
 InplaceReduceResult reduce_inplace(SubMatrix& view, const ReduceDirt& dirt,
                                    const ReduceOptions& opt = {});
 
+/// The reduce() pipeline stopped before materialisation: `v` is re-targeted
+/// at `m`, the fixed columns are applied, the worklist fixpoint runs, and
+/// surviving columns that lost every row are swept — so the view's alive set
+/// IS the cyclic core (`v.compact()` reproduces `reduce().core` exactly, and
+/// `v.num_live_rows() == 0` is the solved() test). Lets per-node callers
+/// (the branch-and-bound search) scan or split the core without paying the
+/// compacted copy. Counters/spans are charged here, so a reduce() call and a
+/// reduce_to_view() call are indistinguishable in the stats roll-up.
+InplaceReduceResult reduce_to_view(const CoverMatrix& m, SubMatrix& v,
+                                   const std::vector<Index>& fixed = {},
+                                   const ReduceOptions& opt = {});
+
 /// One independent block of a covering matrix (the "partitioning" reduction
 /// of the classical literature, paper §2): rows/columns unreachable from one
 /// another in the bipartite incidence graph can be solved separately and the

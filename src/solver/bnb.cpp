@@ -56,6 +56,10 @@ stats::Counter& blocks_pruned_counter() {
     static stats::Counter& c = stats::counter("bnb.blocks_pruned");
     return c;
 }
+stats::Counter& core_copies_skipped_counter() {
+    static stats::Counter& c = stats::counter("bnb.core_copies_skipped");
+    return c;
+}
 
 // ---- cross-block shared state ----------------------------------------------
 
@@ -266,16 +270,15 @@ void recurse(const CoverMatrix& mat, const std::vector<Index>& col_map,
              std::vector<Index>& chosen, Ctx& ctx, Scope& scope,
              int only_branch = -1);
 
-/// Solves an expanded node whose (post-strip) core splits into k ≥ 2
-/// independent blocks: each block is searched under its share of the scope
-/// bound, sequentially in block-index order, and either every block beats
-/// its threshold (the concatenation is offered) or the whole node is pruned.
-void solve_node_blocks(const CoverMatrix& work,
-                       const std::vector<Index>& core_map, Index k, Cost cost,
+/// Solves an expanded node whose core splits into k ≥ 2 independent blocks
+/// (parts[b].col_map already remapped to ORIGINAL column indices): each
+/// block is searched under its share of the scope bound, sequentially in
+/// block-index order, and either every block beats its threshold (the
+/// concatenation is offered) or the whole node is pruned.
+void solve_node_blocks(const std::vector<cov::Partition>& parts, Cost cost,
                        std::vector<Index>& chosen, Ctx& ctx, Scope& scope) {
+    const Index k = static_cast<Index>(parts.size());
     blocks_found_counter().add(k);
-    std::vector<cov::Partition> parts;
-    cov::split_components(work, ctx.comp_ws, k, parts);
 
     std::vector<Cost> lb(k);
     Cost suffix_lb = 0;
@@ -287,7 +290,6 @@ void solve_node_blocks(const CoverMatrix& work,
 
     std::vector<std::vector<Index>> sols(k);
     Cost solved = 0;  // Σ opt over the solved prefix
-    std::vector<Index> block_map;
     std::vector<Index> sub_chosen;
     for (Index b = 0; b < k; ++b) {
         TRACE_SPAN_ITER("bnb.block");
@@ -298,9 +300,7 @@ void solve_node_blocks(const CoverMatrix& work,
         const Cost t = scope.bound() - cost - solved - suffix_lb;
         if (t <= lb[b]) return;  // no improving completion through this node
 
-        block_map.resize(parts[b].col_map.size());
-        for (std::size_t j = 0; j < block_map.size(); ++j)
-            block_map[j] = core_map[parts[b].col_map[j]];
+        const std::vector<Index>& block_map = parts[b].col_map;
 
         Scope sub;
         sub.init(t, nullptr, 0, &ctx.nodes);
@@ -339,10 +339,13 @@ void recurse(const CoverMatrix& mat, const std::vector<Index>& col_map,
     ctx.nodes.fetch_add(1, std::memory_order_relaxed);
     TRACE_SPAN_ITER("bnb.node");
 
-    cov::ReduceResult red;
+    // Reduce on a live view (no compacted-core copy yet): the alive set of
+    // `view` is the cyclic core.
+    cov::SubMatrix view;
+    cov::InplaceReduceResult red;
     {
         TRACE_SPAN_ITER("bnb.reduce");
-        red = cov::reduce(mat, fixed);
+        red = cov::reduce_to_view(mat, view, fixed);
     }
     const std::size_t chosen_mark = chosen.size();
     Cost cost = cost_so_far + red.fixed_cost;
@@ -351,26 +354,34 @@ void recurse(const CoverMatrix& mat, const std::vector<Index>& col_map,
     const auto unwind = [&] { chosen.resize(chosen_mark); };
 
     if (cost >= scope.bound()) {
+        core_copies_skipped_counter().add();
         unwind();
         return;
     }
-    if (red.solved()) {
+    if (view.num_live_rows() == 0) {  // reductions solved the node
+        core_copies_skipped_counter().add();
         scope.offer(cost, chosen);
         unwind();
         return;
     }
 
+    // Cheap prunes done — materialise the core once for the bound machinery,
+    // the limit-bound strip and branching. Nodes cut above (inherited-cost
+    // prune or solved by reduction) never pay this copy.
+    std::vector<Index> core_rel_cols, core_rel_rows;
+    const CoverMatrix core = view.compact(core_rel_cols, core_rel_rows);
+
     // Compose the core's column mapping.
-    std::vector<Index> core_map(red.core.num_cols());
-    for (Index j = 0; j < red.core.num_cols(); ++j)
-        core_map[j] = col_map[red.core_col_map[j]];
+    std::vector<Index> core_map(core.num_cols());
+    for (Index j = 0; j < core.num_cols(); ++j)
+        core_map[j] = col_map[core_rel_cols[j]];
 
     // One MIS per node: it feeds the kMis bound choice and the limit-bound
     // strip below.
-    const lagr::MisResult mis = lagr::mis_lower_bound(red.core);
+    const lagr::MisResult mis = lagr::mis_lower_bound(core);
     std::vector<Index> inc;
     Cost inc_cost = 0;
-    const Cost lb = core_bound(red.core, ctx.opt, mis, &inc, &inc_cost);
+    const Cost lb = core_bound(core, ctx.opt, mis, &inc, &inc_cost);
     if (!inc.empty() && cost + inc_cost < scope.bound()) {
         // A heuristic incumbent found while bounding.
         std::vector<Index> cand = chosen;
@@ -388,17 +399,18 @@ void recurse(const CoverMatrix& mat, const std::vector<Index>& col_map,
     // own best. Skipped for root-split subtasks: the strip depends on the
     // time-varying bound and every subtask of a block must branch on the
     // same column set.
-    const CoverMatrix* work = &red.core;
+    const CoverMatrix* work = &core;
     CoverMatrix stripped;
     std::vector<Index> stripped_map;
+    bool strip_fired = false;
     if (ctx.opt.use_limit_bound && only_branch < 0) {
         const auto removals = lagr::limit_bound_removals(
-            red.core, mis.rows, cost + mis.bound, scope.bound());
+            core, mis.rows, cost + mis.bound, scope.bound());
         if (!removals.empty()) {
-            std::vector<bool> mask(red.core.num_cols(), false);
+            std::vector<bool> mask(core.num_cols(), false);
             for (const Index j : removals) mask[j] = true;
             std::vector<Index> rel_map;
-            if (!cov::strip_columns(red.core, mask, stripped, rel_map)) {
+            if (!cov::strip_columns(core, mask, stripped, rel_map)) {
                 unwind();
                 return;  // no improving solution in this subtree
             }
@@ -407,15 +419,34 @@ void recurse(const CoverMatrix& mat, const std::vector<Index>& col_map,
                 stripped_map[j] = core_map[rel_map[j]];
             work = &stripped;
             core_map = stripped_map;
+            strip_fired = true;
         }
     }
 
     // Partitioning reduction, applied at the node (paper §2 made dynamic):
     // branching and reductions routinely disconnect the core mid-search.
+    // When the strip fired the view is stale, so the stripped copy is
+    // scanned; otherwise the scan and the split run on the live view — same
+    // structure as the core, no intermediate copy.
     if (ctx.opt.decompose && work->num_rows() >= ctx.opt.parallel_min_rows) {
-        const Index k = cov::find_components(*work, ctx.comp_ws);
-        if (k >= 2) {
-            solve_node_blocks(*work, core_map, k, cost, chosen, ctx, scope);
+        std::vector<cov::Partition> parts;
+        if (strip_fired) {
+            const Index k = cov::find_components(*work, ctx.comp_ws);
+            if (k >= 2) {
+                cov::split_components(*work, ctx.comp_ws, k, parts);
+                for (auto& p : parts)
+                    for (auto& j : p.col_map) j = core_map[j];
+            }
+        } else {
+            const Index k = cov::find_components(view, ctx.comp_ws);
+            if (k >= 2) {
+                cov::split_components(view, ctx.comp_ws, k, parts);
+                for (auto& p : parts)
+                    for (auto& j : p.col_map) j = col_map[j];
+            }
+        }
+        if (!parts.empty()) {
+            solve_node_blocks(parts, cost, chosen, ctx, scope);
             unwind();
             return;
         }

@@ -23,11 +23,27 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "util/budget.hpp"
 
 namespace ucp::zdd {
+
+/// Compile-less toggle for the chain-reduced ZDD node encoding: the env var
+/// `UCP_ZDD_CHAIN=off|0|false` flips the DdOptions::chain_nodes default so
+/// every manager in the process (benches included) runs plain-node, no code
+/// changes needed. Read once, like the UCP_SIMD override in kernels/simd.cpp.
+inline bool dd_chain_nodes_default() noexcept {
+    static const bool enabled = [] {
+        const char* env = std::getenv("UCP_ZDD_CHAIN");
+        if (env == nullptr) return true;
+        const std::string_view v(env);
+        return !(v == "off" || v == "OFF" || v == "0" || v == "false");
+    }();
+    return enabled;
+}
 
 /// Construction-time tuning knobs shared by ZddManager and BddManager.
 /// Defaults match the measured sweet spot on the micro-ZDD suites; the
@@ -51,6 +67,14 @@ struct DdOptions {
     /// implicit covering phase catches kNodeBudget and falls back to the
     /// explicit path. nullptr = ungoverned (the default).
     Budget* governor = nullptr;
+    /// ZddManager only: chain-reduced node encoding (Bryant, arXiv:1710.06500,
+    /// zero-chain variant — DESIGN.md §12). A node stores a level interval
+    /// `t:b` instead of a single level, compressing maximal runs of
+    /// "must-contain" levels into one arena record. Semantics-neutral: every
+    /// operator yields the same family either way; `--zdd-chain=off` (CLI) or
+    /// `UCP_ZDD_CHAIN=off` (env, flips this default) are the escape hatches
+    /// for plain-vs-chain differential runs.
+    bool chain_nodes = dd_chain_nodes_default();
 };
 
 /// Mixes a (var, lo, hi) triple into a well-distributed 64-bit hash

@@ -105,8 +105,12 @@ ZddManager::ZddManager(Var num_vars, const DdOptions& options)
                       : options.cache_entries / 4,
                   options.max_cache_entries),
       gc_threshold_(options.gc_threshold),
+      chain_nodes_(options.chain_nodes),
       governor_(options.governor) {
-    UCP_REQUIRE(num_vars < kTermVar, "variable count out of range");
+    // The packed node format keeps the interval top in 24 bits (the low 8
+    // hold the chain span), so levels must fit below 2^24 — far above any
+    // covering workload (two ZDD vars per PLA input).
+    UCP_REQUIRE(num_vars < (Var{1} << 24), "variable count out of range");
     nodes_.resize(2);  // terminals; var/lo/hi of terminals are never read
     nodes_[0] = {kTermVar, 0, 0};
     nodes_[1] = {kTermVar, 1, 1};
@@ -124,17 +128,32 @@ void ZddManager::flush_stats() noexcept {
     stats::counter("zdd.gc_runs").add(gc_stats_.runs - gc_flushed_.runs);
     stats::counter("zdd.nodes_swept")
         .add(gc_stats_.nodes_swept - gc_flushed_.nodes_swept);
+    stats::counter("zdd.chain_nodes_made")
+        .add(chain_stats_.nodes_made - chain_flushed_.nodes_made);
+    stats::counter("zdd.chain_hits")
+        .add(chain_stats_.hits - chain_flushed_.hits);
     cache_flushed_ = cs;
     gc_flushed_ = gc_stats_;
+    chain_flushed_ = chain_stats_;
 }
 
 // Filtering operators (non_sub_set, minimal, ...) usually keep most of their
 // input, so the rebuilt children frequently equal `a`'s own — in that case
 // `a` IS the canonical result and the unique-table probe can be skipped.
+// Valid for plain `a` only: a chain node's raw (lo, hi) belong to its bottom
+// level, not to v.
 NodeId ZddManager::make_like(NodeId a, Var v, NodeId lo, NodeId hi) {
+    UCP_ASSERT(!is_chain(a));
     const Node& n = nodes_[a];
     if (n.lo == lo && n.hi == hi) return a;
     return make(v, lo, hi);
+}
+
+NodeId ZddManager::make_chain_like(NodeId a, Var t, Var b, NodeId lo, NodeId hi) {
+    UCP_ASSERT(var_of(a) == t && bot_of(a) == b);
+    const Node& n = nodes_[a];
+    if (n.lo == lo && n.hi == hi) return a;
+    return make_chain(t, b, lo, hi);
 }
 
 NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
@@ -142,14 +161,72 @@ NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
     UCP_ASSERT(v < num_vars_);
     UCP_ASSERT(var_of(lo) > v && var_of(hi) > v);
 
+    if (chain_nodes_ && lo == kEmpty && hi >= 2) {
+        // Chain absorption: (v, ∅, hi) is "every set contains v, then hi".
+        // When hi's interval starts right below at v+1, v joins hi's prefix:
+        // ⟨v : bot(hi), hi.lo, hi.hi⟩ — unless the merged span would overflow
+        // the 8-bit field, which starts a fresh segment instead. No cascade
+        // is needed: hi is canonical, so its own (∅, chain-adjacent) merge
+        // already happened.
+        const Node& h = nodes_[hi];
+        const Var htop = h.var >> 8;
+        if (htop == v + 1) {
+            const Var span = (htop - v) + (h.var & 0xFFu);
+            if (span <= 0xFFu) {
+                ++chain_stats_.hits;
+                return make_packed((v << 8) | span, h.lo, h.hi);
+            }
+        }
+    }
+    return make_packed(v << 8, lo, hi);
+}
+
+NodeId ZddManager::make_chain(Var t, Var b, NodeId lo, NodeId hi) {
+    // Canonicalisation loop; every rewrite strictly shrinks the interval or
+    // terminates, so this runs at most twice in practice.
+    while (true) {
+        UCP_ASSERT(t <= b && b < num_vars_);
+        if (hi == kEmpty) {
+            // Zero-suppression at the branch level: ⟨t:b, lo, ∅⟩ is the
+            // prefix {t..b−1} glued onto lo. Fold b−1 back into the branch
+            // role: ⟨t:b−1, ∅, lo⟩ — or just lo when the prefix is empty.
+            if (t == b) return lo;
+            hi = lo;
+            lo = kEmpty;
+            --b;
+            continue;
+        }
+        if (t == b) return make(t, lo, hi);  // plain node (or absorption)
+        UCP_ASSERT(var_of(lo) > b && var_of(hi) > b);
+        if (lo == kEmpty && hi >= 2) {
+            // Maximality: merge a chain continuing right below b.
+            const Node& h = nodes_[hi];
+            const Var htop = h.var >> 8;
+            if (htop == b + 1) {
+                const Var span = (htop - t) + (h.var & 0xFFu);
+                if (span <= 0xFFu) {
+                    b = htop + (h.var & 0xFFu);
+                    lo = h.lo;
+                    hi = h.hi;
+                    continue;
+                }
+            }
+        }
+        UCP_ASSERT(b - t <= 0xFFu);
+        return make_packed((t << 8) | (b - t), lo, hi);
+    }
+}
+
+NodeId ZddManager::make_packed(Var var_bits, NodeId lo, NodeId hi) {
     std::size_t slot;
-    if (const NodeId found = table_.find(nodes_, v, lo, hi, slot)) return found;
+    if (const NodeId found = table_.find(nodes_, var_bits, lo, hi, slot))
+        return found;
 
     NodeId id;
     if (!free_.empty()) {
         id = free_.back();
         free_.pop_back();
-        nodes_[id] = {v, lo, hi};
+        nodes_[id] = {var_bits, lo, hi};
         extref_[id] = 0;
         flags_[id] = 0;
     } else {
@@ -158,12 +235,32 @@ NodeId ZddManager::make(Var v, NodeId lo, NodeId hi) {
         if (governor_ != nullptr)
             throw_if_error(governor_->charge_node(), "zdd arena");
         id = static_cast<NodeId>(nodes_.size());
-        nodes_.push_back({v, lo, hi});
+        nodes_.push_back({var_bits, lo, hi});
         extref_.push_back(0);
         flags_.push_back(0);
     }
     table_.insert(nodes_, slot, id);
+    if ((var_bits & 0xFFu) != 0) ++chain_stats_.nodes_made;
     return id;
+}
+
+void ZddManager::view_at(NodeId x, Var v, Var m, NodeId& c0, NodeId& c1) {
+    if (var_of(x) > v) {  // x has no level ≤ v (incl. terminals)
+        c0 = x;
+        c1 = kEmpty;
+        return;
+    }
+    const Var bx = bot_of(x);
+    if (bx == m) {  // branch level aligned: children are the views
+        c0 = nodes_[x].lo;
+        c1 = nodes_[x].hi;
+        return;
+    }
+    // Chain-split case: x's interval extends past m, so every x-set contains
+    // m and the view below m is the remainder chain ⟨m+1 : bot, lo, hi⟩.
+    UCP_ASSERT(bx > m);
+    c0 = kEmpty;
+    c1 = make_chain(m + 1, bx, nodes_[x].lo, nodes_[x].hi);
 }
 
 void ZddManager::ref_external(NodeId n) {
@@ -280,13 +377,24 @@ NodeId ZddManager::union_rec(NodeId a, NodeId b) {
 
     const Var va = var_of(a), vb = var_of(b);
     NodeId r;
-    if (va < vb) {
-        r = make(va, union_rec(nodes_[a].lo, b), nodes_[a].hi);
-    } else if (vb < va) {
-        r = make(vb, union_rec(a, nodes_[b].lo), nodes_[b].hi);
+    if (va != vb) {
+        // One-sided step at v = min(va, vb): the other operand contributes
+        // wholly to the lo-view. A chain on the v side views as (∅, rest).
+        const Var v = std::min(va, vb);
+        NodeId a0, a1, b0, b1;
+        view_at(a, v, v, a0, a1);
+        view_at(b, v, v, b0, b1);
+        r = make(v, union_rec(a0, b0), union_rec(a1, b1));
     } else {
-        r = make(va, union_rec(nodes_[a].lo, nodes_[b].lo),
-                 union_rec(nodes_[a].hi, nodes_[b].hi));
+        // Equal tops: the shared must-prefix {va..m−1} (m = the nearer branch
+        // level) distributes over the union, so the whole aligned prefix is
+        // one step — the chain fast path.
+        const Var m = std::min(bot_of(a), bot_of(b));
+        if (m > va) ++chain_stats_.hits;
+        NodeId a0, a1, b0, b1;
+        view_at(a, va, m, a0, a1);
+        view_at(b, va, m, b0, b1);
+        r = make_chain(va, m, union_rec(a0, b0), union_rec(a1, b1));
     }
     cache_store(Op::kUnion, a, b, r);
     return r;
@@ -310,12 +418,29 @@ NodeId ZddManager::intersect_rec(NodeId a, NodeId b) {
     const Var va = var_of(a), vb = var_of(b);
     NodeId r;
     if (va < vb) {
-        r = intersect_rec(nodes_[a].lo, b);
+        // Sets of a containing va cannot be in b. A chain a has only such
+        // sets — whole-chain shortcut, no split materialised.
+        if (is_chain(a)) {
+            ++chain_stats_.hits;
+            r = kEmpty;
+        } else {
+            r = intersect_rec(nodes_[a].lo, b);
+        }
     } else if (vb < va) {
-        r = intersect_rec(a, nodes_[b].lo);
+        if (is_chain(b)) {
+            ++chain_stats_.hits;
+            r = kEmpty;
+        } else {
+            r = intersect_rec(a, nodes_[b].lo);
+        }
     } else {
-        r = make(va, intersect_rec(nodes_[a].lo, nodes_[b].lo),
-                 intersect_rec(nodes_[a].hi, nodes_[b].hi));
+        // Equal tops: the shared prefix distributes over ∩.
+        const Var m = std::min(bot_of(a), bot_of(b));
+        if (m > va) ++chain_stats_.hits;
+        NodeId a0, a1, b0, b1;
+        view_at(a, va, m, a0, a1);
+        view_at(b, va, m, b0, b1);
+        r = make_chain(va, m, intersect_rec(a0, b0), intersect_rec(a1, b1));
     }
     cache_store(Op::kIntersect, a, b, r);
     return r;
@@ -337,19 +462,39 @@ NodeId ZddManager::diff_rec(NodeId a, NodeId b) {
     const Var va = var_of(a), vb = var_of(b);
     NodeId r;
     if (va < vb) {
-        r = make(va, diff_rec(nodes_[a].lo, b), nodes_[a].hi);
+        // Sets of a containing va are never in b. A chain a keeps everything.
+        if (is_chain(a)) {
+            ++chain_stats_.hits;
+            r = a;
+        } else {
+            r = make(va, diff_rec(nodes_[a].lo, b), nodes_[a].hi);
+        }
     } else if (vb < va) {
-        r = diff_rec(a, nodes_[b].lo);
+        // Sets of b containing vb subtract nothing; a chain b subtracts
+        // nothing at all.
+        if (is_chain(b)) {
+            ++chain_stats_.hits;
+            r = a;
+        } else {
+            r = diff_rec(a, nodes_[b].lo);
+        }
     } else {
-        r = make(va, diff_rec(nodes_[a].lo, nodes_[b].lo),
-                 diff_rec(nodes_[a].hi, nodes_[b].hi));
+        const Var m = std::min(bot_of(a), bot_of(b));
+        if (m > va) ++chain_stats_.hits;
+        NodeId a0, a1, b0, b1;
+        view_at(a, va, m, a0, a1);
+        view_at(b, va, m, b0, b1);
+        r = make_chain(va, m, diff_rec(a0, b0), diff_rec(a1, b1));
     }
     cache_store(Op::kDiff, a, b, r);
     return r;
 }
 
 bool ZddManager::contains_empty(NodeId a) const noexcept {
-    while (a >= 2) a = nodes_[a].lo;
+    while (a >= 2) {
+        if ((nodes_[a].var & 0xFFu) != 0) return false;  // mandatory levels
+        a = nodes_[a].lo;
+    }
     return a == kBase;
 }
 
@@ -363,11 +508,21 @@ Zdd ZddManager::subset0(const Zdd& a, Var v) {
 NodeId ZddManager::subset0_rec(NodeId a, Var v) {
     const Var va = var_of(a);
     if (va > v) return a;  // v cannot occur below (ordering) — includes terminals
-    if (va == v) return nodes_[a].lo;
+    const Var ba = bot_of(a);
+    if (v < ba) {  // v is a chain-interior level: every set contains it
+        ++chain_stats_.hits;
+        return kEmpty;
+    }
+    if (v == ba) {
+        // Strip the branch: the surviving sets are prefix ⊔ lo. Plain nodes
+        // (va == ba) fold to plain `lo` with no allocation.
+        if (va != ba) ++chain_stats_.hits;
+        return make_chain(va, ba, nodes_[a].lo, kEmpty);
+    }
     NodeId cached;
     if (cache_lookup(Op::kSubset0, a, static_cast<NodeId>(v), cached)) return cached;
-    const NodeId r =
-        make(va, subset0_rec(nodes_[a].lo, v), subset0_rec(nodes_[a].hi, v));
+    const NodeId r = make_chain_like(a, va, ba, subset0_rec(nodes_[a].lo, v),
+                                     subset0_rec(nodes_[a].hi, v));
     cache_store(Op::kSubset0, a, static_cast<NodeId>(v), r);
     return r;
 }
@@ -382,11 +537,24 @@ Zdd ZddManager::subset1(const Zdd& a, Var v) {
 NodeId ZddManager::subset1_rec(NodeId a, Var v) {
     const Var va = var_of(a);
     if (va > v) return kEmpty;
-    if (va == v) return nodes_[a].hi;
+    const Var ba = bot_of(a);
+    if (v < ba) {
+        // Chain-interior level: every set contains v. Removing it splits the
+        // prefix around v: {va..v−1} ⊔ ⟨v+1 : ba, lo, hi⟩.
+        ++chain_stats_.hits;
+        return make_chain(va, v, make_chain(v + 1, ba, nodes_[a].lo, nodes_[a].hi),
+                          kEmpty);
+    }
+    if (v == ba) {
+        // Branch level: the hi sets, with their prefix kept. Plain nodes
+        // fold to plain `hi`.
+        if (va != ba) ++chain_stats_.hits;
+        return make_chain(va, ba, nodes_[a].hi, kEmpty);
+    }
     NodeId cached;
     if (cache_lookup(Op::kSubset1, a, static_cast<NodeId>(v), cached)) return cached;
-    const NodeId r =
-        make(va, subset1_rec(nodes_[a].lo, v), subset1_rec(nodes_[a].hi, v));
+    const NodeId r = make_chain_like(a, va, ba, subset1_rec(nodes_[a].lo, v),
+                                     subset1_rec(nodes_[a].hi, v));
     cache_store(Op::kSubset1, a, static_cast<NodeId>(v), r);
     return r;
 }
@@ -401,10 +569,24 @@ Zdd ZddManager::change(const Zdd& a, Var v) {
 NodeId ZddManager::change_rec(NodeId a, Var v) {
     const Var va = var_of(a);
     if (va > v) return make(v, kEmpty, a);
-    if (va == v) return make(v, nodes_[a].hi, nodes_[a].lo);
+    const Var ba = bot_of(a);
+    if (v < ba) {
+        // Chain-interior level: every set contains v, so the toggle removes
+        // it everywhere — same split as subset1's interior case.
+        ++chain_stats_.hits;
+        return make_chain(va, v, make_chain(v + 1, ba, nodes_[a].lo, nodes_[a].hi),
+                          kEmpty);
+    }
+    if (v == ba) {
+        // Branch level: lo sets gain v, hi sets lose it — swap under the
+        // shared prefix.
+        if (va != ba) ++chain_stats_.hits;
+        return make_chain(va, ba, nodes_[a].hi, nodes_[a].lo);
+    }
     NodeId cached;
     if (cache_lookup(Op::kChange, a, static_cast<NodeId>(v), cached)) return cached;
-    const NodeId r = make(va, change_rec(nodes_[a].lo, v), change_rec(nodes_[a].hi, v));
+    const NodeId r = make_chain_like(a, va, ba, change_rec(nodes_[a].lo, v),
+                                     change_rec(nodes_[a].hi, v));
     cache_store(Op::kChange, a, static_cast<NodeId>(v), r);
     return r;
 }
@@ -429,10 +611,13 @@ NodeId ZddManager::product_rec(NodeId a, NodeId b) {
 
     const Var va = var_of(a), vb = var_of(b);
     const Var v = std::min(va, vb);
-    const NodeId a0 = va == v ? nodes_[a].lo : a;
-    const NodeId a1 = va == v ? nodes_[a].hi : kEmpty;
-    const NodeId b0 = vb == v ? nodes_[b].lo : b;
-    const NodeId b1 = vb == v ? nodes_[b].hi : kEmpty;
+    // Equal tops share their must-prefix down to m (it distributes over the
+    // pairwise unions: (P∪s)∪(P∪s') = P∪(s∪s')); otherwise decompose at v.
+    const Var m = va == vb ? std::min(bot_of(a), bot_of(b)) : v;
+    if (m > v) ++chain_stats_.hits;
+    NodeId a0, a1, b0, b1;
+    view_at(a, v, m, a0, a1);
+    view_at(b, v, m, b0, b1);
 
     // (v·a1 + a0)(v·b1 + b0) = v·(a1 b1 + a1 b0 + a0 b1) + a0 b0
     const NodeId p11 = product_rec(a1, b1);
@@ -440,7 +625,7 @@ NodeId ZddManager::product_rec(NodeId a, NodeId b) {
     const NodeId p01 = product_rec(a0, b1);
     const NodeId p00 = product_rec(a0, b0);
     const NodeId hi = union_rec(p11, union_rec(p10, p01));
-    const NodeId r = make(v, p00, hi);
+    const NodeId r = make_chain(v, m, p00, hi);
     cache_store(Op::kProduct, a, b, r);
     return r;
 }
@@ -462,15 +647,37 @@ NodeId ZddManager::sup_set_rec(NodeId a, NodeId b) {
     const Var va = var_of(a), vb = var_of(b);
     NodeId r;
     if (va < vb) {
-        // v ∈ a-sets only: f = {v}∪f' ⊇ g iff f' ⊇ g (v ∉ g).
-        r = make(va, sup_set_rec(nodes_[a].lo, b), sup_set_rec(nodes_[a].hi, b));
+        // v ∈ a-sets only: f = {v}∪f' ⊇ g iff f' ⊇ g (v ∉ g). A chain a
+        // keeps its whole prefix: P∪f' ⊇ g iff f' ⊇ g, so recurse on the
+        // remainder and re-glue the prefix.
+        if (is_chain(a)) {
+            ++chain_stats_.hits;
+            const NodeId rest =
+                make_chain(va + 1, bot_of(a), nodes_[a].lo, nodes_[a].hi);
+            r = make(va, kEmpty, sup_set_rec(rest, b));
+        } else {
+            r = make(va, sup_set_rec(nodes_[a].lo, b),
+                     sup_set_rec(nodes_[a].hi, b));
+        }
     } else if (vb < va) {
         // g containing v cannot be ⊆ any f (v ∉ f): only g ∈ b.lo matter.
-        r = sup_set_rec(a, nodes_[b].lo);
+        // A chain b has no such g at all.
+        if (is_chain(b)) {
+            ++chain_stats_.hits;
+            r = kEmpty;
+        } else {
+            r = sup_set_rec(a, nodes_[b].lo);
+        }
     } else {
-        const NodeId hi = union_rec(sup_set_rec(nodes_[a].hi, nodes_[b].hi),
-                                    sup_set_rec(nodes_[a].hi, nodes_[b].lo));
-        r = make(va, sup_set_rec(nodes_[a].lo, nodes_[b].lo), hi);
+        // Equal tops: P∪s ⊇ P∪s' ⟺ s ⊇ s' (P disjoint from the views).
+        const Var m = std::min(bot_of(a), bot_of(b));
+        if (m > va) ++chain_stats_.hits;
+        NodeId a0, a1, b0, b1;
+        view_at(a, va, m, a0, a1);
+        view_at(b, va, m, b0, b1);
+        const NodeId hi =
+            union_rec(sup_set_rec(a1, b1), sup_set_rec(a1, b0));
+        r = make_chain(va, m, sup_set_rec(a0, b0), hi);
     }
     cache_store(Op::kSupSet, a, b, r);
     return r;
@@ -493,15 +700,33 @@ NodeId ZddManager::sub_set_rec(NodeId a, NodeId b) {
     const Var va = var_of(a), vb = var_of(b);
     NodeId r;
     if (va < vb) {
-        // f containing v cannot be ⊆ any g (v ∉ g).
-        r = sub_set_rec(nodes_[a].lo, b);
+        // f containing v cannot be ⊆ any g (v ∉ g). A chain a has no other
+        // sets.
+        if (is_chain(a)) {
+            ++chain_stats_.hits;
+            r = kEmpty;
+        } else {
+            r = sub_set_rec(nodes_[a].lo, b);
+        }
     } else if (vb < va) {
-        // g = {v}∪g': f ⊆ g iff f ⊆ g' (v ∉ f).
-        r = sub_set_rec(a, union_rec(nodes_[b].lo, nodes_[b].hi));
+        // g = {v}∪g': f ⊆ g iff f ⊆ g' (v ∉ f). For a chain b the prefix
+        // levels are all optional containers: strip them one at a time.
+        if (is_chain(b)) {
+            ++chain_stats_.hits;
+            r = sub_set_rec(
+                a, make_chain(vb + 1, bot_of(b), nodes_[b].lo, nodes_[b].hi));
+        } else {
+            r = sub_set_rec(a, union_rec(nodes_[b].lo, nodes_[b].hi));
+        }
     } else {
-        const NodeId lo = sub_set_rec(nodes_[a].lo,
-                                      union_rec(nodes_[b].lo, nodes_[b].hi));
-        r = make(va, lo, sub_set_rec(nodes_[a].hi, nodes_[b].hi));
+        // Equal tops: P∪f' ⊆ P∪g' ⟺ f' ⊆ g' on the m-views.
+        const Var m = std::min(bot_of(a), bot_of(b));
+        if (m > va) ++chain_stats_.hits;
+        NodeId a0, a1, b0, b1;
+        view_at(a, va, m, a0, a1);
+        view_at(b, va, m, b0, b1);
+        const NodeId lo = sub_set_rec(a0, union_rec(b0, b1));
+        r = make_chain(va, m, lo, sub_set_rec(a1, b1));
     }
     cache_store(Op::kSubSet, a, b, r);
     return r;
@@ -529,7 +754,8 @@ Zdd ZddManager::non_sub_set(const Zdd& a, const Zdd& b) {
 /// Strips the ∅ member from `a` (rebuilds the lo-spine only; no memo needed).
 NodeId ZddManager::drop_empty(NodeId a) {
     if (a <= kBase) return kEmpty;
-    return make(nodes_[a].var, drop_empty(nodes_[a].lo), nodes_[a].hi);
+    if (is_chain(a)) return a;  // every set contains the prefix: ∅ ∉ a
+    return make(var_of(a), drop_empty(nodes_[a].lo), nodes_[a].hi);
 }
 
 // { f ∈ a : ∀g ∈ b, f ⊄ g } = a − sub_set(a, b), fused into one recursion so
@@ -553,17 +779,42 @@ NodeId ZddManager::non_sub_set_rec(NodeId a, NodeId b) {
     NodeId r;
     if (va < vb) {
         // f containing va cannot be ⊆ any g (va ∉ g): the hi-branch survives.
-        r = make_like(a, va, non_sub_set_rec(nodes_[a].lo, b), nodes_[a].hi);
+        // A chain a survives wholesale.
+        if (is_chain(a)) {
+            ++chain_stats_.hits;
+            r = a;
+        } else {
+            r = make_like(a, va, non_sub_set_rec(nodes_[a].lo, b),
+                          nodes_[a].hi);
+        }
     } else if (vb < va) {
         // f ⊆ {vb}∪g' iff f ⊆ g' (vb ∉ f): f must evade b.lo and b.hi alike.
-        r = intersect_rec(non_sub_set_rec(a, nodes_[b].lo),
-                          non_sub_set_rec(a, nodes_[b].hi));
+        // For a chain b, peel its top prefix level (no lo half to evade).
+        if (is_chain(b)) {
+            ++chain_stats_.hits;
+            r = non_sub_set_rec(
+                a, make_chain(vb + 1, bot_of(b), nodes_[b].lo, nodes_[b].hi));
+        } else {
+            r = intersect_rec(non_sub_set_rec(a, nodes_[b].lo),
+                              non_sub_set_rec(a, nodes_[b].hi));
+        }
     } else {
-        // Sets with va can only fit inside {va}∪g' (g' ∈ b.hi); sets without
-        // va must evade both halves of b.
-        const NodeId lo = intersect_rec(non_sub_set_rec(nodes_[a].lo, nodes_[b].lo),
-                                        non_sub_set_rec(nodes_[a].lo, nodes_[b].hi));
-        r = make_like(a, va, lo, non_sub_set_rec(nodes_[a].hi, nodes_[b].hi));
+        // Equal tops: strict containment is preserved under the shared
+        // prefix (P∪f' ⊂ P∪g' ⟺ f' ⊂ g'), so the plain combine applies to
+        // the m-views. Sets with m can only fit inside {m}∪g' (g' ∈ b1);
+        // sets without m must evade both halves of b.
+        const Var m = std::min(bot_of(a), bot_of(b));
+        if (m > va) ++chain_stats_.hits;
+        NodeId a0, a1, b0, b1;
+        view_at(a, va, m, a0, a1);
+        view_at(b, va, m, b0, b1);
+        const NodeId lo =
+            b0 == kEmpty ? non_sub_set_rec(a0, b1)
+                         : intersect_rec(non_sub_set_rec(a0, b0),
+                                         non_sub_set_rec(a0, b1));
+        const NodeId hi = non_sub_set_rec(a1, b1);
+        r = m == bot_of(a) ? make_chain_like(a, va, m, lo, hi)
+                           : make_chain(va, m, lo, hi);
     }
     cache_store(Op::kNonSubSet, a, b, r);
     return r;
@@ -589,18 +840,43 @@ NodeId ZddManager::non_sup_set_rec(NodeId a, NodeId b) {
     const Var va = var_of(a), vb = var_of(b);
     NodeId r;
     if (va < vb) {
-        // va ∉ any g: f = {va}∪f' ⊇ g iff f' ⊇ g — both branches recurse on b.
-        r = make_like(a, va, non_sup_set_rec(nodes_[a].lo, b),
-                      non_sup_set_rec(nodes_[a].hi, b));
+        // va ∉ any g: f = {va}∪f' ⊇ g iff f' ⊇ g — both branches recurse on
+        // b. A chain a filters its remainder and re-glues the prefix.
+        if (is_chain(a)) {
+            ++chain_stats_.hits;
+            const NodeId rest =
+                make_chain(va + 1, bot_of(a), nodes_[a].lo, nodes_[a].hi);
+            r = make(va, kEmpty, non_sup_set_rec(rest, b));
+        } else {
+            r = make_like(a, va, non_sup_set_rec(nodes_[a].lo, b),
+                          non_sup_set_rec(nodes_[a].hi, b));
+        }
     } else if (vb < va) {
         // g containing vb cannot be ⊆ any f (vb ∉ f): only g ∈ b.lo matter.
-        r = non_sup_set_rec(a, nodes_[b].lo);
+        // A chain b has no vb-free sets, so nothing in a is ⊇ any g.
+        if (is_chain(b)) {
+            ++chain_stats_.hits;
+            r = a;
+        } else {
+            r = non_sup_set_rec(a, nodes_[b].lo);
+        }
     } else {
-        // f = {va}∪f' ⊇ g iff f' ⊇ g (g ∈ b.lo) or f' ⊇ g' (g = {va}∪g'):
-        // the hi survivors must evade both halves of b.
-        const NodeId hi = intersect_rec(non_sup_set_rec(nodes_[a].hi, nodes_[b].lo),
-                                        non_sup_set_rec(nodes_[a].hi, nodes_[b].hi));
-        r = make_like(a, va, non_sup_set_rec(nodes_[a].lo, nodes_[b].lo), hi);
+        // Equal tops: ⊇ is preserved under the shared prefix, so the plain
+        // combine applies to the m-views. f = {m}∪f' ⊇ g iff f' ⊇ g
+        // (g ∈ b0) or f' ⊇ g' (g = {m}∪g'): the hi survivors must evade
+        // both halves of b.
+        const Var m = std::min(bot_of(a), bot_of(b));
+        if (m > va) ++chain_stats_.hits;
+        NodeId a0, a1, b0, b1;
+        view_at(a, va, m, a0, a1);
+        view_at(b, va, m, b0, b1);
+        const NodeId hi =
+            b0 == kEmpty ? non_sup_set_rec(a1, b1)
+                         : intersect_rec(non_sup_set_rec(a1, b0),
+                                         non_sup_set_rec(a1, b1));
+        const NodeId lo = non_sup_set_rec(a0, b0);
+        r = m == bot_of(a) ? make_chain_like(a, va, m, lo, hi)
+                           : make_chain(va, m, lo, hi);
     }
     cache_store(Op::kNonSupSet, a, b, r);
     return r;
@@ -620,7 +896,24 @@ std::pair<Zdd, Zdd> ZddManager::cofactors(const Zdd& a, Var v) {
 ZddManager::NodePair ZddManager::cofactors_rec(NodeId a, Var v) {
     const Var va = var_of(a);
     if (va > v) return {a, kEmpty};  // v cannot occur below — incl. terminals
-    if (va == v) return {nodes_[a].lo, nodes_[a].hi};
+    const Var ba = bot_of(a);
+    if (v < ba) {
+        // Chain-interior level: every set contains v, so subset0 is empty
+        // and subset1 splits the prefix around v (cheap rewrites, answered
+        // before the pair-cache probe like the other base cases).
+        ++chain_stats_.hits;
+        return {kEmpty,
+                make_chain(va, v,
+                           make_chain(v + 1, ba, nodes_[a].lo, nodes_[a].hi),
+                           kEmpty)};
+    }
+    if (v == ba) {
+        if (va == ba) return {nodes_[a].lo, nodes_[a].hi};
+        // Branch level of a chain: both children keep the prefix.
+        ++chain_stats_.hits;
+        return {make_chain(va, ba, nodes_[a].lo, kEmpty),
+                make_chain(va, ba, nodes_[a].hi, kEmpty)};
+    }
     NodePair cached;
     const std::uint64_t key =
         dd_cache_key(static_cast<std::uint8_t>(Op::kCofactors), a,
@@ -628,25 +921,56 @@ ZddManager::NodePair ZddManager::cofactors_rec(NodeId a, Var v) {
     if (pair_cache_.lookup(key, cached)) return cached;
     const NodePair pl = cofactors_rec(nodes_[a].lo, v);
     const NodePair ph = cofactors_rec(nodes_[a].hi, v);
-    const NodePair r{make(va, pl.lo, ph.lo), make(va, pl.hi, ph.hi)};
+    const NodePair r{make_chain(va, ba, pl.lo, ph.lo),
+                     make_chain(va, ba, pl.hi, ph.hi)};
     pair_cache_.store(key, r);
     return r;
 }
 
 bool ZddManager::contains_set(const Zdd& family,
                               const Zdd& single_set) const noexcept {
+    // Virtual level cursors: (node, level) pairs walk chain intervals one
+    // level at a time without materialising split nodes (this query is const
+    // noexcept — it must not allocate). `flev`/`slev` are the next levels to
+    // consume; a cursor inside a chain (level < bot) has an implicit
+    // ∅ lo-child.
     NodeId fam = family.id();
     NodeId s = single_set.id();
+    Var flev = var_of(fam);
+    Var slev = var_of(s);
     while (true) {
-        if (s == kBase) return contains_empty(fam);
+        if (s == kBase) {
+            // Need ∅ in the *remaining* fam view: follow the lo-spine, but a
+            // chain level not yet consumed by the cursor is mandatory.
+            while (fam >= 2) {
+                if (flev < bot_of(fam)) return false;
+                fam = nodes_[fam].lo;
+                flev = var_of(fam);
+            }
+            return fam == kBase;
+        }
         if (s == kEmpty || fam < 2) return false;
-        const Var vs = var_of(s), vf = var_of(fam);
-        if (vf > vs) return false;  // no set of fam contains vs (ordering)
-        if (vf < vs) {
-            fam = nodes_[fam].lo;  // the target set has no vf: go lo
+        if (flev > slev) return false;  // no set of fam contains slev (ordering)
+        if (flev < slev) {
+            // The target set has no flev: need fam's lo view, which is empty
+            // while the cursor is inside fam's chain prefix.
+            if (flev < bot_of(fam)) return false;
+            fam = nodes_[fam].lo;
+            flev = var_of(fam);
         } else {
-            fam = nodes_[fam].hi;  // both have vf: consume it
-            s = nodes_[s].hi;
+            // Both have flev: consume it on each cursor.
+            if (flev < bot_of(fam)) {
+                ++flev;
+            } else {
+                fam = nodes_[fam].hi;
+                flev = var_of(fam);
+            }
+            if (slev < bot_of(s)) {
+                ++slev;
+            } else {
+                s = nodes_[s].hi;
+                slev = var_of(s);
+            }
         }
     }
 }
@@ -661,15 +985,20 @@ NodeId ZddManager::maximal_rec(NodeId a) {
     if (a <= kBase) return a;
     NodeId cached;
     if (cache_lookup(Op::kMaximal, a, a, cached)) return cached;
-    const Var v = nodes_[a].var;
+    // The shared chain prefix is in every set, so maximality is decided by
+    // the sub-families at the branch level: maximal(P ⊔ F) = P ⊔ maximal(F).
+    // The recursion therefore runs on the raw children at bot_of(a), chain or
+    // plain alike.
+    const Var t = var_of(a), b = bot_of(a);
     const NodeId max_hi = maximal_rec(nodes_[a].hi);
     const NodeId max_lo = maximal_rec(nodes_[a].lo);
-    // A set without v is maximal iff maximal in the lo-branch and not contained
-    // in any set of the hi-branch (which would strictly contain it via v) —
+    // A set without b is maximal iff maximal in the lo-branch and not contained
+    // in any set of the hi-branch (which would strictly contain it via b) —
     // the fused non_sub_set, one pass instead of sub_set + diff. Filtering
     // against max_hi (not the raw hi-branch) is equivalent: s ⊆ t implies
     // s ⊆ t' for some maximal t' ⊇ t.
-    const NodeId r = make_like(a, v, non_sub_set_rec(max_lo, max_hi), max_hi);
+    const NodeId r =
+        make_chain_like(a, t, b, non_sub_set_rec(max_lo, max_hi), max_hi);
     cache_store(Op::kMaximal, a, a, r);
     return r;
 }
@@ -684,15 +1013,18 @@ NodeId ZddManager::minimal_rec(NodeId a) {
     if (a <= kBase) return a;
     NodeId cached;
     if (cache_lookup(Op::kMinimal, a, a, cached)) return cached;
-    const Var v = nodes_[a].var;
+    // minimal(P ⊔ F) = P ⊔ minimal(F): the chain prefix never affects
+    // inclusion between two sets that both carry it (see maximal_rec).
+    const Var t = var_of(a), b = bot_of(a);
     const NodeId min_lo = minimal_rec(nodes_[a].lo);
     const NodeId min_hi = minimal_rec(nodes_[a].hi);
-    // A set containing v is minimal iff minimal in the hi-branch and not a
+    // A set containing b is minimal iff minimal in the hi-branch and not a
     // superset of any set in the lo-branch — fused non_sup_set. Filtering
     // against min_lo (not the raw lo-branch) is equivalent — t ⊆ s implies a
     // minimal t' ⊆ t ⊆ s — and the smaller canonical operand recurs across
     // the DAG, so the memo works harder.
-    const NodeId r = make_like(a, v, min_lo, non_sup_set_rec(min_hi, min_lo));
+    const NodeId r =
+        make_chain_like(a, t, b, min_lo, non_sup_set_rec(min_hi, min_lo));
     cache_store(Op::kMinimal, a, a, r);
     return r;
 }
@@ -751,10 +1083,15 @@ void ZddManager::for_each_set(
             fn(path);
             return;
         }
-        path.push_back(nodes_[n].var);
+        // Chain prefix levels are in every set below; emission order matches
+        // the decompressed plain diagram exactly (hi first at the branch).
+        const Var t = var_of(n), b = bot_of(n);
+        for (Var v = t; v < b; ++v) path.push_back(v);
+        path.push_back(b);
         rec(nodes_[n].hi);
         path.pop_back();
         rec(nodes_[n].lo);
+        path.resize(path.size() - (b - t));
     };
     rec(a.id());
 }
@@ -764,12 +1101,15 @@ std::vector<Var> ZddManager::any_set(const Zdd& a) const {
     std::vector<Var> out;
     NodeId n = a.id();
     while (n >= 2) {
-        // Follow the lo-branch when possible (lexicographically smallest set);
-        // take the hi-branch when lo is empty.
+        // Chain prefix levels are mandatory; at the branch level follow the
+        // lo-branch when possible (lexicographically smallest set), take the
+        // hi-branch when lo is empty.
+        const Var t = var_of(n), b = bot_of(n);
+        for (Var v = t; v < b; ++v) out.push_back(v);
         if (nodes_[n].lo != kEmpty) {
             n = nodes_[n].lo;
         } else {
-            out.push_back(nodes_[n].var);
+            out.push_back(b);
             n = nodes_[n].hi;
         }
     }
@@ -783,7 +1123,9 @@ std::string ZddManager::to_dot(const Zdd& a, const std::string& name) const {
     std::unordered_set<NodeId> seen;
     const std::function<void(NodeId)> rec = [&](NodeId n) {
         if (n < 2 || !seen.insert(n).second) return;
-        os << "  n" << n << " [label=\"x" << nodes_[n].var << "\"];\n";
+        os << "  n" << n << " [label=\"x" << var_of(n);
+        if (is_chain(n)) os << ":x" << bot_of(n);
+        os << "\"];\n";
         auto edge = [&](NodeId child, const char* style) {
             os << "  n" << n << " -> "
                << (child < 2 ? (child == 0 ? "t0" : "t1")

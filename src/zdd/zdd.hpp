@@ -16,6 +16,17 @@
 //     (terminal 0) and NodeId 1 is the unit family {∅} (terminal 1).
 //   * Canonicity: hi == 0 is never materialised (zero-suppression rule) and a
 //     unique table guarantees structural sharing.
+//   * Chain nodes (DdOptions::chain_nodes, default on): a node carries a level
+//     interval ⟨t:b⟩ packed into the 32-bit var field (top level in the high
+//     24 bits, span b−t in the low 8), representing
+//         ⟦⟨t:b, lo, hi⟩⟧ = { {t,…,b−1} ∪ S : S ∈ ⟦lo⟧ ∪ {b}⊔⟦hi⟧ },
+//     i.e. a maximal run of "must-contain" levels compressed into one arena
+//     record (Bryant's chain reduction, zero-chain variant — DESIGN.md §12).
+//     A plain node is the t == b special case, so the stride stays 12 bytes
+//     and the unique-table hash/equality work on the packed field unchanged.
+//     make() absorbs (v, ∅, hi) into hi's chain automatically, so chain
+//     formation is invisible to callers; runs longer than 255 levels split
+//     into segments.
 //   * A lossy, growable 4-way set-associative computed cache (dd_common.hpp)
 //     memoises operations; fused compound operators (diff_intersect,
 //     non_sub_set/non_sup_set, the cofactor pair) get their own memo slots.
@@ -91,9 +102,10 @@ private:
 class ZddManager {
 public:
     explicit ZddManager(Var num_vars, const DdOptions& options = {});
-    /// Flushes the cache and GC counters into the global stats registry
-    /// ("zdd.cache_hits" / "zdd.cache_misses" / "zdd.cache_resizes" /
-    /// "zdd.gc_runs" / "zdd.nodes_swept").
+    /// Flushes the cache, GC and chain counters into the global stats
+    /// registry ("zdd.cache_hits" / "zdd.cache_misses" / "zdd.cache_resizes"
+    /// / "zdd.gc_runs" / "zdd.nodes_swept" / "zdd.chain_nodes_made" /
+    /// "zdd.chain_hits").
     ~ZddManager();
 
     ZddManager(const ZddManager&) = delete;
@@ -202,6 +214,24 @@ public:
         std::uint64_t nodes_swept = 0;
     };
     [[nodiscard]] const GcStats& gc_stats() const noexcept { return gc_stats_; }
+    /// Chain-encoding statistics since construction (also flushed by the
+    /// destructor, as "zdd.chain_nodes_made" / "zdd.chain_hits").
+    struct ChainStats {
+        /// Arena nodes created with a compressed span (bot > top), counting
+        /// free-list reuse; 0 with chain_nodes off.
+        std::uint64_t nodes_made = 0;
+        /// Operator recursions that took a chain-aware fast path: a
+        /// multi-level equal-top step, a whole-chain shortcut answer, or a
+        /// make() absorption.
+        std::uint64_t hits = 0;
+    };
+    [[nodiscard]] const ChainStats& chain_stats() const noexcept {
+        return chain_stats_;
+    }
+    /// Whether this manager builds chain nodes (DdOptions::chain_nodes).
+    [[nodiscard]] bool chain_nodes_enabled() const noexcept {
+        return chain_nodes_;
+    }
 
     /// Folds this manager's zdd.* statistics into the global registry.
     /// Delta-based and idempotent: only the activity since the previous
@@ -226,21 +256,44 @@ public:
 
     // Internal node accessors — used by the BDD/prime layers which share the
     // recursion style; exposed as public-but-low-level API.
+    //
+    // `var` packs the chain interval: top level in bits 31..8, span (bot −
+    // top, ≤ 255) in bits 7..0. Plain nodes have span 0, so for them the
+    // packed value is just `top << 8` and all pre-chain invariants hold.
     struct Node {
-        Var var;
+        Var var;  ///< packed (top << 8) | (bot − top)
         NodeId lo;
         NodeId hi;
     };
+    /// Top level of the node's interval (the smallest variable of its sets).
     [[nodiscard]] Var var_of(NodeId n) const noexcept {
-        return n < 2 ? kTermVar : nodes_[n].var;
+        return n < 2 ? kTermVar : nodes_[n].var >> 8;
+    }
+    /// Bottom (branching) level of the interval; == var_of for plain nodes.
+    [[nodiscard]] Var bot_of(NodeId n) const noexcept {
+        return n < 2 ? kTermVar : (nodes_[n].var >> 8) + (nodes_[n].var & 0xFFu);
+    }
+    /// True iff the node compresses a multi-level chain (bot > top).
+    [[nodiscard]] bool is_chain(NodeId n) const noexcept {
+        return n >= 2 && (nodes_[n].var & 0xFFu) != 0;
     }
     [[nodiscard]] NodeId lo_of(NodeId n) const noexcept { return nodes_[n].lo; }
     [[nodiscard]] NodeId hi_of(NodeId n) const noexcept { return nodes_[n].hi; }
-    /// Hash-consed node constructor enforcing the zero-suppression rule.
+    /// Hash-consed node constructor enforcing the zero-suppression rule and
+    /// (with chain_nodes) the chain absorption rule.
     NodeId make(Var v, NodeId lo, NodeId hi);
     /// make() that first checks whether (lo, hi) are exactly node `a`'s
     /// children (with a.var == v): then `a` is the result, probe-free.
+    /// Only valid when `a` is a plain node (chain callers use
+    /// make_chain_like).
     NodeId make_like(NodeId a, Var v, NodeId lo, NodeId hi);
+    /// General chain constructor for ⟨t:b, lo, hi⟩ (t ≤ b ≤ bottom of a
+    /// 255-level segment). Canonicalises: zero-suppression (hi == ∅ folds the
+    /// branch level into the prefix), t == b degenerates to make(), and a
+    /// ∅-lo child whose hi chains on at b+1 is merged in. Every operator
+    /// result goes through here, which is what keeps chain formation
+    /// automatic.
+    NodeId make_chain(Var t, Var b, NodeId lo, NodeId hi);
 
     /// Wraps a raw node id into an owning handle.
     Zdd handle(NodeId n) { return Zdd(this, n); }
@@ -288,6 +341,20 @@ private:
     NodeId drop_empty(NodeId a);
     bool contains_empty(NodeId a) const noexcept;
 
+    /// Hash-cons with an already-packed var field (shared tail of make /
+    /// make_chain): unique-table probe, free-list reuse or governed arena
+    /// growth, chain counter.
+    NodeId make_packed(Var var_bits, NodeId lo, NodeId hi);
+    /// make_chain() that returns `a` itself when (t, b, lo, hi) are exactly
+    /// its interval and children — the chain-aware analogue of make_like.
+    NodeId make_chain_like(NodeId a, Var t, Var b, NodeId lo, NodeId hi);
+    /// Views operand `x` of a binary operation at branch level m: c0/c1 get
+    /// the sub-families without/with m. Callers pass v = the recursion's top
+    /// level (var_of(x) > v means x is untouched: (x, ∅)) and m ≥ v, where
+    /// m < bot_of(x) never occurs (m is min over the operand bots). A chain
+    /// with bot > m views as (∅, split-at-m) — the chain-split case.
+    void view_at(NodeId x, Var v, Var m, NodeId& c0, NodeId& c1);
+
     // External reference bookkeeping (for GC roots).
     void ref_external(NodeId n);
     void unref_external(NodeId n) noexcept;
@@ -311,11 +378,14 @@ private:
     ComputedCache<NodeId> cache_;
     ComputedCache<NodePair> pair_cache_;  // memo for the fused cofactor pair
     GcStats gc_stats_;
+    ChainStats chain_stats_;
     CacheStats cache_flushed_;  // values already rolled up by flush_stats()
     GcStats gc_flushed_;
+    ChainStats chain_flushed_;
 
     std::size_t gc_threshold_;
     bool gc_enabled_ = true;
+    bool chain_nodes_ = true;
     Budget* governor_ = nullptr;
 };
 

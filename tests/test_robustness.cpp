@@ -134,16 +134,27 @@ TEST(Robustness, ZddGcChurn) {
 }
 
 TEST(Robustness, ZddDeepChains) {
-    // A 4000-variable chain exercises growth and rehashing.
+    // A 4000-variable chain exercises growth and rehashing. With chain
+    // nodes each segment covers up to 256 consecutive levels; with the
+    // encoding off every level is its own node.
     const ucp::zdd::Var n = 4000;
-    ZddManager mgr(n);
+    ucp::zdd::DdOptions chained;
+    chained.chain_nodes = true;
+    ZddManager mgr(n, chained);
     std::vector<ucp::zdd::Var> all(n);
     for (ucp::zdd::Var v = 0; v < n; ++v) all[v] = v;
     const auto big = mgr.set_of(all);
-    EXPECT_EQ(big.node_count(), n);
+    EXPECT_EQ(big.node_count(), (n + 255) / 256);
     EXPECT_DOUBLE_EQ(big.count(), 1.0);
     const auto ps = mgr.power_set({0, 100, 2000, 3999});
     EXPECT_DOUBLE_EQ(ps.count(), 16.0);
+
+    ucp::zdd::DdOptions plain;
+    plain.chain_nodes = false;
+    ZddManager flat(n, plain);
+    const auto big_flat = flat.set_of(all);
+    EXPECT_EQ(big_flat.node_count(), n);
+    EXPECT_DOUBLE_EQ(big_flat.count(), 1.0);
 }
 
 TEST(Robustness, EmptyCoveringMatrixEverywhere) {
