@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -71,6 +72,12 @@ public:
         starts_ = static_cast<int>(opts.get_int("starts", 1));
         min_of_ = static_cast<int>(opts.get_int("min-of", 1));
         if (min_of_ < 1) min_of_ = 1;
+        // --mem-budget-mb=<n>: cap the whole bench run. Latched into the
+        // environment before the first solve so every governed allocation
+        // site sees it via MemoryBudget::process_default() (DESIGN.md §13).
+        const long mem_mb = opts.get_int("mem-budget-mb", 0);
+        if (mem_mb > 0)
+            ::setenv("UCP_MEM_BUDGET", std::to_string(mem_mb).c_str(), 1);
         // --trace=<file> [--trace-level=phase|iter] [--trace-format=jsonl|
         // chrome]: arm tracing for the whole bench run; the destructor exports
         // after the instances finish (docs/OBSERVABILITY.md).

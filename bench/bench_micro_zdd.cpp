@@ -4,6 +4,8 @@
 // and one subgradient iteration.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "cover/table_builder.hpp"
 #include "cover/zdd_cover.hpp"
 #include "gen/pla_gen.hpp"
@@ -472,7 +474,11 @@ int main(int argc, char** argv) {
     std::string out_flag, fmt_flag;
     for (int i = 0; i < argc; ++i) {
         const std::string a = argv[i];
-        if (a.rfind("--json", 0) == 0) {
+        if (a.rfind("--mem-budget-mb=", 0) == 0) {
+            // Same governor knob as the JsonReporter benches: latch the cap
+            // into the environment so MemoryBudget::process_default() sees it.
+            ::setenv("UCP_MEM_BUDGET", a.substr(16).c_str(), 1);
+        } else if (a.rfind("--json", 0) == 0) {
             std::string path = "BENCH_micro_zdd.json";
             if (a.size() > 7 && a[6] == '=') path = a.substr(7);
             out_flag = "--benchmark_out=" + path;

@@ -7,11 +7,17 @@
 //   $ ./minimize_pla my_function.pla --out=min.pla --compare-espresso
 //   $ ./minimize_pla --instance=ex1010 --deadline-ms=500 --json
 //
-// The run is governed: --deadline-ms / --zdd-node-budget set the resource
-// budget, and SIGINT (Ctrl-C) requests cooperative cancellation — in all
-// three cases the best-so-far feasible cover is reported with its lower
-// bound and a non-"ok" status instead of the process dying mid-solve.
+// The run is governed: --deadline-ms / --zdd-node-budget / --mem-budget-mb
+// set the resource budget, and SIGINT (Ctrl-C) requests cooperative
+// cancellation — in all cases the best-so-far feasible cover is reported
+// with its lower bound and a non-"ok" status instead of the process dying
+// mid-solve.
+//
+// Exit codes: 0 = solved and verified; 1 = result did not verify;
+// 2 = usage, unreadable input, or unwritable output (with {"status": ...}
+// on stdout in --json mode so automation never has to parse stderr).
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -23,6 +29,7 @@
 #include "pla/pla_io.hpp"
 #include "solver/batch.hpp"
 #include "solver/two_level.hpp"
+#include "util/mem_budget.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
@@ -33,6 +40,28 @@ ucp::CancelToken g_cancel;
 
 extern "C" void on_sigint(int) { g_cancel.cancel(); }
 
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') { out += "\\n"; continue; }
+        out += c;
+    }
+    return out;
+}
+
+/// Reports a fatal I/O or input error on both channels: the human-readable
+/// diagnostic on stderr, and — in --json mode — a status document on stdout
+/// so automation never has to parse stderr. Always exit code 2.
+int fail(ucp::Status st, const std::string& message, bool json) {
+    if (json)
+        std::cout << "{\"status\": \"" << ucp::to_string(st)
+                  << "\", \"error\": \"" << json_escape(message) << "\"}\n";
+    std::cerr << "error: " << message << '\n';
+    return 2;
+}
+
 void print_json(std::ostream& os, const ucp::solver::TwoLevelResult& r) {
     os << "{\"status\": \"" << ucp::to_string(r.status) << "\""
        << ", \"products\": " << r.cost << ", \"literals\": " << r.literals
@@ -41,7 +70,11 @@ void print_json(std::ostream& os, const ucp::solver::TwoLevelResult& r) {
        << ", \"verified\": " << (r.verified ? "true" : "false")
        << ", \"num_primes\": " << r.num_primes
        << ", \"num_rows\": " << r.num_rows
-       << ", \"total_seconds\": " << r.total_seconds << "}\n";
+       << ", \"total_seconds\": " << r.total_seconds;
+    if (const ucp::MemoryBudget* mb = ucp::MemoryBudget::process_default())
+        os << ", \"mem_high_water_bytes\": " << mb->high_water()
+           << ", \"mem_denials\": " << mb->denials();
+    os << "}\n";
 }
 
 /// --batch=name1,name2,... [files...]: build every covering table, then hand
@@ -69,7 +102,11 @@ int run_batch(const ucp::Options& opts, bool json) {
         }
     }
     for (const auto& f : opts.positional()) {
-        plas.push_back(ucp::pla::read_pla_file(f));
+        ucp::pla::Pla pla;
+        ucp::pla::PlaDiagnostic diag;
+        if (ucp::pla::parse_pla_file(f, pla, diag) != ucp::Status::kOk)
+            return fail(diag.status, diag.to_string(f), json);
+        plas.push_back(std::move(pla));
         names.push_back(f);
     }
     if (plas.empty()) {
@@ -88,6 +125,8 @@ int run_batch(const ucp::Options& opts, bool json) {
     }
     ucp::solver::BatchOptions bopt;
     bopt.num_threads = static_cast<int>(opts.get_int("threads", 1));
+    bopt.mem_budget_per_item =
+        static_cast<std::size_t>(opts.get_int("mem-budget-item-mb", 0)) << 20;
     const ucp::solver::BatchSolver solver(bopt);
     const auto res = solver.solve(mats);
 
@@ -101,12 +140,14 @@ int run_batch(const ucp::Options& opts, bool json) {
                       << ", \"proved_optimal\": "
                       << (it.proved_optimal ? "true" : "false")
                       << ", \"core_rows\": " << it.core_rows
-                      << ", \"core_cols\": " << it.core_cols << "}";
+                      << ", \"core_cols\": " << it.core_cols
+                      << ", \"status\": \"" << ucp::to_string(it.status)
+                      << "\"}";
         }
         std::cout << "\n]\n";
     } else {
         ucp::TextTable t({"instance", "rows x cols", "products", "LB", "core",
-                          "reduce s", "solve s"});
+                          "reduce s", "solve s", "status"});
         for (std::size_t i = 0; i < res.items.size(); ++i) {
             const auto& it = res.items[i];
             t.add_row({names[i],
@@ -118,7 +159,8 @@ int run_batch(const ucp::Options& opts, bool json) {
                        std::to_string(it.core_rows) + "x" +
                            std::to_string(it.core_cols),
                        ucp::TextTable::num(it.reduce_seconds, 4),
-                       ucp::TextTable::num(it.solve_seconds, 4)});
+                       ucp::TextTable::num(it.solve_seconds, 4),
+                       ucp::to_string(it.status)});
         }
         t.print(std::cout);
         std::cout << "batch of " << res.items.size() << " instances in "
@@ -136,12 +178,23 @@ int run_batch(const ucp::Options& opts, bool json) {
 int main(int argc, char** argv) {
     const ucp::Options opts(argc, argv);
     try {
-        if (opts.has("batch")) return run_batch(opts, opts.get_bool("json", false));
+        // Memory governor: latch the cap into the environment before the
+        // first solve so MemoryBudget::process_default() — consulted by every
+        // DD manager, solver and BatchSolver in this process — picks it up.
+        const long mem_mb = opts.get_int("mem-budget-mb", 0);
+        if (mem_mb > 0)
+            ::setenv("UCP_MEM_BUDGET", std::to_string(mem_mb).c_str(), 1);
+        const bool json = opts.get_bool("json", false);
+        if (opts.has("batch")) return run_batch(opts, json);
         ucp::pla::Pla pla;
         if (opts.has("instance")) {
             pla = ucp::gen::instance_by_name(opts.get("instance"));
         } else if (!opts.positional().empty()) {
-            pla = ucp::pla::read_pla_file(opts.positional()[0]);
+            ucp::pla::PlaDiagnostic diag;
+            if (ucp::pla::parse_pla_file(opts.positional()[0], pla, diag) !=
+                ucp::Status::kOk)
+                return fail(diag.status, diag.to_string(opts.positional()[0]),
+                            json);
         } else {
             std::cerr << "usage: minimize_pla <file.pla> | --instance=<name>\n"
                       << "       minimize_pla --batch=<a,b,...> [files...] "
@@ -149,6 +202,8 @@ int main(int argc, char** argv) {
                       << "       [--solver=scg|exact|greedy] [--out=<file>]\n"
                       << "       [--compare-espresso] [--json]\n"
                       << "       [--deadline-ms=<n>] [--zdd-node-budget=<n>]\n"
+                      << "       [--mem-budget-mb=<n>] "
+                         "[--mem-budget-item-mb=<n>]\n"
                       << "       [--bnb-threads=<n>] [--bnb-min-rows=<n>]\n"
                       << "       [--zdd-cache-entries=<n>] "
                          "[--zdd-gc-threshold=<n>] [--zdd-chain=on|off]\n"
@@ -159,7 +214,6 @@ int main(int argc, char** argv) {
                          "t1, test4, ex1010, test2, ...\n";
             return 2;
         }
-        const bool json = opts.get_bool("json", false);
 
         const auto& s = pla.space();
         if (!json)
@@ -241,6 +295,25 @@ int main(int argc, char** argv) {
                 std::cout << "trace written to " << trace_path << " ("
                           << trace_format << ")\n";
         }
+        // Write the minimised PLA before reporting: an unwritable --out path
+        // must yield the error document and exit 2, not a success report
+        // followed by a silently missing file.
+        if (opts.has("out")) {
+            ucp::pla::Pla out;
+            out.name = pla.name + ".min";
+            out.on = r.cover;
+            out.dc = ucp::pla::Cover(s);
+            out.off = ucp::pla::Cover(s);
+            std::ofstream f(opts.get("out"));
+            if (f) {
+                ucp::pla::write_pla(f, out);
+                f.flush();
+            }
+            if (!f)
+                return fail(ucp::Status::kIoError,
+                            "cannot write output file " + opts.get("out"),
+                            json);
+        }
         if (json) {
             print_json(std::cout, r);
         } else {
@@ -276,23 +349,13 @@ int main(int argc, char** argv) {
                       << " products (strong)\n";
         }
 
-        if (opts.has("out")) {
-            ucp::pla::Pla out;
-            out.name = pla.name + ".min";
-            out.on = r.cover;
-            out.dc = ucp::pla::Cover(s);
-            out.off = ucp::pla::Cover(s);
-            std::ofstream f(opts.get("out"));
-            ucp::pla::write_pla(f, out);
-            if (!json)
-                std::cout << "\nminimised PLA written to " << opts.get("out")
-                          << '\n';
-        }
+        if (opts.has("out") && !json)
+            std::cout << "\nminimised PLA written to " << opts.get("out")
+                      << '\n';
         // A budget trip still exits 0 when the anytime cover verifies — the
         // caller distinguishes complete/truncated runs via the status field.
         return r.verified ? 0 : 1;
     } catch (const std::exception& e) {
-        std::cerr << "error: " << e.what() << '\n';
-        return 1;
+        return fail(ucp::status_of(e), e.what(), opts.get_bool("json", false));
     }
 }

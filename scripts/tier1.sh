@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
-# over the concurrency-bearing tests (thread pool, parallel multi-start SCG,
-# decomposition-parallel exact solver).
+# Tier-1 verification: full build + test suite, a ThreadSanitizer pass over
+# the concurrency-bearing tests (thread pool, parallel multi-start SCG,
+# decomposition-parallel exact solver, cancellation under memory pressure),
+# then the chaos lane (scripts/chaos.sh): everything re-run under injected
+# OOM schedules and a tight memory cap, asserting graceful degradation.
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
 set -euo pipefail
@@ -21,9 +23,14 @@ echo "=== tier 1: ThreadSanitizer pass (parallel tests) ==="
 cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DUCP_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$JOBS" \
-      --target test_thread_pool test_parallel_scg test_bnb_parallel
+      --target test_thread_pool test_parallel_scg test_bnb_parallel \
+               test_cancel_pressure
 UCP_THREADS=4 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-      -R 'test_thread_pool|test_parallel_scg|test_bnb_parallel'
+      -R 'test_thread_pool|test_parallel_scg|test_bnb_parallel|test_cancel_pressure'
+
+echo
+echo "=== tier 1: chaos lane (injected OOM + tight caps) ==="
+scripts/chaos.sh "$BUILD"
 
 echo
 echo "tier 1 OK"

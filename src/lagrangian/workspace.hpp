@@ -52,6 +52,23 @@ struct LagrangianWorkspace {
     std::vector<cov::Index> greedy_nj;  ///< uncovered count per column (γ1–γ3)
     // dual_penalties probes
     std::vector<double> probe_cost;
+
+    /// Reserved footprint in bytes across every scratch buffer
+    /// (memory-budget accounting — util/mem_budget.hpp).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        const std::size_t doubles =
+            ctilde.capacity() + cbar.capacity() + m_star.capacity() +
+            etilde.capacity() + s.capacity() + g.capacity() +
+            orig_cost.capacity() + da_cost.capacity() + da_cbar.capacity() +
+            da_m.capacity() + da_load.capacity() + row_weight.capacity() +
+            probe_cost.capacity();
+        const std::size_t chars =
+            p.capacity() + covered.capacity() + selected.capacity();
+        const std::size_t indices =
+            da_order.capacity() + greedy_nj.capacity();
+        return doubles * sizeof(double) + chars * sizeof(char) +
+               indices * sizeof(cov::Index);
+    }
 };
 
 }  // namespace ucp::lagr

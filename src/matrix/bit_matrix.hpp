@@ -73,6 +73,11 @@ public:
         return words_.data() + row * wpr_;
     }
 
+    /// Reserved footprint in bytes (memory-budget accounting).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return words_.capacity() * sizeof(std::uint64_t);
+    }
+
 private:
     Index rows_ = 0;
     Index universe_ = 0;

@@ -40,6 +40,15 @@ struct ComponentWorkspace {
     /// block label; sized num_blocks.
     std::vector<Index> block_rows;
     std::vector<Index> block_cols;
+
+    /// Reserved footprint in bytes (memory-budget accounting —
+    /// util/mem_budget.hpp).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return (col_label.capacity() + row_label.capacity() +
+                parent.capacity() + labels.capacity() + block_rows.capacity() +
+                block_cols.capacity()) *
+               sizeof(Index);
+    }
 };
 
 /// Scans a compact matrix (every row/column alive). Rows must be non-empty —

@@ -103,6 +103,15 @@ public:
     [[nodiscard]] Index num_cols() const noexcept { return num_cols_; }
     [[nodiscard]] std::size_t num_entries() const noexcept { return entries_; }
 
+    /// Reserved footprint in bytes of the CSR/CSC buffers (memory-budget
+    /// accounting — util/mem_budget.hpp).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return row_off_.capacity() * sizeof(std::size_t) +
+               col_off_.capacity() * sizeof(std::size_t) +
+               (row_idx_.capacity() + col_idx_.capacity()) * sizeof(Index) +
+               costs_.capacity() * sizeof(Cost);
+    }
+
     [[nodiscard]] IndexSpan row(Index i) const {
         return {row_idx_.data() + row_off_[i], row_off_[i + 1] - row_off_[i]};
     }

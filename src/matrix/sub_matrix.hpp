@@ -135,6 +135,13 @@ public:
     /// Debug check: live counters consistent with the masks.
     void validate() const;
 
+    /// Reserved footprint in bytes of the view masks/counters (memory-budget
+    /// accounting; the base matrix is charged by its own holder).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return (row_alive_.capacity() + col_alive_.capacity()) * sizeof(char) +
+               (row_len_.capacity() + col_len_.capacity()) * sizeof(Index);
+    }
+
 private:
     const CoverMatrix* base_ = nullptr;
     std::vector<char> row_alive_, col_alive_;

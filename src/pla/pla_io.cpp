@@ -227,11 +227,11 @@ Status parse_pla_string(const std::string& text, Pla& out, PlaDiagnostic& diag,
 Status parse_pla_file(const std::string& path, Pla& out, PlaDiagnostic& diag) {
     std::ifstream is(path);
     if (!is) {
-        diag.status = Status::kBadInput;
+        diag.status = Status::kIoError;
         diag.line = 0;
         diag.column = 0;
         diag.message = "cannot open PLA file";
-        return Status::kBadInput;
+        return Status::kIoError;
     }
     return parse_pla(is, out, diag, path);
 }

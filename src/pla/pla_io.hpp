@@ -51,6 +51,7 @@ Status parse_pla(std::istream& is, Pla& out, PlaDiagnostic& diag,
                  const std::string& name = "pla");
 Status parse_pla_string(const std::string& text, Pla& out, PlaDiagnostic& diag,
                         const std::string& name = "pla");
+/// File variant: kIoError when `path` cannot be opened, else as parse_pla.
 Status parse_pla_file(const std::string& path, Pla& out, PlaDiagnostic& diag);
 
 /// Throwing convenience wrappers over parse_pla: throw BadInputError (an

@@ -34,6 +34,13 @@ struct BatchOptions {
     /// Worker threads for the phase fan-out. 0 = ThreadPool::default_threads()
     /// (UCP_THREADS env or hardware), 1 = inline serial execution.
     int num_threads = 1;
+    /// Per-instance memory sub-cap in bytes (0 = no per-item cap). Each
+    /// instance charges its long-lived state against its own child
+    /// MemoryBudget parented to the process accountant — the per-request
+    /// isolation shape the future daemon wants. Exhaustion degrades that one
+    /// item to the greedy cover (status kResourceExhausted); the rest of the
+    /// batch is untouched.
+    std::size_t mem_budget_per_item = 0;
 };
 
 struct BatchItem {
@@ -45,6 +52,9 @@ struct BatchItem {
     int scg_runs = 0;                  ///< 0 when reductions solved it outright
     double reduce_seconds = 0.0;
     double solve_seconds = 0.0;
+    /// kOk, or the trip that degraded this item (kResourceExhausted → the
+    /// solution is the greedy anytime cover, still feasible).
+    Status status = Status::kOk;
 };
 
 struct BatchResult {

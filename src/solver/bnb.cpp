@@ -613,6 +613,17 @@ BnbResult solve_exact(const CoverMatrix& m, const BnbOptions& opt) {
     const Index num_blocks = static_cast<Index>(parts.size());
     out.blocks = num_blocks;
 
+    // Charge the root search state (block matrices + component scratch)
+    // against the byte accountant. A denial trips the governor — stage 4 of
+    // the degradation ladder — so every task stops at its first poll and the
+    // greedy/per-block incumbents below become the anytime answer.
+    std::size_t root_bytes = 0;
+    if (opt.governor != nullptr) {
+        root_bytes = ws.memory_bytes();
+        for (const auto& p : parts) root_bytes += p.matrix.memory_bytes();
+        if (!opt.governor->charge_memory(root_bytes)) root_bytes = 0;
+    }
+
     // ---- per-block prep: MIS lower bound, greedy upper bound ---------------
     std::atomic<std::size_t> nodes{0};
     std::atomic<bool> aborted{false};
@@ -781,6 +792,7 @@ BnbResult solve_exact(const CoverMatrix& m, const BnbOptions& opt) {
             : std::min(out.cost,
                        cost0 + shared.lb_sum.load(std::memory_order_relaxed));
     out.seconds = timer.seconds();
+    if (opt.governor != nullptr) opt.governor->release_memory(root_bytes);
     UCP_ASSERT(m.is_feasible(out.solution));
     return out;
 }

@@ -62,8 +62,21 @@ TwoLevelResult minimize_two_level(const pla::Pla& pla,
     res.onset_minterms = table.onset_minterms;
     res.cyclic_core_seconds = table.build_seconds;
 
+    // The explicit covering matrix is the pipeline's last long-lived
+    // structure; charge it before dispatching a solver. A denial trips the
+    // governor (stage 4 of the degradation ladder) and the dispatch is
+    // replaced by the cheap greedy cover — a feasible anytime incumbent
+    // reported as kResourceExhausted, never an abort.
+    const std::size_t table_bytes = table.matrix.memory_bytes();
+    const bool table_charged = gov.charge_memory(table_bytes);
+
     std::vector<Index> solution;
-    switch (opt.cover_solver) {
+    if (!table_charged) {
+        const GreedyResult r = chvatal_greedy(table.matrix);
+        solution = r.solution;
+        res.weighted_lower_bound = 0;
+        res.status = Status::kResourceExhausted;
+    } else switch (opt.cover_solver) {
         case CoverSolver::kScg: {
             ScgOptions sopt = opt.scg;
             if (sopt.governor == nullptr) sopt.governor = &gov;
@@ -127,6 +140,7 @@ TwoLevelResult minimize_two_level(const pla::Pla& pla,
             break;
         }
     }
+    if (table_charged) gov.release_memory(table_bytes);
     res.weighted_cost = table.matrix.solution_cost(solution);
     // Under the lexicographic (products, literals) model the product-count
     // bound is ⌊weighted bound / W⌋ (W exceeds every literal total).

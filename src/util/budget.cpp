@@ -10,7 +10,8 @@ namespace ucp {
 Budget::Budget(const BudgetOptions& opt, CancelToken* cancel)
     : opt_(opt),
       cancel_(cancel),
-      fault_(opt.fault.enabled() ? opt.fault : fault::spec_from_env()) {
+      fault_(opt.fault.enabled() ? opt.fault : fault::spec_from_env()),
+      mem_(opt.memory != nullptr ? opt.memory : MemoryBudget::process_default()) {
     if (opt_.deadline_seconds > 0.0) {
         has_deadline_ = true;
         deadline_at_ =
@@ -27,7 +28,21 @@ Budget Budget::fork() const {
     child.deadline_at_ = deadline_at_;
     child.has_deadline_ = has_deadline_;
     child.fault_ = fault_.fresh();
+    child.mem_ = mem_;
+    // Memory exhaustion is a pooled-resource condition: unlike the per-start
+    // node/iteration counters, the sticky trip carries into every child.
+    if (tripped_ == Status::kResourceExhausted) child.tripped_ = tripped_;
     return child;
+}
+
+bool Budget::charge_memory(std::size_t bytes) noexcept {
+    if (mem_ == nullptr || mem_->try_charge(bytes)) return true;
+    (void)trip(Status::kResourceExhausted);
+    return false;
+}
+
+void Budget::release_memory(std::size_t bytes) noexcept {
+    if (mem_ != nullptr) mem_->release(bytes);
 }
 
 Status Budget::trip(Status s) noexcept {
@@ -41,11 +56,20 @@ Status Budget::trip(Status s) noexcept {
     }
     if (tripped_ == Status::kOk) {
         tripped_ = s;
-        stats::counter(s == Status::kDeadline ? "budget.deadline_trips"
-                                              : "budget.cancel_trips")
-            .add();
-        TRACE_INSTANT(s == Status::kDeadline ? "budget.deadline_trip"
-                                             : "budget.cancel_trip");
+        switch (s) {
+            case Status::kDeadline:
+                stats::counter("budget.deadline_trips").add();
+                TRACE_INSTANT("budget.deadline_trip");
+                break;
+            case Status::kResourceExhausted:
+                stats::counter("mem.exhausted").add();
+                TRACE_INSTANT("mem.stage4_exhausted");
+                break;
+            default:
+                stats::counter("budget.cancel_trips").add();
+                TRACE_INSTANT("budget.cancel_trip");
+                break;
+        }
     }
     return tripped_;
 }

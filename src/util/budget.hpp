@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "util/fault.hpp"
+#include "util/mem_budget.hpp"
 #include "util/status.hpp"
 
 namespace ucp {
@@ -57,6 +58,12 @@ struct BudgetOptions {
     /// Fault-injection override. Disabled here means "read UCP_FAULT from
     /// the environment at Budget construction".
     fault::Spec fault{};
+    /// Byte accountant for long-lived allocations (DD arenas, tables,
+    /// caches, matrices, workspaces). nullptr means "use
+    /// MemoryBudget::process_default()" — which is itself nullptr (no
+    /// accounting at all) unless UCP_MEM_BUDGET or a mem-kind UCP_FAULT
+    /// spec is set. Not owned; must outlive the Budget.
+    MemoryBudget* memory = nullptr;
 };
 
 class Budget {
@@ -96,6 +103,17 @@ public:
     [[nodiscard]] const BudgetOptions& options() const noexcept { return opt_; }
     [[nodiscard]] CancelToken* cancel_token() const noexcept { return cancel_; }
 
+    /// The byte accountant governing this solve (nullptr = unaccounted).
+    /// Shared by fork() children: memory is a pooled resource, unlike the
+    /// per-start node/iteration counters.
+    [[nodiscard]] MemoryBudget* memory() const noexcept { return mem_; }
+
+    /// Charges `bytes` of long-lived footprint. On denial the governor trips
+    /// sticky kResourceExhausted — stage 4 of the degradation ladder — and
+    /// returns false; the caller finalises with its best anytime incumbent.
+    [[nodiscard]] bool charge_memory(std::size_t bytes) noexcept;
+    void release_memory(std::size_t bytes) noexcept;
+
 private:
     using Clock = std::chrono::steady_clock;
 
@@ -107,6 +125,7 @@ private:
     Clock::time_point deadline_at_{};
     bool has_deadline_ = false;
     fault::Injector fault_{fault::Spec{}};
+    MemoryBudget* mem_ = nullptr;
 
     std::uint64_t nodes_ = 0;
     std::uint64_t iterations_ = 0;

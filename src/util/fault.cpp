@@ -7,6 +7,23 @@
 
 namespace ucp::fault {
 
+namespace {
+
+/// Parses a full decimal field; false on anything malformed or empty.
+bool parse_u64(std::string_view sv, std::uint64_t& out) noexcept {
+    const auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), out);
+    return ec == std::errc{} && ptr == sv.data() + sv.size();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Spec parse_spec(const char* text) noexcept {
     if (text == nullptr) return {};
     const std::string_view sv(text);
@@ -14,7 +31,13 @@ Spec parse_spec(const char* text) noexcept {
     if (colon == std::string_view::npos) return {};
 
     const std::string_view kind = sv.substr(0, colon);
-    const std::string_view count = sv.substr(colon + 1);
+    std::string_view rest = sv.substr(colon + 1);
+    const auto colon2 = rest.find(':');
+    std::string_view second;
+    if (colon2 != std::string_view::npos) {
+        second = rest.substr(colon2 + 1);
+        rest = rest.substr(0, colon2);
+    }
 
     Spec spec;
     if (kind == "alloc") {
@@ -23,17 +46,43 @@ Spec parse_spec(const char* text) noexcept {
         spec.kind = Kind::kDeadline;
     } else if (kind == "cancel") {
         spec.kind = Kind::kCancel;
+    } else if (kind == "mem") {
+        spec.kind = Kind::kMem;
+    } else if (kind == "memsched") {
+        spec.kind = Kind::kMemSched;
     } else {
         return {};
     }
 
+    if (spec.kind == Kind::kMemSched) {
+        // memsched:SEED:PERIOD — both fields required, period >= 1.
+        if (colon2 == std::string_view::npos) return {};
+        if (!parse_u64(rest, spec.seed)) return {};
+        if (!parse_u64(second, spec.period) || spec.period == 0) return {};
+        spec.at = 1;
+        return spec;
+    }
+
+    // kind:N with an optional :K count for mem.
     std::uint64_t n = 0;
-    const auto [ptr, ec] =
-        std::from_chars(count.data(), count.data() + count.size(), n);
-    if (ec != std::errc{} || ptr != count.data() + count.size() || n == 0)
-        return {};
+    if (!parse_u64(rest, n) || n == 0) return {};
     spec.at = n;
+    if (colon2 != std::string_view::npos) {
+        if (spec.kind != Kind::kMem) return {};
+        if (!parse_u64(second, spec.count) || spec.count == 0) return {};
+    }
     return spec;
+}
+
+bool mem_charge_fails(const Spec& spec, std::uint64_t idx) noexcept {
+    switch (spec.kind) {
+        case Kind::kMem:
+            return idx >= spec.at && idx - spec.at < spec.count;
+        case Kind::kMemSched:
+            return spec.period != 0 && splitmix64(spec.seed ^ idx) % spec.period == 0;
+        default:
+            return false;
+    }
 }
 
 Spec spec_from_env() noexcept {

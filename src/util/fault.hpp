@@ -7,6 +7,11 @@
 //                          (reported as Status::kNodeBudget)
 //   UCP_FAULT=deadline:N   the N-th governor poll reports Status::kDeadline
 //   UCP_FAULT=cancel:N     the N-th governor poll reports Status::kCancelled
+//   UCP_FAULT=mem:N        the N-th MemoryBudget charge is denied
+//   UCP_FAULT=mem:N:K      charges N..N+K-1 are denied (K consecutive)
+//   UCP_FAULT=memsched:S:P charge i is denied iff splitmix64(S^i) % P == 0 —
+//                          a seeded schedule that sprays denials across every
+//                          allocation site with ~1/P probability
 //
 // Counters are per-Budget (each Budget::fork() starts fresh), so a
 // multi-start solve trips each start at its own N-th check and the result is
@@ -18,14 +23,32 @@
 
 namespace ucp::fault {
 
-enum class Kind : std::uint8_t { kNone = 0, kAlloc, kDeadline, kCancel };
+enum class Kind : std::uint8_t {
+    kNone = 0,
+    kAlloc,
+    kDeadline,
+    kCancel,
+    kMem,       ///< deny a fixed window of MemoryBudget charges
+    kMemSched,  ///< deny charges on a seeded pseudo-random schedule
+};
 
 struct Spec {
     Kind kind = Kind::kNone;
-    std::uint64_t at = 0;  ///< 1-based index of the check that fails
+    std::uint64_t at = 0;     ///< 1-based index of the check that fails
+    std::uint64_t count = 1;  ///< kMem: number of consecutive denials
+    std::uint64_t seed = 0;   ///< kMemSched: schedule seed
+    std::uint64_t period = 0; ///< kMemSched: deny ~1 in `period` charges
 
     [[nodiscard]] bool enabled() const noexcept { return kind != Kind::kNone; }
+    [[nodiscard]] bool memory_kind() const noexcept {
+        return kind == Kind::kMem || kind == Kind::kMemSched;
+    }
 };
+
+/// True when MemoryBudget charge number `idx` (1-based) must be denied under
+/// `spec`. Pure function of (spec, idx) so denial points are reproducible
+/// regardless of which thread performs the charge.
+[[nodiscard]] bool mem_charge_fails(const Spec& spec, std::uint64_t idx) noexcept;
 
 /// Parses a "kind:N" spec ("alloc:3", "deadline:10", "cancel:1").
 /// Returns a disabled Spec on anything malformed — fault injection is a

@@ -1,0 +1,33 @@
+#include "util/mem_budget.hpp"
+
+#include <cstdlib>
+
+#include "util/stats.hpp"
+
+namespace ucp {
+
+bool MemoryBudget::deny(std::size_t) noexcept {
+    static stats::Counter& c_denied = stats::counter("mem.denied");
+    denied_.fetch_add(1, std::memory_order_relaxed);
+    c_denied.add();
+    return false;
+}
+
+MemoryBudget* MemoryBudget::process_default() noexcept {
+    static MemoryBudget* const instance = []() -> MemoryBudget* {
+        std::size_t cap = 0;
+        if (const char* env = std::getenv("UCP_MEM_BUDGET")) {
+            char* end = nullptr;
+            const unsigned long long mb = std::strtoull(env, &end, 10);
+            if (end != env && mb > 0)
+                cap = static_cast<std::size_t>(mb) << 20;  // MB → bytes
+        }
+        const fault::Spec spec = fault::spec_from_env();
+        if (cap == 0 && !spec.memory_kind()) return nullptr;
+        static MemoryBudget budget(cap, nullptr, spec);
+        return &budget;
+    }();
+    return instance;
+}
+
+}  // namespace ucp

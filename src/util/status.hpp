@@ -21,6 +21,8 @@ enum class Status : std::uint8_t {
     kNodeBudget,  ///< DD node / decode-size budget exceeded
     kCancelled,   ///< cooperative cancellation (CancelToken / SIGINT)
     kBadInput,    ///< malformed input or violated public precondition
+    kResourceExhausted,  ///< memory budget exhausted (anytime result returned)
+    kIoError,     ///< filesystem I/O failure (unreadable/unwritable path)
 };
 
 [[nodiscard]] inline const char* to_string(Status s) noexcept {
@@ -30,6 +32,8 @@ enum class Status : std::uint8_t {
         case Status::kNodeBudget: return "node_budget";
         case Status::kCancelled: return "cancelled";
         case Status::kBadInput: return "bad_input";
+        case Status::kResourceExhausted: return "resource_exhausted";
+        case Status::kIoError: return "io_error";
     }
     return "unknown";
 }

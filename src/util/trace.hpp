@@ -56,7 +56,8 @@ bool parse_level(std::string_view text, Level& out);
 inline constexpr const char* kTrackedCounters[] = {
     "subgradient.iterations", "reduce.passes",        "zdd.cache_hits",
     "zdd.cache_misses",       "budget.zdd_fallbacks", "zdd.gc_runs",
-    "zdd.chain_nodes_made",   "zdd.chain_hits",
+    "zdd.chain_nodes_made",   "zdd.chain_hits",       "mem.denied",
+    "mem.cache_sheds",
 };
 inline constexpr std::size_t kNumTracked =
     sizeof(kTrackedCounters) / sizeof(kTrackedCounters[0]);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::zdd {
 
@@ -17,11 +18,14 @@ BddManager::BddManager(std::uint32_t num_vars, const DdOptions& options)
     : num_vars_(num_vars),
       table_(kInitialTable),
       cache_(options.cache_entries, options.max_cache_entries),
-      governor_(options.governor) {
+      governor_(options.governor),
+      mem_(options.governor != nullptr ? options.governor->memory()
+                                       : MemoryBudget::process_default()) {
     UCP_REQUIRE(num_vars < kBddTermVar, "variable count out of range");
     nodes_.resize(2);
     nodes_[0] = {kBddTermVar, 0, 0};
     nodes_[1] = {kBddTermVar, 1, 1};
+    sync_memory();
 }
 
 BddManager::~BddManager() { flush_stats(); }
@@ -46,7 +50,30 @@ BddId BddManager::make(std::uint32_t v, BddId lo, BddId hi) {
     const BddId id = static_cast<BddId>(nodes_.size());
     nodes_.push_back({v, lo, hi});
     table_.insert(nodes_, slot, id);
+    if (mem_.governed()) sync_memory();
     return id;
+}
+
+std::size_t BddManager::footprint_bytes() const noexcept {
+    return nodes_.capacity() * sizeof(Node) + table_.memory_bytes() +
+           cache_.memory_bytes();
+}
+
+void BddManager::sync_memory() {
+    if (!mem_.governed() || mem_.sync(footprint_bytes())) return;
+    cache_.clamp_growth();
+    for (;;) {
+        const std::size_t freed = cache_.shed();
+        if (freed > 0) {
+            stats::counter("mem.cache_sheds").add();
+            TRACE_INSTANT("mem.stage1_cache_shed");
+        }
+        if (mem_.sync(footprint_bytes())) return;
+        if (freed == 0) break;
+    }
+    stats::counter("mem.dd_trips").add();
+    TRACE_INSTANT("mem.stage3_dd_trip");
+    throw ResourceError(Status::kNodeBudget, "bdd arena: memory budget exhausted");
 }
 
 BddId BddManager::var(std::uint32_t v) {
@@ -101,7 +128,7 @@ BddId BddManager::apply(Op op, BddId a, BddId b) {
     const BddId b0 = vb == v ? nodes_[b].lo : b;
     const BddId b1 = vb == v ? nodes_[b].hi : b;
     cached = make(v, apply(op, a0, b0), apply(op, a1, b1));
-    cache_.store(key, cached);
+    cache_store(key, cached);
     return cached;
 }
 
@@ -116,7 +143,7 @@ BddId BddManager::not_rec(BddId a) {
     if (cache_.lookup(key, cached)) return cached;
     const BddId r =
         make(nodes_[a].var, not_rec(nodes_[a].lo), not_rec(nodes_[a].hi));
-    cache_.store(key, r);
+    cache_store(key, r);
     return r;
 }
 
@@ -136,7 +163,7 @@ BddId BddManager::cofactor_rec(BddId f, std::uint32_t v, bool value) {
     if (cache_.lookup(key, cached)) return cached;
     const BddId r = make(vf, cofactor_rec(nodes_[f].lo, v, value),
                          cofactor_rec(nodes_[f].hi, v, value));
-    cache_.store(key, r);
+    cache_store(key, r);
     return r;
 }
 

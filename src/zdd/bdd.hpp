@@ -93,12 +93,24 @@ private:
     BddId not_rec(BddId a);
     BddId cofactor_rec(BddId f, std::uint32_t v, bool value);
 
+    // Memory-budget accounting (DESIGN.md §13) — same ladder as the ZDD
+    // manager minus stage 2: a transient BDD has no GC, so denial goes shed
+    // → retry → kNodeBudget (the implicit→explicit fallback signal).
+    [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+    void sync_memory();
+    void cache_store(std::uint64_t key, BddId result) {
+        const std::uint64_t grew = cache_.resizes();
+        cache_.store(key, result);
+        if (mem_.governed() && cache_.resizes() != grew) sync_memory();
+    }
+
     std::uint32_t num_vars_;
     std::vector<Node> nodes_;
     CacheStats cache_flushed_;  // values already rolled up by flush_stats()
     UniqueTable<Node> table_;
     ComputedCache<BddId> cache_;
     Budget* governor_ = nullptr;
+    MemTracker mem_;  ///< byte accountant hook (null = unaccounted)
 };
 
 }  // namespace ucp::zdd

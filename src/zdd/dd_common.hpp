@@ -174,6 +174,13 @@ public:
     [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
     [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
 
+    /// Reserved footprint in bytes (memory-budget accounting). Growth is
+    /// never refused — refusing would leave a full open-addressing table
+    /// probing forever — so holders sync the delta after insert() instead.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return slots_.capacity() * sizeof(std::uint32_t);
+    }
+
 private:
     void grow(const std::vector<Node>& nodes, std::size_t new_capacity) {
         std::vector<std::uint32_t> old = std::move(slots_);
@@ -281,6 +288,47 @@ public:
     [[nodiscard]] std::uint64_t resizes() const noexcept { return resizes_; }
     [[nodiscard]] std::size_t capacity() const noexcept {
         return sets_.size() * kWays;
+    }
+
+    /// Reserved footprint in bytes (memory-budget accounting).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return sets_.capacity() * sizeof(Set);
+    }
+
+    /// Memory-pressure response, stage 1: freezes adaptive growth at the
+    /// current capacity (maybe_grow becomes a no-op).
+    void clamp_growth() noexcept { max_entries_ = capacity(); }
+
+    /// Memory-pressure response, stage 1: halves the capacity, re-homing the
+    /// entries that still fit and dropping the rest — sound for a lossy memo
+    /// table, it only costs recomputation. Returns the bytes freed; 0 once
+    /// the cache is at its minimum size (one set).
+    std::size_t shed() {
+        if (sets_.size() <= 1) return 0;
+        const std::size_t before = memory_bytes();
+        std::vector<Set> old = std::move(sets_);
+        sets_.assign(old.size() / 2, Set{});
+        set_mask_ = sets_.size() - 1;
+        check_interval_ = capacity() / 2;
+        size_ = 0;
+        stores_since_check_ = 0;
+        window_hits_ = hits_;
+        window_lookups_ = hits_ + misses_;
+        for (const Set& os : old) {
+            for (std::size_t w = 0; w < kWays; ++w) {
+                if (os.key[w] == kNoKey) continue;
+                Set& ns = sets_[os.key[w] & set_mask_];
+                for (std::size_t nw = 0; nw < kWays; ++nw) {
+                    if (ns.key[nw] == kNoKey) {
+                        ns.key[nw] = os.key[w];
+                        ns.result[nw] = os.result[w];
+                        ++size_;
+                        break;
+                    }
+                }
+            }
+        }
+        return before - memory_bytes();
     }
 
 private:

@@ -7,6 +7,7 @@
 
 #include "util/bignum.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace ucp::zdd {
 
@@ -106,7 +107,9 @@ ZddManager::ZddManager(Var num_vars, const DdOptions& options)
                   options.max_cache_entries),
       gc_threshold_(options.gc_threshold),
       chain_nodes_(options.chain_nodes),
-      governor_(options.governor) {
+      governor_(options.governor),
+      mem_(options.governor != nullptr ? options.governor->memory()
+                                       : MemoryBudget::process_default()) {
     // The packed node format keeps the interval top in 24 bits (the low 8
     // hold the chain span), so levels must fit below 2^24 — far above any
     // covering workload (two ZDD vars per PLA input).
@@ -116,6 +119,10 @@ ZddManager::ZddManager(Var num_vars, const DdOptions& options)
     nodes_[1] = {kTermVar, 1, 1};
     extref_.resize(2, 0);
     flags_.resize(2, 0);
+    // Account the construction-time footprint. Under a cap too tight even
+    // for the initial tables this sheds the caches to minimum and, failing
+    // that, throws kNodeBudget — the solver pipeline's fallback signal.
+    sync_memory();
 }
 
 ZddManager::~ZddManager() { flush_stats(); }
@@ -241,7 +248,62 @@ NodeId ZddManager::make_packed(Var var_bits, NodeId lo, NodeId hi) {
     }
     table_.insert(nodes_, slot, id);
     if ((var_bits & 0xFFu) != 0) ++chain_stats_.nodes_made;
+    // Sync any capacity growth (arena reallocation, table rehash) against
+    // the byte accountant. May throw — the node is already consistent, so
+    // unwinding here is as safe as the charge_node trip above.
+    if (mem_.governed()) sync_memory();
     return id;
+}
+
+std::size_t ZddManager::footprint_bytes() const noexcept {
+    return nodes_.capacity() * sizeof(Node) +
+           extref_.capacity() * sizeof(std::uint32_t) +
+           flags_.capacity() * sizeof(std::uint8_t) +
+           free_.capacity() * sizeof(NodeId) +
+           mark_stack_.capacity() * sizeof(NodeId) + table_.memory_bytes() +
+           cache_.memory_bytes() + pair_cache_.memory_bytes();
+}
+
+void ZddManager::sync_memory() {
+    if (!mem_.governed() || mem_.sync(footprint_bytes())) return;
+    // Stage 1: freeze adaptive cache growth and halve the memo tables until
+    // the charge fits or both caches are at minimum size. Dropping memo
+    // entries only costs recomputation, never correctness.
+    cache_.clamp_growth();
+    pair_cache_.clamp_growth();
+    for (;;) {
+        const std::size_t freed = cache_.shed() + pair_cache_.shed();
+        if (freed > 0) {
+            stats::counter("mem.cache_sheds").add();
+            TRACE_INSTANT("mem.stage1_cache_shed");
+        }
+        if (mem_.sync(footprint_bytes())) return;
+        if (freed == 0) break;
+    }
+    // Stage 3: abandon the implicit phase. A GC cannot run here (a recursion
+    // may hold intermediate results as raw NodeIds on the call stack), so
+    // flag one for the next operation boundary and throw the node-budget
+    // status the implicit→explicit fallback machinery already catches.
+    gc_pending_ = true;
+    stats::counter("mem.dd_trips").add();
+    TRACE_INSTANT("mem.stage3_dd_trip");
+    throw ResourceError(Status::kNodeBudget, "zdd arena: memory budget exhausted");
+}
+
+void ZddManager::trim_arena() {
+    std::size_t new_size = nodes_.size();
+    while (new_size > 2 && (flags_[new_size - 1] & kFlagFree)) --new_size;
+    if (new_size == nodes_.size()) return;
+    std::erase_if(free_, [&](NodeId n) { return n >= new_size; });
+    nodes_.resize(new_size);
+    extref_.resize(new_size);
+    flags_.resize(new_size);
+    if (nodes_.capacity() >= new_size * 2) {
+        nodes_.shrink_to_fit();
+        extref_.shrink_to_fit();
+        flags_.shrink_to_fit();
+        free_.shrink_to_fit();
+    }
 }
 
 void ZddManager::view_at(NodeId x, Var v, Var m, NodeId& c0, NodeId& c1) {
@@ -273,11 +335,30 @@ void ZddManager::unref_external(NodeId n) noexcept {
 }
 
 void ZddManager::maybe_gc() {
-    if (gc_enabled_ && live_nodes() > gc_threshold_) {
+    if (!gc_enabled_) return;
+    if (live_nodes() > gc_threshold_) {
         const std::size_t reclaimed = gc();
         // Grow the threshold if the working set is genuinely large, so GC
         // doesn't thrash.
         if (reclaimed < gc_threshold_ / 4) gc_threshold_ *= 2;
+        return;
+    }
+    // Stage 2 of the degradation ladder: a boundary-forced collection under
+    // memory pressure. A mid-recursion denial sets gc_pending_; the pressure
+    // poll fires *before* the first denial. This runs only here — never
+    // inside a recursion, where intermediate results are held by raw NodeIds
+    // on the call stack (not external refs) and a sweep would reclaim them.
+    if (mem_.governed() &&
+        (gc_pending_ ||
+         (mem_.budget()->under_pressure() && live_nodes() > gc_floor_))) {
+        gc_pending_ = false;
+        stats::counter("mem.forced_gcs").add();
+        TRACE_INSTANT("mem.stage2_forced_gc");
+        gc();
+        trim_arena();
+        // Anti-thrash: don't force again until the live set has doubled.
+        gc_floor_ = live_nodes() * 2;
+        sync_memory();
     }
 }
 
@@ -923,7 +1004,9 @@ ZddManager::NodePair ZddManager::cofactors_rec(NodeId a, Var v) {
     const NodePair ph = cofactors_rec(nodes_[a].hi, v);
     const NodePair r{make_chain(va, ba, pl.lo, ph.lo),
                      make_chain(va, ba, pl.hi, ph.hi)};
+    const std::uint64_t grew = pair_cache_.resizes();
     pair_cache_.store(key, r);
+    if (mem_.governed() && pair_cache_.resizes() != grew) sync_memory();
     return r;
 }
 

@@ -254,6 +254,13 @@ public:
     /// top of the manager (zdd_cover, implicit_primes) poll it too.
     [[nodiscard]] Budget* governor() const noexcept { return governor_; }
 
+    /// Reserved footprint in bytes: arena + cold arrays + unique table +
+    /// computed caches, by capacity. This is the amount synced against the
+    /// byte accountant (the governor's MemoryBudget) at every growth point.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return footprint_bytes();
+    }
+
     // Internal node accessors — used by the BDD/prime layers which share the
     // recursion style; exposed as public-but-low-level API.
     //
@@ -364,8 +371,25 @@ private:
         return cache_.lookup(dd_cache_key(static_cast<std::uint8_t>(op), a, b), out);
     }
     void cache_store(Op op, NodeId a, NodeId b, NodeId result) {
+        const std::uint64_t grew = cache_.resizes();
         cache_.store(dd_cache_key(static_cast<std::uint8_t>(op), a, b), result);
+        if (mem_.governed() && cache_.resizes() != grew) sync_memory();
     }
+
+    // ---- memory-budget accounting (DESIGN.md §13) ---------------------------
+    [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+    /// Syncs the reserved footprint against the byte accountant, walking the
+    /// in-recursion part of the degradation ladder on denial: shed + clamp
+    /// the computed caches and retry (stage 1); still denied → request a
+    /// boundary GC and abandon the implicit phase with a kNodeBudget
+    /// ResourceError (stage 3) so the explicit fallback fires. Stage 2 (the
+    /// forced collection) lives in maybe_gc(): it can only run between
+    /// top-level operations.
+    void sync_memory();
+    /// Pops dead nodes off the arena *tail* (interior dead slots cannot
+    /// move — NodeIds are addresses) and returns the capacity to the
+    /// allocator when at least half of it died. Forced-GC path only.
+    void trim_arena();
 
     Var num_vars_;
     std::vector<Node> nodes_;            // hot arena: (var, lo, hi) only
@@ -387,6 +411,9 @@ private:
     bool gc_enabled_ = true;
     bool chain_nodes_ = true;
     Budget* governor_ = nullptr;
+    MemTracker mem_;           ///< byte accountant hook (null = unaccounted)
+    bool gc_pending_ = false;  ///< a mid-recursion denial asked for a GC
+    std::size_t gc_floor_ = 0; ///< anti-thrash floor for pressure-forced GC
 };
 
 }  // namespace ucp::zdd

@@ -1,0 +1,34 @@
+// libFuzzer harness for the non-throwing PLA parser (-DUCP_FUZZ=ON, Clang).
+//
+// The contract under fuzz: parse_pla_string never throws, never crashes and
+// never leaves `out` in a state that later code can fault on — it either
+// returns kOk with a structurally valid Pla, or a non-kOk Status with a
+// diagnostic that renders. Seed corpus: tests/corpus/*.pla (the malformed
+// inputs the diagnostics test pins down).
+//
+//   clang++ ... -fsanitize=fuzzer,address
+//   ./fuzz_pla tests/corpus -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pla/pla_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    ucp::pla::Pla pla;
+    ucp::pla::PlaDiagnostic diag;
+    const ucp::Status st = ucp::pla::parse_pla_string(text, pla, diag, "fuzz");
+    if (st == ucp::Status::kOk) {
+        // A parsed Pla must be internally consistent enough to walk.
+        const auto& s = pla.space();
+        for (const auto& c : pla.on) (void)c.input_literal_count(s);
+        for (const auto& c : pla.dc) (void)c.input_literal_count(s);
+        (void)pla.on.literal_count();
+    } else {
+        // Diagnostics must render for arbitrary junk (no UB in formatting).
+        (void)diag.to_string("fuzz");
+    }
+    return 0;
+}

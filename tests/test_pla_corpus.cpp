@@ -88,8 +88,12 @@ TEST(PlaCorpus, ThrowingWrapperReportsLocation) {
 TEST(PlaCorpus, UnopenableFile) {
     Pla pla;
     PlaDiagnostic diag;
+    // Distinct from malformed *content*: a path that cannot be opened is a
+    // filesystem failure, reported as kIoError (the minimize_pla exit-2
+    // contract keys off this distinction).
     EXPECT_EQ(ucp::pla::parse_pla_file(corpus("does_not_exist.pla"), pla, diag),
-              Status::kBadInput);
+              Status::kIoError);
+    EXPECT_EQ(diag.status, Status::kIoError);
     EXPECT_EQ(diag.line, 0u);
     EXPECT_NE(diag.message.find("cannot open"), std::string::npos);
 }
