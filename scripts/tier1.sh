@@ -24,9 +24,9 @@ cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DUCP_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$JOBS" \
       --target test_thread_pool test_parallel_scg test_bnb_parallel \
-               test_cancel_pressure
+               test_cancel_pressure test_portfolio
 UCP_THREADS=4 ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-      -R 'test_thread_pool|test_parallel_scg|test_bnb_parallel|test_cancel_pressure'
+      -R 'test_thread_pool|test_parallel_scg|test_bnb_parallel|test_cancel_pressure|test_portfolio'
 
 echo
 echo "=== tier 1: chaos lane (injected OOM + tight caps) ==="

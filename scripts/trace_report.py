@@ -34,6 +34,8 @@ PHASE_SECTIONS = {
     "implicit_primes": "§8",
     "table": "§8",
     "budget": "§9",
+    "rwls": "§14",
+    "portfolio": "§14",
 }
 
 SPAN_KEYS = {"type", "name", "tid", "depth", "ts_us", "dur_us", "counters"}
@@ -230,16 +232,19 @@ def report(stream, out, phases_only=False):
 
 
 SAMPLE = """\
-{"type": "meta", "version": 1, "level": "iter", "spans": 6, "iter_events": 3, "instants": 1, "dropped": 0, "clock": "steady", "time_unit": "us"}
+{"type": "meta", "version": 1, "level": "iter", "spans": 8, "iter_events": 4, "instants": 1, "dropped": 0, "clock": "steady", "time_unit": "us"}
 {"type": "span", "name": "two_level", "tid": 0, "depth": 0, "ts_us": 0.0, "dur_us": 1000.0, "counters": {}}
 {"type": "span", "name": "two_level.build_table", "tid": 0, "depth": 1, "ts_us": 10.0, "dur_us": 200.0, "counters": {"zdd.cache_hits": 50, "zdd.cache_misses": 10}}
 {"type": "span", "name": "implicit_primes", "tid": 0, "depth": 2, "ts_us": 20.0, "dur_us": 150.0, "counters": {"zdd.cache_hits": 40, "zdd.chain_nodes_made": 12, "zdd.chain_hits": 30}}
 {"type": "span", "name": "scg", "tid": 0, "depth": 1, "ts_us": 300.0, "dur_us": 600.0, "counters": {"subgradient.iterations": 40}}
 {"type": "span", "name": "subgradient", "tid": 0, "depth": 2, "ts_us": 320.0, "dur_us": 400.0, "counters": {"subgradient.iterations": 40}}
 {"type": "span", "name": "reduce", "tid": 1, "depth": 0, "ts_us": 5.0, "dur_us": 50.0, "counters": {"reduce.passes": 3}}
+{"type": "span", "name": "portfolio", "tid": 2, "depth": 0, "ts_us": 0.0, "dur_us": 900.0, "counters": {}}
+{"type": "span", "name": "rwls", "tid": 2, "depth": 1, "ts_us": 100.0, "dur_us": 500.0, "counters": {}}
 {"type": "iter", "channel": "subgradient", "tid": 0, "iter": 0, "ts_us": 330.0, "lb": 10.0, "ub": 20.0, "step": 2.0, "live_rows": 100, "live_cols": 80, "cache_hit_rate": 0.8}
 {"type": "iter", "channel": "subgradient", "tid": 0, "iter": 1, "ts_us": 340.0, "lb": 12.5, "ub": 18.0, "step": 2.0, "live_rows": 100, "live_cols": 80, "cache_hit_rate": 0.82}
 {"type": "iter", "channel": "subgradient", "tid": 0, "iter": 2, "ts_us": 350.0, "lb": 14.0, "ub": 15.0, "step": 1.0, "live_rows": 90, "live_cols": 70, "cache_hit_rate": 0.85}
+{"type": "iter", "channel": "rwls", "tid": 2, "iter": 128, "ts_us": 360.0, "lb": 10.0, "ub": 16.0, "step": 16.0, "live_rows": 2, "live_cols": 15, "cache_hit_rate": 0.0}
 {"type": "instant", "name": "budget.zdd_fallback", "tid": 0, "ts_us": 120.0}
 """
 
@@ -248,7 +253,7 @@ def selftest():
     meta, spans, iters, instants, errors = parse(io.StringIO(SAMPLE))
     assert not errors, errors
     assert meta is not None and meta["version"] == 1
-    assert len(spans) == 6 and len(iters) == 3 and len(instants) == 1
+    assert len(spans) == 8 and len(iters) == 4 and len(instants) == 1
 
     per = self_times(spans)
     # two_level(1000) has children build_table(200) + scg(600) -> self 200.
@@ -268,11 +273,17 @@ def selftest():
     assert dd.get("zdd.chain_hits") == 30, dd
     assert dd.get("zdd.cache_hits") == 40, dd
 
-    # Every sample phase maps into DESIGN.md §6–§9.
+    # Every sample phase maps into DESIGN.md §6–§9 or §14.
     for s in spans:
-        assert section_of(s["name"]) in {"§6", "§7", "§8", "§9"}, s["name"]
+        assert section_of(s["name"]) in {"§6", "§7", "§8", "§9", "§14"}, \
+            s["name"]
     assert section_of("budget.zdd_fallback") == "§9"
+    assert section_of("portfolio.rwls_task") == "§14"
+    assert section_of("rwls") == "§14"
     assert section_of("unknown_phase") == "—"
+    # portfolio(900) on tid 2 has child rwls(500) -> self 400.
+    per = self_times(spans)
+    assert abs(per["portfolio"][1] - 400.0) < 1e-6, per["portfolio"]
 
     # Schema validation rejects close-but-wrong records.
     bad = json.loads('{"type": "span", "name": "x", "tid": 0}')

@@ -103,6 +103,64 @@ CoverMatrix steiner_cover(int dim) {
     return CoverMatrix::from_rows(static_cast<Index>(n), std::move(lines));
 }
 
+CoverMatrix unicost_scp(const UnicostScpOptions& opt) {
+    UCP_REQUIRE(opt.rows >= 1 && opt.cols >= 2, "need at least 1 row / 2 cols");
+    UCP_REQUIRE(opt.cols_per_row >= 2 && opt.cols_per_row <= opt.cols,
+                "need 2 ≤ cols_per_row ≤ cols");
+    Rng rng(opt.seed);
+
+    std::vector<std::vector<Index>> rows(opt.rows);
+    std::vector<char> used(opt.cols, 0);
+    for (Index i = 0; i < opt.rows; ++i) {
+        rows[i].reserve(opt.cols_per_row);
+        while (rows[i].size() < opt.cols_per_row) {
+            const Index j = static_cast<Index>(rng.below(opt.cols));
+            bool present = false;
+            for (const Index x : rows[i]) present |= x == j;
+            if (present) continue;
+            rows[i].push_back(j);
+            used[j] = 1;
+        }
+    }
+    // Repair: a column covering nothing can never be chosen — give each one
+    // a random row so the column space is fully live (OR-Library instances
+    // guarantee the same).
+    for (Index j = 0; j < opt.cols; ++j) {
+        if (used[j] != 0) continue;
+        const Index i = static_cast<Index>(rng.below(opt.rows));
+        rows[i].push_back(j);
+    }
+    return CoverMatrix::from_rows(opt.cols, std::move(rows));
+}
+
+CoverMatrix steiner_triple_cover(Index n) {
+    UCP_REQUIRE(n >= 9 && n % 6 == 3, "Bose construction needs n ≡ 3 (mod 6)");
+    // Bose: points are Z_m × {0,1,2} with m = n/3 (odd). Point (i, k) is
+    // encoded as i + k·m. Triples:
+    //   * {(i,0), (i,1), (i,2)} for every i;
+    //   * {(i,k), (j,k), (((i+j)/2 mod m, k+1 mod 3)} for i < j — where /2 is
+    //     the halving map of odd Z_m, h = (m+1)/2.
+    const Index m = n / 3;
+    const Index half = (m + 1) / 2;
+    std::vector<std::vector<Index>> triples;
+    triples.reserve(static_cast<std::size_t>(n) * (n - 1) / 6);
+    for (Index i = 0; i < m; ++i)
+        triples.push_back({i, i + m, i + 2 * m});
+    for (Index k = 0; k < 3; ++k)
+        for (Index i = 0; i < m; ++i)
+            for (Index j = i + 1; j < m; ++j) {
+                const Index mid =
+                    static_cast<Index>((static_cast<std::uint64_t>(i) + j) *
+                                       half % m);
+                std::vector<Index> t = {i + k * m, j + k * m,
+                                        mid + ((k + 1) % 3) * m};
+                std::sort(t.begin(), t.end());
+                triples.push_back(std::move(t));
+            }
+    UCP_ASSERT(triples.size() == static_cast<std::size_t>(n) * (n - 1) / 6);
+    return CoverMatrix::from_rows(n, std::move(triples));
+}
+
 CoverMatrix mis_vs_dual_example() {
     // Rows r1..r4; columns: four private unit-cost columns and one cost-2
     // column covering everything. Every row intersects every other through

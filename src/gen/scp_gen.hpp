@@ -49,6 +49,31 @@ bcp::BcpMatrix random_bcp(const RandomBcpOptions& opt);
 /// reductions — the canonical family where bounds cannot prove optimality.
 cov::CoverMatrix steiner_cover(int dim);
 
+struct UnicostScpOptions {
+    cov::Index rows = 100;
+    cov::Index cols = 80;
+    /// Exactly this many distinct random columns per row (OR-Library's
+    /// unicost classes fix the density the same way). Small values make the
+    /// LP bound weak and the cyclic core large — the regime where
+    /// constructive heuristics lose to local search.
+    cov::Index cols_per_row = 4;
+    std::uint64_t seed = 1;
+};
+
+/// OR-Library-style random unicost set-cover instance: every row draws
+/// `cols_per_row` distinct columns, every column is repaired to cover at
+/// least one row, all costs 1. Deterministic in the seed.
+cov::CoverMatrix unicost_scp(const UnicostScpOptions& opt);
+
+/// Steiner triple system STS(n) as a unicost covering instance (rows = the
+/// n(n−1)/6 triples, columns = the n points): choose a minimum set of points
+/// hitting every triple. Built with the Bose construction, so any n ≡ 3
+/// (mod 6) works — this generalises steiner_cover(), which only produces the
+/// affine systems STS(9) and STS(27). The OR-Library Steiner instances
+/// (A27/A45/…) are exactly this family; reductions leave the whole matrix as
+/// its cyclic core.
+cov::CoverMatrix steiner_triple_cover(cov::Index n);
+
 /// The two hand-built examples for the §3.4 bound-separation experiment
 /// (stand-ins for the paper's Figure 1, whose drawing is not in the text):
 /// * mis_vs_dual_example: LB_MIS = 1 < LB_DA = 2 (= LP = IP);

@@ -4,8 +4,11 @@
 #include <stdexcept>
 
 #include "gen/pla_gen.hpp"
+#include "gen/scp_gen.hpp"
 
 namespace ucp::gen {
+
+using cov::Index;
 
 namespace {
 
@@ -102,6 +105,41 @@ std::vector<SuiteEntry> challenging_suite() {
     suite.push_back(named("ts10", parity_pla(6)));
     suite.push_back(rnd("x2dn", 10, 1, 70, 0.55, 0.0, 104));
     suite.push_back(rnd("xparc", 11, 1, 90, 0.55, 0.0, 254));
+    return suite;
+}
+
+std::vector<MatrixSuiteEntry> unicost_suite() {
+    std::vector<MatrixSuiteEntry> suite;
+    suite.reserve(11);
+    // OR-Library-style random unicost: fixed row degree k, so the LP bound
+    // hovers near rows/k·(k/cols)… — weak — and reductions find almost no
+    // essentials or dominance. Sizes span "greedy is fine" to "the core is
+    // the whole matrix".
+    const auto uni = [&](Index rows, Index cols, Index k, std::uint64_t seed) {
+        UnicostScpOptions opt;
+        opt.rows = rows;
+        opt.cols = cols;
+        opt.cols_per_row = k;
+        opt.seed = seed;
+        char name[32];
+        std::snprintf(name, sizeof(name), "u%ux%uk%u", rows, cols, k);
+        suite.push_back({name, unicost_scp(opt)});
+    };
+    uni(120, 60, 3, 11);
+    uni(200, 80, 3, 12);
+    uni(300, 100, 4, 13);
+    uni(400, 120, 4, 14);
+    uni(500, 140, 5, 15);
+    uni(600, 150, 5, 16);
+    // Steiner triple systems: the canonical bound-resistant unicost family
+    // (the OR-Library A-instances). n(n−1)/6 rows over n points.
+    suite.push_back({"sts15", steiner_triple_cover(15)});
+    suite.push_back({"sts27", steiner_triple_cover(27)});
+    suite.push_back({"sts45", steiner_triple_cover(45)});
+    // Circulants with k ∤ n: fractional LP bound n/k, no reductions apply —
+    // the matrix IS its cyclic core.
+    suite.push_back({"cyc60.7", cyclic_matrix(60, 7)});
+    suite.push_back({"cyc90.8", cyclic_matrix(90, 8)});
     return suite;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "matrix/sparse_matrix.hpp"
 #include "pla/pla_io.hpp"
 
 namespace ucp::gen {
@@ -33,6 +34,20 @@ std::vector<SuiteEntry> difficult_cyclic_suite();
 /// 16 instances with large prime counts relative to their size
 /// (the paper's Table 2 / Table 4 rows).
 std::vector<SuiteEntry> challenging_suite();
+
+/// A suite member that is a raw covering matrix rather than a PLA — the
+/// unicost set-cover family enters the pipeline after the logic phases.
+struct MatrixSuiteEntry {
+    std::string name;
+    cov::CoverMatrix matrix;
+};
+
+/// The unicost set-cover workload family (bench_portfolio): OR-Library-style
+/// random unicost instances (`uNNNxMMMkK`, scp_gen::unicost_scp), Steiner
+/// triple systems (`stsN`, scp_gen::steiner_triple_cover) and hard circulants
+/// (`cycN.K`, scp_gen::cyclic_matrix). All unit costs, all with large cyclic
+/// cores — the regime where local search beats constructive fixing.
+std::vector<MatrixSuiteEntry> unicost_suite();
 
 /// Looks an instance up by name across all three suites. Returns kBadInput
 /// (leaving `out` untouched) for an unknown name.

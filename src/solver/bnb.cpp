@@ -575,7 +575,19 @@ BnbResult solve_exact(const CoverMatrix& m, const BnbOptions& opt) {
         return out;
     }
 
-    const GreedyResult greedy = chvatal_greedy(m);
+    // Baseline incumbent: whole-matrix greedy, improved by the caller's warm
+    // cover when one is supplied and beats it (the portfolio's cross-seed).
+    GreedyResult baseline = chvatal_greedy(m);
+    if (!opt.warm_solution.empty() && m.is_feasible(opt.warm_solution)) {
+        static stats::Counter& c_warm = stats::counter("bnb.warm_adopted");
+        std::vector<Index> warm = m.make_irredundant(opt.warm_solution);
+        const Cost wc = m.solution_cost(warm);
+        if (wc < baseline.cost) {
+            c_warm.add();
+            baseline.cost = wc;
+            baseline.solution = std::move(warm);
+        }
+    }
 
     cov::ReduceResult root;
     {
@@ -651,7 +663,7 @@ BnbResult solve_exact(const CoverMatrix& m, const BnbOptions& opt) {
     }
     shared.cur_sum.store(ub_sum, std::memory_order_relaxed);
     shared.lb_sum.store(lb_sum, std::memory_order_relaxed);
-    shared.incumbent.store(std::min(greedy.cost, cost0 + ub_sum),
+    shared.incumbent.store(std::min(baseline.cost, cost0 + ub_sum),
                            std::memory_order_relaxed);
 
     // ---- task set: searchable blocks, optionally root-split ----------------
@@ -772,14 +784,14 @@ BnbResult solve_exact(const CoverMatrix& m, const BnbOptions& opt) {
     Cost comp_cost = cost0;
     for (Index b = 0; b < num_blocks; ++b) comp_cost += blocks[b].scope.best();
     std::vector<Index> solution;
-    if (comp_cost <= greedy.cost) {
+    if (comp_cost <= baseline.cost) {
         solution = root.essential_cols;
         for (Index b = 0; b < num_blocks; ++b) {
             const auto& s = blocks[b].scope.solution();
             solution.insert(solution.end(), s.begin(), s.end());
         }
     } else {
-        solution = greedy.solution;
+        solution = baseline.solution;
     }
     out.solution = m.make_irredundant(std::move(solution));
     out.cost = m.solution_cost(out.solution);

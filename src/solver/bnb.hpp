@@ -62,6 +62,13 @@ struct BnbOptions {
     /// into branch subtasks — tiny cores are cheaper to finish than to
     /// decompose.
     cov::Index parallel_min_rows = 8;
+    /// Optional warm incumbent (original column indices). Checked for
+    /// feasibility, made irredundant, and adopted when it beats the greedy
+    /// baseline, so the search starts with a tighter pruning threshold — the
+    /// cross-seeding hook the portfolio uses to hand an RWLS upper bound to
+    /// the exact solver. Exactness is unaffected (any feasible cover is a
+    /// valid incumbent); ignored when empty or infeasible.
+    std::vector<cov::Index> warm_solution{};
 };
 
 /// The Aura-flavoured bound [14]: the optimum of the sub-problem induced by
